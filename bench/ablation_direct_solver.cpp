@@ -1,0 +1,81 @@
+// Ablation: the paper's direct-method motivation, quantified — envelope
+// (skyline) Cholesky storage and factorization work under each ordering.
+//
+// "A matrix with a small profile is useful in direct methods for solving
+// sparse linear systems since it allows a simple data structure to be
+// used" (paper Sec. I). Skyline storage is |Env| + n doubles and the
+// factorization costs sum beta_i^2/2-ish multiply-adds, so both are direct
+// functions of the profile each ordering achieves.
+//
+// Factorizations run for real on a downscaled mesh (scattered envelopes
+// are near-dense, O(n^3)); the suite-sized rows use the exact
+// predicted-work formula.
+#include <cstdio>
+
+#include "bench/suite.hpp"
+#include "common/timer.hpp"
+#include "order/gps.hpp"
+#include "order/rcm_serial.hpp"
+#include "order/sloan.hpp"
+#include "solver/skyline.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drcm;
+  const double scale = bench::scale_from_args(argc, argv);
+
+  // Part 1: real factorizations on a small scattered mesh.
+  {
+    const auto pattern = sparse::gen::relabel_random(sparse::gen::grid2d(26, 26), 13);
+    const auto spd = [&](const sparse::CsrMatrix& p) {
+      return sparse::gen::with_laplacian_values(p, 0.3);
+    };
+    std::printf("Skyline Cholesky on a scattered 26x26 mesh (n=%lld), real "
+                "factorizations:\n",
+                static_cast<long long>(pattern.n()));
+    std::printf("%-10s %12s %14s %12s\n", "ordering", "storage", "factor MAdds",
+                "factor s");
+    bench::rule(52);
+    const auto orderings = std::vector<std::pair<const char*, std::vector<index_t>>>{
+        {"natural", sparse::identity_permutation(pattern.n())},
+        {"rcm", order::rcm_serial(pattern)},
+        {"gps", order::gps(pattern)},
+        {"sloan", order::sloan(pattern)},
+        {"endsort", order::rcm_endsort(pattern)},
+    };
+    for (const auto& [name, labels] : orderings) {
+      const auto permuted = sparse::permute_symmetric(pattern, labels);
+      solver::SkylineMatrix sky(spd(permuted));
+      WallTimer t;
+      const auto flops = sky.factor();
+      std::printf("%-10s %12lld %14lld %12.4f\n", name,
+                  static_cast<long long>(sky.storage()),
+                  static_cast<long long>(flops), t.seconds());
+    }
+    bench::rule(52);
+  }
+
+  // Part 2: predicted factor work across the full suite.
+  const auto suite = bench::make_suite(scale);
+  std::printf("\nPredicted skyline factor multiply-adds per suite matrix "
+              "(scale %.2f):\n", scale);
+  std::printf("%-14s %16s %16s %16s %9s\n", "stand-in", "natural", "rcm",
+              "sloan", "rcm gain");
+  bench::rule(78);
+  for (const auto& e : suite) {
+    const auto id = sparse::identity_permutation(e.pattern.n());
+    const auto rcm = order::rcm_serial(e.pattern);
+    const auto slo = order::sloan(e.pattern);
+    const double f_nat = solver::SkylineMatrix::predicted_flops(e.pattern, id);
+    const double f_rcm = solver::SkylineMatrix::predicted_flops(e.pattern, rcm);
+    const double f_slo = solver::SkylineMatrix::predicted_flops(e.pattern, slo);
+    std::printf("%-14s %16.3e %16.3e %16.3e %8.1fx\n", e.name.c_str(), f_nat,
+                f_rcm, f_slo, f_nat / f_rcm);
+  }
+  bench::rule(78);
+  std::printf("shape check: RCM cuts direct-solver work by orders of "
+              "magnitude on the scattered meshes and does little on the "
+              "low-diameter cigraph_* (nothing can).\n");
+  return 0;
+}

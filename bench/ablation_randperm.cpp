@@ -1,0 +1,75 @@
+// Ablation: the load-balancing random symmetric permutation (paper
+// Sec. IV-A: "To balance load across processors, we randomly permute the
+// input matrix A before running the RCM algorithm").
+//
+// For each suite matrix we decompose onto a 4x4 grid with and without the
+// permutation and report the nonzero imbalance (max block / mean block) and
+// the resulting RCM bandwidth. Banded inputs are the worst case: their
+// off-diagonal blocks are empty, so a few diagonal-grid processors own
+// everything.
+#include <cstdio>
+
+#include "bench/suite.hpp"
+#include "dist/dist_matrix.hpp"
+#include "mpsim/runtime.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "sparse/metrics.hpp"
+
+namespace {
+
+double nnz_imbalance(const drcm::sparse::CsrMatrix& a, int p) {
+  using namespace drcm;
+  double imbalance = 0.0;
+  mps::Runtime::run(p, [&](mps::Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::DistSpMat mat(grid, a);
+    const auto all = world.allgather(mat.local_nnz());
+    nnz_t mx = 0, total = 0;
+    for (const auto v : all) {
+      mx = std::max(mx, v);
+      total += v;
+    }
+    if (world.rank() == 0 && total > 0) {
+      imbalance = static_cast<double>(mx) * p / static_cast<double>(total);
+    }
+  });
+  return imbalance;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace drcm;
+  const double scale = bench::scale_from_args(argc, argv);
+  const auto suite = bench::make_suite(scale);
+  constexpr int kRanks = 16;
+
+  std::printf("Ablation: load-balancing random permutation, 4x4 grid "
+              "(scale %.2f)\n", scale);
+  std::printf("imbalance = max block nnz / mean block nnz (1.0 = perfect)\n\n");
+  std::printf("%-14s %12s %12s %10s %10s\n", "stand-in", "imb natural",
+              "imb permuted", "BW plain", "BW w/ perm");
+  bench::rule(64);
+
+  for (const auto& e : suite) {
+    const auto imb_nat = nnz_imbalance(e.pattern, kRanks);
+    const auto permuted = sparse::gen::relabel_random(e.pattern, 4242);
+    const auto imb_perm = nnz_imbalance(permuted, kRanks);
+
+    rcm::DistRcmOptions with;
+    with.load_balance = true;
+    with.seed = 4242;
+    const auto plain = rcm::run_dist_rcm(4, e.pattern);
+    const auto balanced = rcm::run_dist_rcm(4, e.pattern, with);
+    std::printf("%-14s %12.2f %12.2f %10lld %10lld\n", e.name.c_str(), imb_nat,
+                imb_perm,
+                static_cast<long long>(
+                    sparse::bandwidth_with_labels(e.pattern, plain.labels)),
+                static_cast<long long>(
+                    sparse::bandwidth_with_labels(e.pattern, balanced.labels)));
+  }
+  bench::rule(64);
+  std::printf("shape check: permutation pushes imbalance toward 1.0 on "
+              "banded inputs at a small (often zero) bandwidth cost.\n");
+  return 0;
+}

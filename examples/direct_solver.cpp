@@ -1,0 +1,60 @@
+// Direct-solver example: the paper's opening motivation made concrete.
+// An envelope (skyline) Cholesky factorization stores exactly the profile
+// RCM minimizes — watch storage, factorization work and wall time collapse
+// after reordering, with the same solution coming out.
+//
+//   $ ./examples/direct_solver
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "order/rcm_serial.hpp"
+#include "solver/skyline.hpp"
+#include "solver/spmv.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+int main() {
+  using namespace drcm;
+  namespace gen = sparse::gen;
+
+  const auto scattered = gen::relabel_random(gen::grid2d(40, 40), 5);
+  const auto labels = order::rcm_serial(scattered);
+  const auto ordered = sparse::permute_symmetric(scattered, labels);
+
+  std::printf("skyline Cholesky of a 1,600-unknown mesh system\n\n");
+  std::printf("%-10s %10s %12s %14s %10s %12s\n", "ordering", "bandwidth",
+              "storage", "factor MAdds", "factor s", "residual");
+
+  for (int which = 0; which < 2; ++which) {
+    const auto& pattern = which == 0 ? scattered : ordered;
+    const auto a = gen::with_laplacian_values(pattern, 0.3);
+    solver::SkylineMatrix sky(a);
+    WallTimer t;
+    const auto flops = sky.factor();
+    const double secs = t.seconds();
+
+    std::vector<double> b(static_cast<std::size_t>(a.n()));
+    for (index_t i = 0; i < a.n(); ++i) {
+      b[static_cast<std::size_t>(i)] = std::cos(0.05 * static_cast<double>(i));
+    }
+    std::vector<double> x(b.size());
+    sky.solve(b, x);
+    std::vector<double> ax(b.size());
+    solver::spmv(a, x, ax);
+    double residual = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      residual = std::max(residual, std::abs(ax[i] - b[i]));
+    }
+    std::printf("%-10s %10lld %12lld %14lld %10.4f %12.2e\n",
+                which == 0 ? "natural" : "RCM",
+                static_cast<long long>(sparse::bandwidth(pattern)),
+                static_cast<long long>(sky.storage()),
+                static_cast<long long>(flops), secs, residual);
+  }
+  std::printf("\nsame physics, same accuracy — the RCM factorization just "
+              "touches a tiny fraction of the envelope.\n");
+  return 0;
+}

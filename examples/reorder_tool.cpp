@@ -1,0 +1,86 @@
+// reorder_tool: a command-line utility in the spirit of SpMP's standalone
+// reorderer — reads a Matrix Market file, computes the requested ordering,
+// and writes the permuted matrix plus the permutation vector.
+//
+//   $ ./examples/reorder_tool input.mtx [rcm|sloan|nosort] [output.mtx]
+//
+// Run without arguments it demonstrates itself on a generated matrix
+// written to /tmp. Unsymmetric inputs are symmetrized (A + A^T pattern),
+// diagonals are stripped for the ordering and the permutation is applied
+// to the ORIGINAL matrix, values included.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "order/rcm_serial.hpp"
+#include "order/sloan.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+int main(int argc, char** argv) {
+  using namespace drcm;
+
+  std::string input = argc > 1 ? argv[1] : "";
+  const std::string method = argc > 2 ? argv[2] : "rcm";
+  const std::string output =
+      argc > 3 ? argv[3] : (input.empty() ? "/tmp/demo_rcm.mtx" : input + ".rcm.mtx");
+
+  if (input.empty()) {
+    input = "/tmp/demo_input.mtx";
+    std::printf("no input given; writing a demo matrix to %s\n", input.c_str());
+    const auto demo = sparse::gen::with_laplacian_values(
+        sparse::gen::relabel_random(sparse::gen::grid2d(40, 40), 99));
+    sparse::write_matrix_market_file(input, demo);
+  }
+
+  sparse::CsrMatrix a;
+  try {
+    a = sparse::read_matrix_market_file(input);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error reading %s: %s\n", input.c_str(), e.what());
+    return 1;
+  }
+  std::printf("read %s: n=%lld nnz=%lld\n", input.c_str(),
+              static_cast<long long>(a.n()), static_cast<long long>(a.nnz()));
+
+  auto pattern = a.pattern();
+  if (!pattern.is_pattern_symmetric()) {
+    std::printf("pattern is unsymmetric; ordering A + A^T\n");
+    pattern = sparse::gen::symmetrize(pattern);
+  }
+  if (pattern.has_self_loops()) pattern = pattern.strip_diagonal();
+
+  std::vector<index_t> labels;
+  if (method == "rcm") {
+    labels = order::rcm_serial(pattern);
+  } else if (method == "sloan") {
+    labels = order::sloan(pattern);
+  } else if (method == "nosort") {
+    labels = order::rcm_nosort(pattern);
+  } else {
+    std::fprintf(stderr, "unknown method '%s' (use rcm|sloan|nosort)\n",
+                 method.c_str());
+    return 1;
+  }
+
+  std::printf("%s: bandwidth %lld -> %lld, profile %lld -> %lld\n",
+              method.c_str(), static_cast<long long>(sparse::bandwidth(pattern)),
+              static_cast<long long>(sparse::bandwidth_with_labels(pattern, labels)),
+              static_cast<long long>(sparse::profile(pattern)),
+              static_cast<long long>(sparse::profile_with_labels(pattern, labels)));
+
+  const auto permuted = sparse::permute_symmetric(a, labels);
+  sparse::write_matrix_market_file(output, permuted,
+                                   permuted.is_pattern_symmetric());
+  std::printf("wrote reordered matrix to %s\n", output.c_str());
+
+  const std::string perm_path = output + ".perm";
+  std::ofstream perm(perm_path);
+  for (const auto l : labels) perm << l << '\n';
+  std::printf("wrote permutation (labels[old]=new, 0-based) to %s\n",
+              perm_path.c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Why reorder at all? The paper's Figure-1 motivation as a runnable demo:
+// a conjugate-gradient solve with a block Jacobi preconditioner gets both
+// a better preconditioner and a cheaper halo exchange after RCM.
+//
+//   $ ./examples/solver_speedup
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "order/rcm_serial.hpp"
+#include "solver/block_jacobi.hpp"
+#include "solver/cg.hpp"
+#include "solver/halo_analyzer.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+int main() {
+  using namespace drcm;
+  namespace gen = sparse::gen;
+  constexpr int kBlocks = 16;
+
+  const auto scattered = gen::relabel_random(gen::grid2d(100, 100), 3);
+  const auto labels = order::rcm_serial(scattered);
+  const auto ordered = sparse::permute_symmetric(scattered, labels);
+
+  std::printf("solving a 10,000-unknown thermal-style system, "
+              "CG + block Jacobi (%d ILU(0) blocks)\n\n", kBlocks);
+  std::printf("%-10s %10s %8s %10s %12s %12s %10s\n", "ordering", "bandwidth",
+              "iters", "time (s)", "blk capture", "halo volume", "neighbors");
+
+  for (int which = 0; which < 2; ++which) {
+    const auto& pattern = which == 0 ? scattered : ordered;
+    const auto m = gen::with_laplacian_values(pattern, 0.02);
+    solver::BlockJacobi pre(m, kBlocks);
+    std::vector<double> b(static_cast<std::size_t>(m.n()));
+    for (index_t i = 0; i < m.n(); ++i) {
+      b[static_cast<std::size_t>(i)] = 1.0 + 0.001 * static_cast<double>(i % 97);
+    }
+    std::vector<double> x(b.size(), 0.0);
+    WallTimer t;
+    const auto res = solver::pcg(m, b, x, &pre);
+    const double secs = t.seconds();
+    const auto halo = solver::analyze_halo(pattern, kBlocks);
+    std::printf("%-10s %10lld %8d %10.3f %11.0f%% %12llu %10d\n",
+                which == 0 ? "natural" : "RCM",
+                static_cast<long long>(sparse::bandwidth(pattern)),
+                res.iterations, secs, 100.0 * pre.capture_fraction(),
+                static_cast<unsigned long long>(halo.total_remote_entries),
+                halo.max_neighbors);
+  }
+  std::printf("\nRCM wins twice: the preconditioner captures more of the "
+              "operator (fewer iterations) and the SpMV halo shrinks to "
+              "nearest neighbors (less communication per iteration).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Precondition / invariant checking.
+//
+// DRCM_CHECK is used at public API boundaries and for invariants that must
+// hold even in release builds; it throws drcm::CheckError so callers (and
+// tests) can observe violations. DRCM_DCHECK compiles away in NDEBUG builds
+// and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace drcm {
+
+/// Thrown when a DRCM_CHECK precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "DRCM_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace drcm
+
+#define DRCM_CHECK(cond, ...)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::drcm::detail::check_failed(#cond, __FILE__, __LINE__,            \
+                                   ::std::string{__VA_ARGS__});          \
+    }                                                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DRCM_DCHECK(cond, ...) \
+  do {                         \
+  } while (false)
+#else
+#define DRCM_DCHECK(cond, ...) DRCM_CHECK(cond, ##__VA_ARGS__)
+#endif

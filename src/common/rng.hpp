@@ -1,0 +1,84 @@
+// Deterministic, seedable pseudo-random generation.
+//
+// All synthetic workloads must be reproducible across runs and platforms,
+// so the library uses its own SplitMix64 / xoshiro256** implementation
+// instead of std::mt19937 + distribution objects (whose outputs are not
+// specified portably for all distributions).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.hpp"
+
+namespace drcm {
+
+/// SplitMix64: used to seed and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG with reproducible streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0xd1f5c0ffee5eedULL) {
+    std::uint64_t x = seed;
+    for (auto& w : s_) {
+      x = splitmix64(x);
+      w = x;
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's unbiased multiply-shift.
+  std::uint64_t next_below(std::uint64_t bound) {
+    DRCM_CHECK(bound > 0, "next_below requires positive bound");
+    // Rejection loop has expected < 2 iterations for any bound.
+    while (true) {
+      const std::uint64_t x = next_u64();
+      const unsigned __int128 m =
+          static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+      const auto lo = static_cast<std::uint64_t>(m);
+      if (lo >= bound || lo >= (-bound) % bound) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Fisher-Yates shuffle of [first, last).
+  template <class It>
+  void shuffle(It first, It last) {
+    const auto n = static_cast<std::uint64_t>(last - first);
+    for (std::uint64_t i = n; i > 1; --i) {
+      const std::uint64_t j = next_below(i);
+      using std::swap;
+      swap(first[i - 1], first[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace drcm

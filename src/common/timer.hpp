@@ -1,0 +1,26 @@
+// Wall-clock timing helper used by the runtime's phase attribution and by
+// the benchmark harness.
+#pragma once
+
+#include <chrono>
+
+namespace drcm {
+
+/// Monotonic wall-clock stopwatch; `seconds()` returns time since
+/// construction or the last `reset()`.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace drcm

@@ -1,0 +1,19 @@
+// Fundamental index and size types used across the library.
+//
+// Global vertex/row/column indices are 64-bit so matrices beyond 2^31
+// nonzeros (the paper evaluates up to 760M) are representable. `kNoVertex`
+// is the sentinel used wherever the paper writes "-1" (unvisited / unset).
+#pragma once
+
+#include <cstdint>
+
+namespace drcm {
+
+using index_t = std::int64_t;  ///< global vertex / row / column index
+using nnz_t = std::int64_t;    ///< nonzero counter / CSR offset
+using u64 = std::uint64_t;
+
+/// Sentinel for "no vertex / unvisited / unlabeled" (paper's -1).
+inline constexpr index_t kNoVertex = -1;
+
+}  // namespace drcm

@@ -1,0 +1,4 @@
+#include "mpsim/barrier.hpp"
+
+// Header-only today; this translation unit pins the vtable-free class into
+// the library and is the anchor for future non-inline additions.

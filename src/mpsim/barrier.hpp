@@ -1,0 +1,54 @@
+// Reusable barrier for SPMD rank synchronization.
+//
+// Every collective in the runtime is built from two or three barrier
+// crossings over a shared "publication board" (see comm.hpp). The barrier
+// must (a) be reusable an unbounded number of times, (b) establish
+// happens-before between writes preceding one crossing and reads following
+// it, and (c) block rather than spin, because the simulated ranks are
+// threads that may heavily oversubscribe the physical cores.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace drcm::mps {
+
+/// Generation-counting barrier for a fixed set of `n` participants.
+/// Mutex/condition-variable based: safe under oversubscription, and the
+/// mutex provides the memory ordering collectives rely on.
+class Barrier {
+ public:
+  explicit Barrier(int n) : n_(n), waiting_(0), generation_(0) {
+    DRCM_CHECK(n > 0, "barrier needs at least one participant");
+  }
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all `n` participants have arrived.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::uint64_t my_generation = generation_;
+    if (++waiting_ == n_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+  int participants() const { return n_; }
+
+ private:
+  const int n_;
+  int waiting_;
+  std::uint64_t generation_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace drcm::mps

@@ -1,0 +1,225 @@
+#include "mpsim/comm.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
+#include "mpsim/internal.hpp"
+
+namespace drcm::mps {
+
+// ---------------------------------------------------------------------------
+// BarrierRegistry: lets the runtime tear down every communicator (including
+// splits created mid-run) when one rank fails, so surviving ranks blocked in
+// a collective throw PoisonedError instead of deadlocking.
+
+class PoisonableBarrier {
+ public:
+  explicit PoisonableBarrier(int n) : n_(n) {}
+
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (poisoned_) throw PoisonedError{};
+    const std::uint64_t my_generation = generation_;
+    if (++waiting_ == n_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+    if (generation_ == my_generation && poisoned_) throw PoisonedError{};
+  }
+
+  void poison() {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  const int n_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  bool poisoned_ = false;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+class BarrierRegistry {
+ public:
+  void register_barrier(const std::shared_ptr<PoisonableBarrier>& b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    barriers_.push_back(b);
+    if (poisoned_) b->poison();
+  }
+
+  void poison_all() {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+    for (auto& weak : barriers_) {
+      if (auto b = weak.lock()) b->poison();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  bool poisoned_ = false;
+  std::vector<std::weak_ptr<PoisonableBarrier>> barriers_;
+};
+
+// ---------------------------------------------------------------------------
+// CommContext: shared state of one communicator.
+
+class CommContext {
+ public:
+  CommContext(int size, std::shared_ptr<BarrierRegistry> registry)
+      : size_(size),
+        registry_(std::move(registry)),
+        barrier_(std::make_shared<PoisonableBarrier>(size)),
+        ptr_(static_cast<std::size_t>(size), nullptr),
+        cnt_(static_cast<std::size_t>(size), 0),
+        ptr_arr_(static_cast<std::size_t>(size), nullptr),
+        cnt_arr_(static_cast<std::size_t>(size), nullptr),
+        split_color_(static_cast<std::size_t>(size), 0),
+        split_key_(static_cast<std::size_t>(size), 0),
+        split_ctx_(static_cast<std::size_t>(size)),
+        split_rank_(static_cast<std::size_t>(size), 0) {
+    if (registry_) registry_->register_barrier(barrier_);
+  }
+
+  int size() const { return size_; }
+  void cross() { barrier_->arrive_and_wait(); }
+  const std::shared_ptr<BarrierRegistry>& registry() const { return registry_; }
+
+  // Publication board (guarded by barrier crossings, not by a mutex).
+  std::vector<const void*>& ptr() { return ptr_; }
+  std::vector<std::uint64_t>& cnt() { return cnt_; }
+  std::vector<const void* const*>& ptr_arr() { return ptr_arr_; }
+  std::vector<const std::uint64_t*>& cnt_arr() { return cnt_arr_; }
+  std::vector<int>& split_color() { return split_color_; }
+  std::vector<int>& split_key() { return split_key_; }
+  std::vector<std::shared_ptr<CommContext>>& split_ctx() { return split_ctx_; }
+  std::vector<int>& split_rank() { return split_rank_; }
+
+ private:
+  const int size_;
+  std::shared_ptr<BarrierRegistry> registry_;
+  std::shared_ptr<PoisonableBarrier> barrier_;
+  std::vector<const void*> ptr_;
+  std::vector<std::uint64_t> cnt_;
+  std::vector<const void* const*> ptr_arr_;
+  std::vector<const std::uint64_t*> cnt_arr_;
+  std::vector<int> split_color_;
+  std::vector<int> split_key_;
+  std::vector<std::shared_ptr<CommContext>> split_ctx_;
+  std::vector<int> split_rank_;
+};
+
+std::shared_ptr<CommContext> make_comm_context(
+    int size, const std::shared_ptr<BarrierRegistry>& registry) {
+  return std::make_shared<CommContext>(size, registry);
+}
+
+std::shared_ptr<BarrierRegistry> make_barrier_registry() {
+  return std::make_shared<BarrierRegistry>();
+}
+
+void poison_all_barriers(BarrierRegistry& registry) { registry.poison_all(); }
+
+// ---------------------------------------------------------------------------
+// Comm.
+
+Comm::Comm(std::shared_ptr<CommContext> ctx, int rank, RankState* state,
+           const CostModel* model)
+    : ctx_(std::move(ctx)), rank_(rank), size_(ctx_->size()), state_(state),
+      model_(model) {
+  DRCM_CHECK(rank_ >= 0 && rank_ < size_, "rank out of range for communicator");
+  DRCM_CHECK(state_ != nullptr && model_ != nullptr,
+             "Comm requires rank state and cost model");
+}
+
+void Comm::barrier() {
+  cross_barrier();
+  charge(model_->barrier(size_));
+}
+
+void Comm::publish(const void* ptr, std::uint64_t count) {
+  ctx_->ptr()[static_cast<std::size_t>(rank_)] = ptr;
+  ctx_->cnt()[static_cast<std::size_t>(rank_)] = count;
+}
+
+const void* Comm::peer_ptr(int r) const {
+  return ctx_->ptr()[static_cast<std::size_t>(r)];
+}
+
+std::uint64_t Comm::peer_count(int r) const {
+  return ctx_->cnt()[static_cast<std::size_t>(r)];
+}
+
+void Comm::publish_arrays(const void* const* ptrs, const std::uint64_t* counts) {
+  ctx_->ptr_arr()[static_cast<std::size_t>(rank_)] = ptrs;
+  ctx_->cnt_arr()[static_cast<std::size_t>(rank_)] = counts;
+}
+
+const void* const* Comm::peer_ptr_array(int r) const {
+  return ctx_->ptr_arr()[static_cast<std::size_t>(r)];
+}
+
+const std::uint64_t* Comm::peer_count_array(int r) const {
+  return ctx_->cnt_arr()[static_cast<std::size_t>(r)];
+}
+
+void Comm::cross_barrier() { ctx_->cross(); }
+
+void Comm::charge(const CommCost& cost) {
+  state_->stats.add_comm(state_->phase, cost);
+}
+
+Comm Comm::split(int color, int key) {
+  DRCM_CHECK(color >= 0, "split color must be non-negative");
+  auto& colors = ctx_->split_color();
+  auto& keys = ctx_->split_key();
+  colors[static_cast<std::size_t>(rank_)] = color;
+  keys[static_cast<std::size_t>(rank_)] = key;
+  cross_barrier();
+  if (rank_ == 0) {
+    // Group members by color; within a group rank by (key, old rank).
+    std::map<int, std::vector<int>> groups;
+    for (int r = 0; r < size_; ++r) {
+      groups[colors[static_cast<std::size_t>(r)]].push_back(r);
+    }
+    for (auto& [c, members] : groups) {
+      std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+        return keys[static_cast<std::size_t>(a)] < keys[static_cast<std::size_t>(b)];
+      });
+      auto child = std::make_shared<CommContext>(
+          static_cast<int>(members.size()), ctx_->registry());
+      for (int new_rank = 0; new_rank < static_cast<int>(members.size());
+           ++new_rank) {
+        const auto m = static_cast<std::size_t>(members[static_cast<std::size_t>(new_rank)]);
+        ctx_->split_ctx()[m] = child;
+        ctx_->split_rank()[m] = new_rank;
+      }
+    }
+  }
+  cross_barrier();
+  auto child_ctx = ctx_->split_ctx()[static_cast<std::size_t>(rank_)];
+  const int child_rank = ctx_->split_rank()[static_cast<std::size_t>(rank_)];
+  cross_barrier();  // everyone picked up before the board can be reused
+  charge(model_->allgatherv(size_, static_cast<std::uint64_t>(size_)));
+  return Comm(std::move(child_ctx), child_rank, state_, model_);
+}
+
+void Comm::charge_compute(double units) {
+  state_->stats.add_compute(state_->phase, units, model_->compute_seconds(units));
+}
+
+Phase Comm::set_phase(Phase p) {
+  const Phase prev = state_->phase;
+  state_->phase = p;
+  return prev;
+}
+
+}  // namespace drcm::mps

@@ -1,0 +1,375 @@
+// SPMD communicator: the MPI substitute the distributed algorithms run on.
+//
+// Ranks are threads sharing one address space, but the programming model is
+// strict message passing: rank-private data is only exchanged through the
+// collectives below, all of which are bulk-synchronous (every member of the
+// communicator must call the same collective in the same order, exactly as
+// MPI requires). The distributed RCM algorithm needs no general,
+// unstructured point-to-point traffic (paper Sec. III-IV), so the runtime
+// deliberately offers collectives only:
+//
+//   barrier, bcast, allreduce (deterministic rank-order fold), allgather(v),
+//   alltoallv, exscan_sum, pairwise_exchange (the SpMSpV transpose
+//   realignment, performed by all ranks at once), and split (MPI_Comm_split:
+//   forms the row/column sub-communicators of the 2D grid).
+//
+// Mechanically, every collective is two crossings of the communicator's
+// barrier around a shared "publication board": ranks publish {pointer,
+// count} of their contribution, cross the barrier, read what they need from
+// peers, and cross again before anyone may reuse the board. The barrier's
+// mutex provides all required happens-before ordering.
+//
+// Every operation is charged to the alpha-beta CostModel and attributed to
+// the rank's current Phase, which is how the paper's Figures 4-6 breakdowns
+// are produced.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "mpsim/cost_model.hpp"
+#include "mpsim/stats.hpp"
+
+namespace drcm::mps {
+
+class CommContext;
+class BarrierRegistry;
+
+/// Thrown out of a collective when the runtime tears the world down because
+/// another rank failed; distinguishes secondary victims from the root cause.
+class PoisonedError : public std::runtime_error {
+ public:
+  PoisonedError() : std::runtime_error("communicator poisoned: another rank failed") {}
+};
+
+/// Per-rank mutable state shared by all communicators a rank holds
+/// (world and any splits): the stats recorder and the current phase.
+struct RankState {
+  StatsRecorder stats;
+  Phase phase = Phase::kOther;
+};
+
+/// Number of 8-byte words occupied by one element of T (for cost charging).
+template <class T>
+constexpr std::uint64_t words_of() {
+  return (sizeof(T) + 7) / 8;
+}
+
+class Comm {
+ public:
+  Comm(std::shared_ptr<CommContext> ctx, int rank, RankState* state,
+       const CostModel* model);
+  Comm(const Comm&) = default;
+  Comm(Comm&&) = default;
+  Comm& operator=(const Comm&) = delete;
+  Comm& operator=(Comm&&) = delete;
+
+  int rank() const { return rank_; }
+  int size() const { return size_; }
+
+  /// Synchronizes all members (and charges the modeled barrier cost).
+  void barrier();
+
+  /// Replicates `data` from `root` to every member.
+  template <class T>
+  void bcast(std::vector<T>& data, int root);
+
+  /// Reduces one value per rank with `combine`, folding in rank order on
+  /// every member (deterministic, identical result everywhere). Intended
+  /// for small payloads: scalars and argmin-style pairs.
+  template <class T, class Combine>
+  T allreduce(const T& value, Combine combine);
+
+  /// Each rank contributes one element; returns all `size()` of them.
+  template <class T>
+  std::vector<T> allgather(const T& value);
+
+  /// Concatenates every rank's span in rank order.
+  template <class T>
+  std::vector<T> allgatherv(std::span<const T> local);
+
+  /// Personalized all-to-all. `send[d]` goes to rank `d`; the result is the
+  /// concatenation, in source-rank order, of what everyone sent to me.
+  /// If `recv_counts` is non-null it receives the per-source element counts.
+  template <class T>
+  std::vector<T> alltoallv(const std::vector<std::vector<T>>& send,
+                           std::vector<std::int64_t>* recv_counts = nullptr);
+
+  /// Exclusive prefix sum over ranks (rank 0 gets T{}).
+  template <class T>
+  T exscan_sum(const T& value);
+
+  /// Concatenates every rank's span on `root` only (others get empty).
+  template <class T>
+  std::vector<T> gatherv(std::span<const T> local, int root);
+
+  /// Root distributes `chunks[r]` to rank r; returns my chunk.
+  template <class T>
+  std::vector<T> scatterv(const std::vector<std::vector<T>>& chunks, int root);
+
+  /// Reduce-to-root with a deterministic rank-order fold; non-root ranks
+  /// receive a default-constructed T.
+  template <class T, class Combine>
+  T reduce(const T& value, Combine combine, int root);
+
+  /// Simultaneous pairwise exchange: every member calls this with its
+  /// partner's rank (partner==rank() is a local no-op copy). Used for the
+  /// SpMSpV transpose realignment where P(i,j) swaps with P(j,i).
+  template <class T>
+  std::vector<T> pairwise_exchange(int partner, std::span<const T> send);
+
+  /// MPI_Comm_split: members with the same `color` form a new communicator,
+  /// ranked by (key, old rank).
+  Comm split(int color, int key);
+
+  /// Charges `units` of scalar work to the modeled compute time of the
+  /// current phase.
+  void charge_compute(double units);
+
+  /// Sets the phase used for cost attribution; returns the previous phase.
+  Phase set_phase(Phase p);
+  Phase phase() const { return state_->phase; }
+
+  StatsRecorder& stats() { return state_->stats; }
+  const CostModel& cost_model() const { return *model_; }
+
+ private:
+  // Type-erased building blocks implemented in comm.cpp.
+  void publish(const void* ptr, std::uint64_t count);
+  const void* peer_ptr(int r) const;
+  std::uint64_t peer_count(int r) const;
+  void publish_arrays(const void* const* ptrs, const std::uint64_t* counts);
+  const void* const* peer_ptr_array(int r) const;
+  const std::uint64_t* peer_count_array(int r) const;
+  void cross_barrier();  // raw barrier crossing, no cost charging
+
+  void charge(const CommCost& cost);
+
+  std::shared_ptr<CommContext> ctx_;
+  int rank_;
+  int size_;
+  RankState* state_;
+  const CostModel* model_;
+};
+
+/// RAII phase setter that also attributes measured wall time to the phase.
+/// Scopes must not be nested (the RCM driver uses disjoint sequential
+/// phases; nesting would double-count wall time).
+class PhaseScope {
+ public:
+  PhaseScope(Comm& comm, Phase phase) : comm_(comm), prev_(comm.set_phase(phase)) {}
+  ~PhaseScope() {
+    const Phase mine = comm_.set_phase(prev_);
+    comm_.stats().add_wall(mine, timer_.seconds());
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Comm& comm_;
+  Phase prev_;
+  WallTimer timer_;
+};
+
+// ---------------------------------------------------------------------------
+// Template implementations.
+
+template <class T>
+void Comm::bcast(std::vector<T>& data, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(root >= 0 && root < size_, "bcast root out of range");
+  publish(data.data(), data.size());
+  cross_barrier();
+  std::uint64_t count = peer_count(root);
+  if (rank_ != root) {
+    const T* src = static_cast<const T*>(peer_ptr(root));
+    data.assign(src, src + count);
+  }
+  cross_barrier();
+  charge(model_->bcast(size_, count * words_of<T>()));
+}
+
+template <class T, class Combine>
+T Comm::allreduce(const T& value, Combine combine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  publish(&value, 1);
+  cross_barrier();
+  T acc = *static_cast<const T*>(peer_ptr(0));
+  for (int r = 1; r < size_; ++r) {
+    acc = combine(acc, *static_cast<const T*>(peer_ptr(r)));
+  }
+  cross_barrier();
+  charge(model_->allreduce(size_, words_of<T>()));
+  return acc;
+}
+
+template <class T>
+std::vector<T> Comm::allgather(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  publish(&value, 1);
+  cross_barrier();
+  std::vector<T> out;
+  out.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    out.push_back(*static_cast<const T*>(peer_ptr(r)));
+  }
+  cross_barrier();
+  charge(model_->allgatherv(size_, static_cast<std::uint64_t>(size_) * words_of<T>()));
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::allgatherv(std::span<const T> local) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  publish(local.data(), local.size());
+  cross_barrier();
+  std::uint64_t total = 0;
+  for (int r = 0; r < size_; ++r) total += peer_count(r);
+  std::vector<T> out;
+  out.reserve(total);
+  for (int r = 0; r < size_; ++r) {
+    const T* src = static_cast<const T*>(peer_ptr(r));
+    out.insert(out.end(), src, src + peer_count(r));
+  }
+  cross_barrier();
+  charge(model_->allgatherv(size_, total * words_of<T>()));
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& send,
+                               std::vector<std::int64_t>* recv_counts) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(static_cast<int>(send.size()) == size_,
+             "alltoallv needs one send buffer per destination rank");
+  std::vector<const void*> my_ptrs(static_cast<std::size_t>(size_));
+  std::vector<std::uint64_t> my_counts(static_cast<std::size_t>(size_));
+  std::uint64_t send_total = 0;
+  for (int d = 0; d < size_; ++d) {
+    my_ptrs[static_cast<std::size_t>(d)] = send[static_cast<std::size_t>(d)].data();
+    my_counts[static_cast<std::size_t>(d)] = send[static_cast<std::size_t>(d)].size();
+    send_total += my_counts[static_cast<std::size_t>(d)];
+  }
+  publish_arrays(my_ptrs.data(), my_counts.data());
+  cross_barrier();
+  std::uint64_t recv_total = 0;
+  for (int s = 0; s < size_; ++s) recv_total += peer_count_array(s)[rank_];
+  std::vector<T> out;
+  out.reserve(recv_total);
+  if (recv_counts) recv_counts->assign(static_cast<std::size_t>(size_), 0);
+  for (int s = 0; s < size_; ++s) {
+    const std::uint64_t c = peer_count_array(s)[rank_];
+    const T* src = static_cast<const T*>(peer_ptr_array(s)[rank_]);
+    out.insert(out.end(), src, src + c);
+    if (recv_counts) (*recv_counts)[static_cast<std::size_t>(s)] = static_cast<std::int64_t>(c);
+  }
+  cross_barrier();
+  charge(model_->alltoallv(size_, send_total * words_of<T>(),
+                           recv_total * words_of<T>()));
+  return out;
+}
+
+template <class T>
+T Comm::exscan_sum(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  publish(&value, 1);
+  cross_barrier();
+  T acc{};
+  for (int r = 0; r < rank_; ++r) {
+    acc = static_cast<T>(acc + *static_cast<const T*>(peer_ptr(r)));
+  }
+  cross_barrier();
+  charge(model_->exscan(size_, words_of<T>()));
+  return acc;
+}
+
+template <class T>
+std::vector<T> Comm::gatherv(std::span<const T> local, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(root >= 0 && root < size_, "gatherv root out of range");
+  publish(local.data(), local.size());
+  cross_barrier();
+  std::vector<T> out;
+  std::uint64_t total = 0;
+  for (int r = 0; r < size_; ++r) total += peer_count(r);
+  if (rank_ == root) {
+    out.reserve(total);
+    for (int r = 0; r < size_; ++r) {
+      const T* src = static_cast<const T*>(peer_ptr(r));
+      out.insert(out.end(), src, src + peer_count(r));
+    }
+  }
+  cross_barrier();
+  charge(model_->gatherv(size_, total * words_of<T>()));
+  return out;
+}
+
+template <class T>
+std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& chunks,
+                              int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(root >= 0 && root < size_, "scatterv root out of range");
+  std::vector<const void*> my_ptrs;
+  std::vector<std::uint64_t> my_counts;
+  std::uint64_t total = 0;
+  if (rank_ == root) {
+    DRCM_CHECK(static_cast<int>(chunks.size()) == size_,
+               "scatterv needs one chunk per rank");
+    my_ptrs.resize(static_cast<std::size_t>(size_));
+    my_counts.resize(static_cast<std::size_t>(size_));
+    for (int r = 0; r < size_; ++r) {
+      my_ptrs[static_cast<std::size_t>(r)] = chunks[static_cast<std::size_t>(r)].data();
+      my_counts[static_cast<std::size_t>(r)] = chunks[static_cast<std::size_t>(r)].size();
+      total += my_counts[static_cast<std::size_t>(r)];
+    }
+  }
+  publish_arrays(my_ptrs.data(), my_counts.data());
+  cross_barrier();
+  const std::uint64_t c = peer_count_array(root)[rank_];
+  const T* src = static_cast<const T*>(peer_ptr_array(root)[rank_]);
+  std::vector<T> out(src, src + c);
+  cross_barrier();
+  charge(model_->scatterv(size_, total * words_of<T>()));
+  return out;
+}
+
+template <class T, class Combine>
+T Comm::reduce(const T& value, Combine combine, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(root >= 0 && root < size_, "reduce root out of range");
+  publish(&value, 1);
+  cross_barrier();
+  T acc{};
+  if (rank_ == root) {
+    acc = *static_cast<const T*>(peer_ptr(0));
+    for (int r = 1; r < size_; ++r) {
+      acc = combine(acc, *static_cast<const T*>(peer_ptr(r)));
+    }
+  }
+  cross_barrier();
+  charge(model_->reduce(size_, words_of<T>()));
+  return acc;
+}
+
+template <class T>
+std::vector<T> Comm::pairwise_exchange(int partner, std::span<const T> send) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  DRCM_CHECK(partner >= 0 && partner < size_, "pairwise partner out of range");
+  publish(send.data(), send.size());
+  cross_barrier();
+  const std::uint64_t count = peer_count(partner);
+  const T* src = static_cast<const T*>(peer_ptr(partner));
+  std::vector<T> out(src, src + count);
+  cross_barrier();
+  if (partner != rank_) {
+    charge(model_->pairwise(count * words_of<T>()));
+  }
+  return out;
+}
+
+}  // namespace drcm::mps

@@ -1,0 +1,19 @@
+// Internal plumbing shared between comm.cpp and runtime.cpp. Not part of
+// the public API.
+#pragma once
+
+#include <memory>
+
+namespace drcm::mps {
+
+class CommContext;
+class BarrierRegistry;
+class PoisonableBarrier;
+
+std::shared_ptr<CommContext> make_comm_context(
+    int size, const std::shared_ptr<BarrierRegistry>& registry);
+
+std::shared_ptr<BarrierRegistry> make_barrier_registry();
+void poison_all_barriers(BarrierRegistry& registry);
+
+}  // namespace drcm::mps

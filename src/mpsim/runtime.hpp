@@ -1,0 +1,49 @@
+// SPMD launcher: runs a function body on `nranks` simulated ranks.
+//
+// Equivalent to `mpiexec -n nranks`: each rank executes the same body with
+// its own Comm (MPI_COMM_WORLD). Rank bodies communicate only through Comm
+// collectives. If any rank throws, the runtime poisons every communicator so
+// the remaining ranks abort out of their collectives, then rethrows the
+// original exception on the caller's thread.
+//
+// The returned SpmdReport carries each rank's per-phase measured and modeled
+// costs plus helpers implementing the aggregation rule for bulk-synchronous
+// execution (per phase, the slowest rank sets the pace).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mpsim/comm.hpp"
+#include "mpsim/cost_model.hpp"
+#include "mpsim/stats.hpp"
+
+namespace drcm::mps {
+
+/// Result of one SPMD run: per-rank recorders plus aggregation helpers.
+struct SpmdReport {
+  std::vector<StatsRecorder> ranks;
+  MachineParams machine;
+
+  /// Max/mean across ranks for one phase.
+  PhaseAggregate aggregate(Phase phase) const;
+  /// Sum over phases of the per-phase max across ranks: the modeled
+  /// makespan of a bulk-synchronous run.
+  double modeled_makespan() const;
+  /// Same, measured wall clock (meaningful only when ranks do not
+  /// oversubscribe physical cores).
+  double measured_makespan() const;
+};
+
+class Runtime {
+ public:
+  /// Runs `body` on `nranks` ranks and returns the cost report.
+  /// `threads_per_rank` models the hybrid OpenMP-MPI configuration: local
+  /// kernels may use that many OpenMP threads, and modeled compute time is
+  /// divided accordingly (communication is performed by one thread per
+  /// rank, as in the paper's hybrid implementation).
+  static SpmdReport run(int nranks, const std::function<void(Comm&)>& body,
+                        const MachineParams& machine = {});
+};
+
+}  // namespace drcm::mps

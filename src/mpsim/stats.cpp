@@ -1,0 +1,61 @@
+#include "mpsim/stats.hpp"
+
+namespace drcm::mps {
+
+std::string_view phase_name(Phase p) {
+  switch (p) {
+    case Phase::kPeripheralSpmspv:
+      return "Peripheral:SpMSpV";
+    case Phase::kPeripheralOther:
+      return "Peripheral:Other";
+    case Phase::kOrderingSpmspv:
+      return "Ordering:SpMSpV";
+    case Phase::kOrderingSort:
+      return "Ordering:Sorting";
+    case Phase::kOrderingOther:
+      return "Ordering:Other";
+    case Phase::kSolver:
+      return "Solver";
+    case Phase::kOther:
+      return "Other";
+  }
+  return "Unknown";
+}
+
+PhaseTotals& PhaseTotals::operator+=(const PhaseTotals& o) {
+  wall_seconds += o.wall_seconds;
+  model_compute_seconds += o.model_compute_seconds;
+  model_comm_seconds += o.model_comm_seconds;
+  compute_units += o.compute_units;
+  messages += o.messages;
+  words += o.words;
+  return *this;
+}
+
+void StatsRecorder::add_comm(Phase phase, const CommCost& cost) {
+  auto& t = totals_[static_cast<int>(phase)];
+  t.model_comm_seconds += cost.seconds;
+  t.messages += cost.messages;
+  t.words += cost.words;
+}
+
+void StatsRecorder::add_compute(Phase phase, double units,
+                                double modeled_seconds) {
+  auto& t = totals_[static_cast<int>(phase)];
+  t.compute_units += units;
+  t.model_compute_seconds += modeled_seconds;
+}
+
+void StatsRecorder::add_wall(Phase phase, double seconds) {
+  totals_[static_cast<int>(phase)].wall_seconds += seconds;
+}
+
+PhaseTotals StatsRecorder::total() const {
+  PhaseTotals sum;
+  for (const auto& t : totals_) sum += t;
+  return sum;
+}
+
+void StatsRecorder::reset() { totals_ = {}; }
+
+}  // namespace drcm::mps

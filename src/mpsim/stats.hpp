@@ -1,0 +1,74 @@
+// Per-rank, per-phase accounting of wall time, modeled time and
+// communication volume.
+//
+// The paper's Figure 4 splits total runtime into five components
+// (Peripheral/Ordering x SpMSpV/Sorting/Other) and Figure 5 splits SpMSpV
+// into computation vs communication. Every Comm operation and every
+// charge_compute() call is attributed to the phase currently set on the
+// Comm, so those breakdowns fall directly out of the recorder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mpsim/cost_model.hpp"
+
+namespace drcm::mps {
+
+/// Execution phases matching the paper's Figure 4/5 breakdown, plus
+/// general-purpose buckets for other workloads built on the runtime.
+enum class Phase : int {
+  kPeripheralSpmspv = 0,
+  kPeripheralOther,
+  kOrderingSpmspv,
+  kOrderingSort,
+  kOrderingOther,
+  kSolver,
+  kOther,
+};
+
+inline constexpr int kNumPhases = static_cast<int>(Phase::kOther) + 1;
+
+std::string_view phase_name(Phase p);
+
+/// Accumulated costs of one phase on one rank.
+struct PhaseTotals {
+  double wall_seconds = 0.0;        ///< measured wall-clock time
+  double model_compute_seconds = 0.0;
+  double model_comm_seconds = 0.0;
+  double compute_units = 0.0;       ///< raw work units charged
+  std::uint64_t messages = 0;
+  std::uint64_t words = 0;
+
+  double model_total() const { return model_compute_seconds + model_comm_seconds; }
+
+  PhaseTotals& operator+=(const PhaseTotals& o);
+};
+
+/// Per-rank recorder. Not thread-safe by design: each rank owns its own.
+class StatsRecorder {
+ public:
+  void add_comm(Phase phase, const CommCost& cost);
+  void add_compute(Phase phase, double units, double modeled_seconds);
+  void add_wall(Phase phase, double seconds);
+
+  const PhaseTotals& phase(Phase p) const {
+    return totals_[static_cast<int>(p)];
+  }
+  PhaseTotals total() const;
+
+  void reset();
+
+ private:
+  std::array<PhaseTotals, kNumPhases> totals_{};
+};
+
+/// Cross-rank aggregate: bulk-synchronous phases run at the speed of the
+/// slowest rank, so modeled per-phase times aggregate with max().
+struct PhaseAggregate {
+  PhaseTotals max;   ///< element-wise max over ranks
+  PhaseTotals mean;  ///< element-wise mean over ranks
+};
+
+}  // namespace drcm::mps

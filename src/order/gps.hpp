@@ -1,0 +1,28 @@
+// Gibbs-Poole-Stockmeyer (GPS) ordering — the paper's reference [13], the
+// other classic level-structure bandwidth heuristic and the origin of the
+// pseudo-peripheral iteration RCM uses.
+//
+// Implemented per the original three phases, with the standard simplified
+// numbering pass:
+//   I.   find a pseudo-diameter pair (s, e) by George-Liu iteration;
+//   II.  build the combined level structure: vertices whose forward level
+//        (from s) and reversed backward level (from e) agree are fixed;
+//        each remaining connected "free" component is placed wholly by the
+//        s-levels or wholly by the e-levels, whichever keeps the level
+//        widths smaller (components processed in decreasing size);
+//   III. number level by level, within a level by (minimum labeled
+//        neighbor's label, degree, id) — CM-style numbering on the
+//        combined structure — and reverse the result.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::order {
+
+/// GPS labels (labels[v] = new index). Components seeded like rcm_serial.
+std::vector<index_t> gps(const sparse::CsrMatrix& a);
+
+}  // namespace drcm::order

@@ -1,0 +1,41 @@
+#include "order/pseudo_peripheral.hpp"
+
+#include "sparse/graph_algo.hpp"
+
+namespace drcm::order {
+
+PeripheralResult pseudo_peripheral_vertex(const sparse::CsrMatrix& a,
+                                          index_t start) {
+  DRCM_CHECK(start >= 0 && start < a.n(), "start vertex out of range");
+  PeripheralResult res;
+  res.vertex = start;
+
+  // Mirrors paper Algorithm 2 exactly: nlvl is initialized one below the
+  // first eccentricity so the loop body runs at least once, and the root is
+  // updated to the candidate BEFORE the convergence test.
+  sparse::BfsResult b = sparse::bfs(a, res.vertex);
+  ++res.bfs_sweeps;
+  res.eccentricity = b.eccentricity();
+  index_t nlvl = res.eccentricity - 1;
+
+  while (res.eccentricity > nlvl) {
+    nlvl = res.eccentricity;
+    // Shrink last level: minimum-degree vertex, ties to smallest id.
+    index_t candidate = kNoVertex;
+    for (index_t v = 0; v < a.n(); ++v) {
+      if (b.level[static_cast<std::size_t>(v)] != res.eccentricity) continue;
+      if (candidate == kNoVertex || a.degree(v) < a.degree(candidate)) {
+        candidate = v;
+      }
+    }
+    DRCM_CHECK(candidate != kNoVertex, "BFS last level cannot be empty");
+    if (candidate == res.vertex) break;  // isolated vertex or fixpoint
+    b = sparse::bfs(a, candidate);
+    ++res.bfs_sweeps;
+    res.vertex = candidate;
+    res.eccentricity = b.eccentricity();
+  }
+  return res;
+}
+
+}  // namespace drcm::order

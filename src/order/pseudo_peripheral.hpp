@@ -1,0 +1,26 @@
+// George-Liu pseudo-peripheral vertex finder (paper Algorithm 2).
+//
+// RCM quality depends strongly on the start vertex; the standard heuristic
+// starts from a vertex of near-maximal eccentricity. The iteration below is
+// the reference the distributed finder (rcm/dist_peripheral.hpp, paper
+// Algorithm 4) must match bit-for-bit, so every tie is broken identically:
+// the candidate in the last BFS level is the minimum-degree vertex, ties to
+// the smallest vertex id.
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::order {
+
+struct PeripheralResult {
+  index_t vertex = kNoVertex;   ///< the pseudo-peripheral vertex
+  index_t eccentricity = 0;     ///< its BFS depth (pseudo-diameter estimate)
+  int bfs_sweeps = 0;           ///< number of full BFS traversals performed
+};
+
+/// Runs George-Liu iteration from `start` within its connected component.
+PeripheralResult pseudo_peripheral_vertex(const sparse::CsrMatrix& a,
+                                          index_t start);
+
+}  // namespace drcm::order

@@ -1,0 +1,63 @@
+// Sequential Cuthill-McKee / Reverse Cuthill-McKee orderings.
+//
+// `cm_serial` is the exact sequential execution of the paper's Algorithm 3:
+// level-synchronous expansion where each next-level vertex attaches to its
+// minimum-label parent (the (select2nd, min) semiring) and the level is then
+// labeled in lexicographic (parent label, degree, vertex id) order — the
+// SORTPERM key. `rcm_serial` reverses it. This is the reference the
+// distributed implementation must reproduce bit-for-bit.
+//
+// `cm_classic` is the independent textbook formulation (Algorithm 1: a
+// vertex queue whose unnumbered neighbors are appended in degree order).
+// With the same tie-breaking the two formulations provably coincide; the
+// test suite checks that property on every workload class.
+//
+// Component handling: components are seeded in order of (min degree, min
+// vertex id) among unvisited vertices; each seed is refined to a
+// pseudo-peripheral vertex first. The final reversal flips the whole
+// labeling, as in the paper ("return R in reverse order").
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::order {
+
+/// Per-run statistics (exposed for the experiment harness).
+struct OrderingStats {
+  int components = 0;
+  int peripheral_bfs_sweeps = 0;  ///< total George-Liu sweeps over all comps
+};
+
+/// Cuthill-McKee labels (labels[v] = new index), level-synchronous
+/// formulation. If `stats` is non-null it receives run statistics.
+std::vector<index_t> cm_serial(const sparse::CsrMatrix& a,
+                               OrderingStats* stats = nullptr);
+
+/// Reverse Cuthill-McKee: cm_serial with labels reversed.
+std::vector<index_t> rcm_serial(const sparse::CsrMatrix& a,
+                                OrderingStats* stats = nullptr);
+
+/// Textbook queue-based Cuthill-McKee (paper Algorithm 1) with the same
+/// tie-breaking; used to cross-validate cm_serial.
+std::vector<index_t> cm_classic(const sparse::CsrMatrix& a);
+
+/// "Not sorting at all" ablation (paper Sec. VI future work): next-level
+/// vertices are labeled by (parent label, vertex id), skipping the degree
+/// key. Cheaper, usually worse bandwidth.
+std::vector<index_t> rcm_nosort(const sparse::CsrMatrix& a);
+
+/// "Global sorting at the end" ablation (the other Sec.-VI alternative):
+/// one BFS assigns levels and min-ID parents, then a single global sort by
+/// (level, parent id, degree, id) replaces the per-level SORTPERMs. In the
+/// distributed setting this trades the per-level AlltoAll latency (the
+/// Figure-4 bottleneck) for ordering quality, since parent IDs no longer
+/// reflect the evolving CM order.
+std::vector<index_t> rcm_endsort(const sparse::CsrMatrix& a);
+
+/// Reverses a labeling in place: label' = n-1-label.
+void reverse_labels(std::vector<index_t>& labels);
+
+}  // namespace drcm::order

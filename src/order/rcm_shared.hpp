@@ -1,0 +1,26 @@
+// Shared-memory parallel RCM (the paper's Table II baseline).
+//
+// OpenMP leveled-BFS formulation in the style of SpMP / Karantasis et al.
+// [8], [23]: each BFS level is expanded in parallel with per-thread local
+// buffers and atomic claims on the visited array, parents are re-derived as
+// the minimum-label neighbor (so the result is schedule-independent), and
+// the level is then sorted by the (parent label, degree, id) key and
+// labeled by prefix offsets.
+//
+// Determinism: output is bit-identical to order::rcm_serial for any thread
+// count — the test suite asserts this on every workload class.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::order {
+
+/// RCM labels computed with `num_threads` OpenMP threads (0 = runtime
+/// default).
+std::vector<index_t> rcm_shared(const sparse::CsrMatrix& a,
+                                int num_threads = 0);
+
+}  // namespace drcm::order

@@ -1,0 +1,74 @@
+#include "rcm/dist_bfs.hpp"
+
+#include "dist/primitives.hpp"
+#include "dist/spmspv.hpp"
+
+namespace drcm::rcm {
+
+using dist::DistSpVec;
+using dist::VecEntry;
+
+DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
+                       dist::DistDenseVec& levels, dist::ProcGrid2D& grid,
+                       mps::Phase spmspv_phase, mps::Phase other_phase) {
+  DRCM_CHECK(root >= 0 && root < a.n(), "BFS root out of range");
+  auto& world = grid.world();
+
+  DistBfsResult res;
+  {
+    mps::PhaseScope scope(world, other_phase);
+    for (index_t g = levels.lo(); g < levels.hi(); ++g) {
+      levels.set(g, kNoVertex);
+    }
+    world.charge_compute(static_cast<double>(levels.local_size()));
+    if (levels.owns(root)) levels.set(root, 0);
+  }
+
+  DistSpVec frontier(levels.dist(), grid);
+  if (frontier.lo() <= root && root < frontier.hi()) {
+    frontier.assign({VecEntry{root, 0}});
+  }
+  res.last_frontier = frontier;
+  res.reached = 1;
+
+  index_t depth = 0;
+  while (true) {
+    // SET: frontier values <- levels (Algorithm 4 line 8; values carry the
+    // parent's level through the semiring).
+    {
+      mps::PhaseScope scope(world, other_phase);
+      dist::gather_from_dense(frontier, levels, world);
+    }
+    DistSpVec next;
+    {
+      mps::PhaseScope scope(world, spmspv_phase);
+      next = dist::spmspv_select2nd_min(a, frontier, grid);
+    }
+    index_t next_nnz = 0;
+    {
+      mps::PhaseScope scope(world, other_phase);
+      next = dist::select_where_equals(next, levels, kNoVertex, world);
+      next_nnz = next.global_nnz(world);
+    }
+    if (next_nnz == 0) break;
+
+    {
+      mps::PhaseScope scope(world, other_phase);
+      ++depth;
+      // Record true levels (clearer than the paper's parent-level values;
+      // SELECT only ever tests for the kNoVertex sentinel).
+      std::vector<VecEntry> leveled(next.entries().begin(),
+                                    next.entries().end());
+      for (auto& e : leveled) e.val = depth;
+      next.assign(std::move(leveled));
+      dist::scatter_into_dense(levels, next, world);
+    }
+    res.reached += next_nnz;
+    frontier = next;
+    res.last_frontier = next;
+  }
+  res.eccentricity = depth;
+  return res;
+}
+
+}  // namespace drcm::rcm

@@ -1,0 +1,46 @@
+#include "rcm/dist_peripheral.hpp"
+
+#include "dist/primitives.hpp"
+#include "rcm/dist_bfs.hpp"
+
+namespace drcm::rcm {
+
+DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
+                                            const dist::DistDenseVec& degrees,
+                                            index_t start,
+                                            dist::ProcGrid2D& grid) {
+  DRCM_CHECK(start >= 0 && start < a.n(), "start vertex out of range");
+  auto& world = grid.world();
+
+  DistPeripheralResult res;
+  res.vertex = start;
+
+  dist::DistDenseVec levels(a.vec_dist(), grid, kNoVertex);
+  auto bfs = dist_bfs(a, res.vertex, levels, grid,
+                      mps::Phase::kPeripheralSpmspv,
+                      mps::Phase::kPeripheralOther);
+  ++res.bfs_sweeps;
+  res.eccentricity = bfs.eccentricity;
+  index_t nlvl = res.eccentricity - 1;
+
+  while (res.eccentricity > nlvl) {
+    nlvl = res.eccentricity;
+    // Shrink last level: REDUCE(Lcur, D) — minimum degree, ties to the
+    // smallest vertex id (Algorithm 4 line 16).
+    index_t candidate = kNoVertex;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kPeripheralOther);
+      candidate = dist::reduce_argmin(bfs.last_frontier, degrees, world).second;
+    }
+    DRCM_CHECK(candidate != kNoVertex, "last BFS level cannot be empty");
+    if (candidate == res.vertex) break;  // isolated vertex or fixpoint
+    bfs = dist_bfs(a, candidate, levels, grid, mps::Phase::kPeripheralSpmspv,
+                   mps::Phase::kPeripheralOther);
+    ++res.bfs_sweeps;
+    res.vertex = candidate;
+    res.eccentricity = bfs.eccentricity;
+  }
+  return res;
+}
+
+}  // namespace drcm::rcm

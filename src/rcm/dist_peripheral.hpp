@@ -1,0 +1,28 @@
+// Distributed pseudo-peripheral vertex finder (paper Algorithm 4).
+//
+// George-Liu iteration expressed in the matrix-algebraic primitives: run a
+// full distributed BFS, REDUCE the last level to its minimum-degree vertex
+// (ties to the smallest id, matching order::pseudo_peripheral_vertex), and
+// repeat while the eccentricity grows. Costs are charged to the
+// Peripheral:* phases of the Figure-4 breakdown.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_vector.hpp"
+
+namespace drcm::rcm {
+
+struct DistPeripheralResult {
+  index_t vertex = kNoVertex;
+  index_t eccentricity = 0;
+  int bfs_sweeps = 0;
+};
+
+/// Collective. `degrees` is the matrix's distributed degree vector;
+/// `start` is the arbitrary starting vertex (Algorithm 4 line 1).
+DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
+                                            const dist::DistDenseVec& degrees,
+                                            index_t start,
+                                            dist::ProcGrid2D& grid);
+
+}  // namespace drcm::rcm

@@ -1,0 +1,81 @@
+#include "rcm/dist_rcm.hpp"
+
+#include "dist/primitives.hpp"
+#include "dist/sortperm.hpp"
+#include "dist/spmspv.hpp"
+
+namespace drcm::rcm {
+
+using dist::DistSpVec;
+using dist::VecEntry;
+
+index_t dist_cm_component(const dist::DistSpMat& a,
+                          const dist::DistDenseVec& degrees,
+                          dist::DistDenseVec& labels, index_t root,
+                          index_t next_label, dist::ProcGrid2D& grid,
+                          SortKind sort) {
+  DRCM_CHECK(root >= 0 && root < a.n(), "root out of range");
+  auto& world = grid.world();
+
+  // R[r] <- nv (Algorithm 3 line 3).
+  {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    if (labels.owns(root)) {
+      DRCM_CHECK(labels.get(root) == kNoVertex, "root already labeled");
+      labels.set(root, next_label);
+    }
+  }
+  DistSpVec frontier(labels.dist(), grid);
+  if (frontier.lo() <= root && root < frontier.hi()) {
+    frontier.assign({VecEntry{root, next_label}});
+  }
+  index_t frontier_nnz = 1;
+  next_label += 1;
+
+  while (frontier_nnz > 0) {
+    // Labels of the current frontier form the contiguous range
+    // [next_label - |frontier|, next_label): the bucket boundaries of
+    // SORTPERM (paper Sec. IV-B observation).
+    const index_t label_lo = next_label - frontier_nnz;
+    const index_t label_hi = next_label;
+
+    // Lcur <- SET(Lcur, R): refresh frontier values to their labels.
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+      dist::gather_from_dense(frontier, labels, world);
+    }
+    // Lnext <- SPMSPV(A, Lcur, (select2nd, min)).
+    DistSpVec next;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingSpmspv);
+      next = dist::spmspv_select2nd_min(a, frontier, grid);
+    }
+    // Lnext <- SELECT(Lnext, R = -1): keep unvisited.
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+      next = dist::select_where_equals(next, labels, kNoVertex, world);
+      frontier_nnz = next.global_nnz(world);
+    }
+    if (frontier_nnz == 0) break;
+
+    // Rnext <- SORTPERM(Lnext, D) + nv.
+    DistSpVec ranks;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingSort);
+      ranks = sort == SortKind::kBucket
+                  ? dist::sortperm_bucket(next, degrees, label_lo, label_hi, grid)
+                  : dist::sortperm_sample(next, degrees, grid);
+      dist::add_scalar(ranks, next_label, world);
+    }
+    // R <- SET(R, Rnext); advance nv; Lcur <- Lnext.
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+      dist::scatter_into_dense(labels, ranks, world);
+    }
+    next_label += frontier_nnz;
+    frontier = next;
+  }
+  return next_label;
+}
+
+}  // namespace drcm::rcm

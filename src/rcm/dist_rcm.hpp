@@ -1,0 +1,32 @@
+// Distributed Cuthill-McKee labeling of one connected component
+// (paper Algorithm 3).
+//
+// Starting from a pseudo-peripheral root, each BFS level is discovered with
+// the (select2nd, min) SpMSpV (children attach to minimum-label parents),
+// filtered to unvisited vertices (SELECT), ranked by the distributed bucket
+// SORTPERM on the (parent label, degree, id) key, shifted by the running
+// label counter, and written into the dense label vector R (SET). Costs are
+// charged to the Ordering:* phases of the Figure-4 breakdown.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_vector.hpp"
+
+namespace drcm::rcm {
+
+/// Which SORTPERM implementation ranks each level (the paper's specialized
+/// bucket sort, or the general sample sort used as its HykSort-style
+/// comparison baseline).
+enum class SortKind { kBucket, kSampleSort };
+
+/// Labels the component containing `root` (which must itself be unlabeled)
+/// with consecutive CM labels starting at `next_label`; returns the first
+/// unused label. `labels` is the paper's dense vector R (kNoVertex =
+/// unvisited). Collective.
+index_t dist_cm_component(const dist::DistSpMat& a,
+                          const dist::DistDenseVec& degrees,
+                          dist::DistDenseVec& labels, index_t root,
+                          index_t next_label, dist::ProcGrid2D& grid,
+                          SortKind sort = SortKind::kBucket);
+
+}  // namespace drcm::rcm

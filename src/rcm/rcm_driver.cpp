@@ -1,0 +1,97 @@
+#include "rcm/rcm_driver.hpp"
+
+#include "dist/primitives.hpp"
+#include "rcm/dist_peripheral.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::rcm {
+
+std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
+                              const DistRcmOptions& options,
+                              DistRcmStats* stats) {
+  DRCM_CHECK(!a.has_self_loops(),
+             "dist_rcm expects an adjacency pattern (strip_diagonal first)");
+  const index_t n = a.n();
+
+  // Load-balancing relabel: every rank derives the same permutation from
+  // the shared seed (equivalent to broadcasting it; charged as such).
+  std::vector<index_t> balance;
+  const sparse::CsrMatrix* work = &a;
+  sparse::CsrMatrix relabeled;
+  if (options.load_balance && n > 0) {
+    mps::PhaseScope scope(world, mps::Phase::kOther);
+    balance = sparse::random_permutation(n, options.seed);
+    relabeled = sparse::permute_symmetric(a, balance);
+    work = &relabeled;
+    world.charge_compute(static_cast<double>(a.nnz() + n));
+  }
+
+  dist::ProcGrid2D grid(world);
+  dist::DistSpMat mat(grid, *work);
+  dist::DistDenseVec degrees = mat.degrees(grid);
+  dist::DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+
+  DistRcmStats local_stats;
+  index_t next_label = 0;
+  while (next_label < n) {
+    // Component seed: unvisited vertex of minimum degree, ties to id.
+    index_t seed = kNoVertex;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kPeripheralOther);
+      seed = dist::argmin_unvisited(labels, degrees, world).second;
+    }
+    DRCM_CHECK(seed != kNoVertex, "unlabeled vertices must exist");
+    const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid);
+    local_stats.components += 1;
+    local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
+    next_label = dist_cm_component(mat, degrees, labels, peripheral.vertex,
+                                   next_label, grid, options.sort);
+  }
+
+  // Reverse (RCM = reversed CM) and replicate.
+  std::vector<index_t> global;
+  {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    for (index_t g = labels.lo(); g < labels.hi(); ++g) {
+      labels.set(g, n - 1 - labels.get(g));
+    }
+    world.charge_compute(static_cast<double>(labels.local_size()));
+    global = labels.to_global(world);
+  }
+
+  // Map back through the load-balancing permutation: the label of original
+  // vertex v is the label its relabeled alias balance[v] received.
+  if (!balance.empty()) {
+    mps::PhaseScope scope(world, mps::Phase::kOther);
+    std::vector<index_t> original(static_cast<std::size_t>(n));
+    for (index_t v = 0; v < n; ++v) {
+      original[static_cast<std::size_t>(v)] =
+          global[static_cast<std::size_t>(balance[static_cast<std::size_t>(v)])];
+    }
+    global = std::move(original);
+    world.charge_compute(static_cast<double>(n));
+  }
+
+  if (stats) *stats = local_stats;
+  return global;
+}
+
+DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
+                        const DistRcmOptions& options,
+                        const mps::MachineParams& machine) {
+  DistRcmRun run;
+  run.report = mps::Runtime::run(
+      nranks,
+      [&](mps::Comm& world) {
+        DistRcmStats stats;
+        auto labels = dist_rcm(world, a, options, &stats);
+        if (world.rank() == 0) {
+          run.labels = std::move(labels);
+          run.stats = stats;
+        }
+      },
+      machine);
+  return run;
+}
+
+}  // namespace drcm::rcm

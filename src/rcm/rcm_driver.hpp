@@ -1,0 +1,63 @@
+// The complete distributed RCM pipeline: the library's primary public API.
+//
+// Composition (paper Secs. III-IV):
+//   1. optional load-balancing random symmetric permutation of the input
+//      (paper Sec. IV-A: "we randomly permute the input matrix A before
+//      running the RCM algorithm");
+//   2. 2D decomposition of the matrix onto the process grid;
+//   3. per component: seed (unvisited min-degree vertex) -> distributed
+//      pseudo-peripheral search (Algorithm 4) -> distributed CM labeling
+//      (Algorithm 3);
+//   4. reversal of the full labeling ("return R in reverse order");
+//   5. composition back through the load-balancing permutation, so callers
+//      always receive labels of the ORIGINAL matrix.
+//
+// Determinism: for fixed options the result is bit-identical to
+// order::rcm_serial on every grid size; with load balancing enabled it is
+// bit-identical to rcm_serial applied to the relabeled matrix, mapped back.
+#pragma once
+
+#include <vector>
+
+#include "mpsim/runtime.hpp"
+#include "rcm/dist_rcm.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::rcm {
+
+struct DistRcmOptions {
+  /// Apply the load-balancing random relabeling before decomposing.
+  bool load_balance = false;
+  /// Seed of the load-balancing permutation.
+  u64 seed = 0x5eed;
+  /// Which SORTPERM ranks the levels (bucket = the paper's algorithm).
+  SortKind sort = SortKind::kBucket;
+};
+
+struct DistRcmStats {
+  int components = 0;
+  int peripheral_bfs_sweeps = 0;
+};
+
+/// SPMD body: computes RCM labels on an already-running communicator.
+/// `a` must be the same replicated symmetric self-loop-free pattern on all
+/// ranks. Returns the replicated label vector (labels[v] = new index of v
+/// in the ORIGINAL numbering). Collective.
+std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
+                              const DistRcmOptions& options = {},
+                              DistRcmStats* stats = nullptr);
+
+/// Convenience wrapper: launches `nranks` simulated ranks, runs dist_rcm,
+/// and returns labels plus the per-phase cost report (the data behind the
+/// paper's Figures 4-6).
+struct DistRcmRun {
+  std::vector<index_t> labels;
+  DistRcmStats stats;
+  mps::SpmdReport report;
+};
+
+DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
+                        const DistRcmOptions& options = {},
+                        const mps::MachineParams& machine = {});
+
+}  // namespace drcm::rcm

@@ -1,0 +1,194 @@
+#include "rcm/trace_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace drcm::rcm {
+
+namespace {
+
+using sparse::CsrMatrix;
+
+/// BFS that appends one LevelTrace per level. Returns (eccentricity, last
+/// level's vertices) for the George-Liu iteration.
+struct TracedBfs {
+  index_t eccentricity = 0;
+  std::vector<index_t> last_level;
+};
+
+TracedBfs traced_bfs(const CsrMatrix& a, index_t root,
+                     std::vector<index_t>& visit_mark, index_t mark,
+                     std::vector<LevelTrace>* out) {
+  TracedBfs res;
+  std::vector<index_t> current{root};
+  visit_mark[static_cast<std::size_t>(root)] = mark;
+  index_t depth = 0;
+  while (true) {
+    LevelTrace lvl;
+    lvl.frontier = static_cast<index_t>(current.size());
+    std::vector<index_t> next;
+    for (const index_t u : current) {
+      lvl.expansion += a.degree(u);
+      for (const index_t v : a.row(u)) {
+        if (visit_mark[static_cast<std::size_t>(v)] != mark) {
+          visit_mark[static_cast<std::size_t>(v)] = mark;
+          next.push_back(v);
+        }
+      }
+    }
+    lvl.next = static_cast<index_t>(next.size());
+    if (out) out->push_back(lvl);
+    if (next.empty()) break;
+    res.last_level = next;
+    current = std::move(next);
+    ++depth;
+  }
+  res.eccentricity = depth;
+  if (res.last_level.empty()) res.last_level = {root};  // isolated root
+  return res;
+}
+
+}  // namespace
+
+ExecutionTrace ExecutionTrace::collect(const CsrMatrix& a) {
+  ExecutionTrace tr;
+  tr.n = a.n();
+  tr.nnz = a.nnz();
+
+  // visit_mark doubles as the per-BFS visited set (mark = BFS ordinal) and,
+  // via `labeled`, the component-done set.
+  std::vector<index_t> visit_mark(static_cast<std::size_t>(a.n()), -1);
+  std::vector<bool> labeled(static_cast<std::size_t>(a.n()), false);
+  index_t mark = 0;
+  index_t remaining = a.n();
+
+  while (remaining > 0) {
+    // Component seed: unvisited minimum degree, ties to smallest id.
+    index_t seed = kNoVertex;
+    for (index_t v = 0; v < a.n(); ++v) {
+      if (labeled[static_cast<std::size_t>(v)]) continue;
+      if (seed == kNoVertex || a.degree(v) < a.degree(seed)) seed = v;
+    }
+    tr.components += 1;
+
+    // George-Liu iteration with traced sweeps.
+    index_t vertex = seed;
+    auto bfs = traced_bfs(a, vertex, visit_mark, mark++, &tr.peripheral_levels);
+    tr.peripheral_sweeps += 1;
+    index_t ecc = bfs.eccentricity;
+    index_t nlvl = ecc - 1;
+    while (ecc > nlvl) {
+      nlvl = ecc;
+      index_t candidate = kNoVertex;
+      for (const index_t v : bfs.last_level) {
+        if (candidate == kNoVertex || a.degree(v) < a.degree(candidate) ||
+            (a.degree(v) == a.degree(candidate) && v < candidate)) {
+          candidate = v;
+        }
+      }
+      if (candidate == vertex) break;
+      bfs = traced_bfs(a, candidate, visit_mark, mark++, &tr.peripheral_levels);
+      tr.peripheral_sweeps += 1;
+      vertex = candidate;
+      ecc = bfs.eccentricity;
+    }
+    tr.pseudo_diameter = std::max(tr.pseudo_diameter, ecc);
+
+    // Ordering sweep: level sizes are ordering-invariant, so a plain BFS
+    // from the pseudo-peripheral vertex carries Algorithm 3's exact
+    // per-level quantities.
+    std::vector<LevelTrace> ordering;
+    traced_bfs(a, vertex, visit_mark, mark++, &ordering);
+    for (const auto& lvl : ordering) {
+      tr.ordering_levels.push_back(lvl);
+    }
+    // Mark the component as labeled.
+    index_t in_component = 0;
+    for (index_t v = 0; v < a.n(); ++v) {
+      if (visit_mark[static_cast<std::size_t>(v)] == mark - 1) {
+        labeled[static_cast<std::size_t>(v)] = true;
+        ++in_component;
+      }
+    }
+    remaining -= in_component;
+  }
+  return tr;
+}
+
+CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
+                           int threads_per_process,
+                           const mps::MachineParams& machine) {
+  DRCM_CHECK(cores >= 1 && threads_per_process >= 1,
+             "invalid machine configuration");
+  DRCM_CHECK(threads_per_process <= cores, "more threads than cores");
+  const double alpha = machine.alpha;
+  const double beta = machine.beta;
+  const double gamma = machine.gamma;
+  const double total_cores = static_cast<double>(cores);
+  const double P =
+      std::max(1.0, total_cores / static_cast<double>(threads_per_process));
+  const double q = std::sqrt(P);  // 2D grid dimension
+  const double logP = P > 1 ? std::log2(P) : 0.0;
+  constexpr double kEntryWords = 2.0;  // VecEntry {idx, val}
+  constexpr double kTupleWords = 3.0;  // (parent, degree, id)
+
+  CostBreakdown out;
+
+  const auto add_spmspv_level = [&](const LevelTrace& l, PhaseTime& spmspv,
+                                    PhaseTime& other) {
+    const double frontier = static_cast<double>(l.frontier);
+    const double expansion = static_cast<double>(l.expansion);
+    const double next = static_cast<double>(l.next);
+    // Local multiply + SPA merge, multithreaded across all cores.
+    spmspv.compute += gamma * (expansion + 2.0 * next) / total_cores;
+    if (P > 1) {
+      // allgatherv along the processor column; alltoallv along the row;
+      // transpose pairwise exchange.
+      spmspv.comm += alpha * (q - 1) + beta * kEntryWords * frontier / q;
+      spmspv.comm += alpha * (q - 1) + beta * kEntryWords * expansion / P;
+      spmspv.comm += alpha + beta * kEntryWords * next / P;
+    }
+    // SET + SELECT are local scans; the emptiness test is an allreduce.
+    other.compute += gamma * (frontier + 2.0 * next) / total_cores;
+    if (P > 1) other.comm += 2.0 * alpha * logP;
+  };
+
+  for (const auto& l : trace.peripheral_levels) {
+    add_spmspv_level(l, out.peripheral_spmspv, out.peripheral_other);
+  }
+  for (const auto& l : trace.ordering_levels) {
+    add_spmspv_level(l, out.ordering_spmspv, out.ordering_other);
+    // SORTPERM on this level: tuples to buckets, local sort, exscan,
+    // positions back to owners (paper Sec. IV-B).
+    const double next = static_cast<double>(l.next);
+    out.ordering_sort.compute +=
+        gamma * next * (1.0 + std::log2(next + 1.0)) / total_cores;
+    if (P > 1 && l.next > 0) {
+      out.ordering_sort.comm +=
+          2.0 * alpha * (P - 1) +                       // two alltoallv rounds
+          beta * (kTupleWords + kEntryWords) * next / P +  // tuples out, ranks back
+          alpha * logP;                                  // exscan
+    }
+  }
+
+  // Per peripheral sweep: the REDUCE argmin over the last level.
+  out.peripheral_other.comm +=
+      (P > 1 ? 2.0 * alpha * logP : 0.0) * trace.peripheral_sweeps;
+  // Per component: the unvisited-argmin seed scan.
+  out.peripheral_other.compute +=
+      gamma * static_cast<double>(trace.n) * trace.components / total_cores;
+  out.peripheral_other.comm +=
+      (P > 1 ? 2.0 * alpha * logP : 0.0) * trace.components;
+
+  // Setup (degree computation) and the final reversal.
+  const double n = static_cast<double>(trace.n);
+  out.ordering_other.compute += gamma * 3.0 * n / total_cores;
+  if (P > 1) {
+    out.ordering_other.comm += alpha * (q - 1) + beta * n / q;
+  }
+  return out;
+}
+
+}  // namespace drcm::rcm

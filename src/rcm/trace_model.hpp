@@ -1,0 +1,95 @@
+// Trace-driven projection of the distributed RCM cost to paper-scale
+// machines (the engine behind Figures 4, 5 and 6).
+//
+// The thread-backed runtime executes faithfully at laptop-scale rank
+// counts; the paper's evaluation runs at 1-4096 Edison cores. Its own
+// analysis (Sec. IV-B) models that regime with alpha-beta terms driven by
+// per-iteration frontier quantities:
+//
+//   T_SpMSpV   = O(m/p + beta(m/p + n/sqrt(p)) + iters*alpha*sqrt(p))
+//   T_SortPerm = O(n log n / p + beta n/p + iters*alpha*p)
+//
+// We reproduce exactly that methodology, but exactly rather than
+// asymptotically: ExecutionTrace::collect records, per BFS level of the
+// actual algorithm execution (peripheral sweeps + ordering sweep, every
+// component), the frontier size, the expansion volume (sum of frontier
+// degrees = SpMSpV work) and the next-frontier size. project_cost then
+// evaluates the per-collective formulas of mps::CostModel for any virtual
+// (cores, threads-per-process) configuration: a 2D sqrt(P) x sqrt(P) grid
+// of P = cores/threads processes, local kernels multithreaded (the paper's
+// hybrid OpenMP-MPI setup, one communicating thread per process).
+//
+// The i.i.d. load-balance assumption of the paper's analysis (justified by
+// the random permutation of Sec. IV-A) is applied: per-process shares are
+// global quantities divided by P.
+#pragma once
+
+#include <vector>
+
+#include "mpsim/cost_model.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::rcm {
+
+/// Quantities of one BFS level of the real execution.
+struct LevelTrace {
+  index_t frontier = 0;   ///< nnz(Lcur)
+  index_t expansion = 0;  ///< sum of degrees over Lcur (SpMSpV work)
+  index_t next = 0;       ///< nnz(Lnext) after SELECT
+};
+
+/// Everything project_cost needs, recorded from one sequential execution.
+struct ExecutionTrace {
+  index_t n = 0;
+  nnz_t nnz = 0;
+  int components = 0;
+  int peripheral_sweeps = 0;
+  index_t pseudo_diameter = 0;  ///< eccentricity of the chosen start vertex
+  std::vector<LevelTrace> peripheral_levels;  ///< all sweeps, all components
+  std::vector<LevelTrace> ordering_levels;    ///< final BFS per component
+
+  /// Instruments the exact algorithm control flow (component seeding,
+  /// George-Liu iteration, ordering BFS) on the adjacency pattern `a`.
+  static ExecutionTrace collect(const sparse::CsrMatrix& a);
+};
+
+/// Modeled compute/communication seconds of one Figure-4 component.
+struct PhaseTime {
+  double compute = 0.0;
+  double comm = 0.0;
+  double total() const { return compute + comm; }
+  PhaseTime& operator+=(const PhaseTime& o) {
+    compute += o.compute;
+    comm += o.comm;
+    return *this;
+  }
+};
+
+/// The five stacked components of the paper's Figure 4, with the
+/// compute/comm split of Figure 5 preserved inside each.
+struct CostBreakdown {
+  PhaseTime peripheral_spmspv;
+  PhaseTime peripheral_other;
+  PhaseTime ordering_spmspv;
+  PhaseTime ordering_sort;
+  PhaseTime ordering_other;
+
+  PhaseTime spmspv() const {  // Figure 5's series
+    PhaseTime t = peripheral_spmspv;
+    t += ordering_spmspv;
+    return t;
+  }
+  double total() const {
+    return peripheral_spmspv.total() + peripheral_other.total() +
+           ordering_spmspv.total() + ordering_sort.total() +
+           ordering_other.total();
+  }
+};
+
+/// Projects the trace onto `cores` total cores with `threads_per_process`
+/// OpenMP threads per MPI process (paper default: 6; flat MPI: 1).
+CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
+                           int threads_per_process,
+                           const mps::MachineParams& machine = {});
+
+}  // namespace drcm::rcm

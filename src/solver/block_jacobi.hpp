@@ -1,0 +1,57 @@
+// Block Jacobi preconditioner with ILU(0) sub-solvers — the PETSc
+// configuration behind the paper's Figure 1.
+//
+// Rows are split into `num_blocks` contiguous blocks (PETSc: one block per
+// process). Each diagonal block is factored with zero-fill incomplete LU;
+// applying the preconditioner is an independent forward/backward sweep per
+// block.
+//
+// This is precisely the component that makes ordering matter: with an RCM
+// ordering the matrix's couplings are concentrated inside the diagonal
+// blocks, so the block factorizations capture almost the whole operator
+// (fewer CG iterations); with a scattered "natural" ordering most couplings
+// cross block boundaries and the preconditioner degrades.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace drcm::solver {
+
+class BlockJacobi {
+ public:
+  /// Factors the `num_blocks` diagonal blocks of `a` (square, with values).
+  /// Zero pivots (possible for wildly non-dominant inputs) are replaced by
+  /// a small shift to keep the sweep well-defined.
+  BlockJacobi(const sparse::CsrMatrix& a, int num_blocks);
+
+  int num_blocks() const { return static_cast<int>(blocks_.size()); }
+
+  /// z = M^{-1} r.
+  void apply(std::span<const double> r, std::span<double> z) const;
+
+  /// Fraction of matrix entries captured inside the diagonal blocks — the
+  /// quality proxy reported by the Figure-1 bench.
+  double capture_fraction() const { return capture_fraction_; }
+
+ private:
+  struct Block {
+    index_t lo = 0;  ///< first row of the block
+    index_t hi = 0;  ///< one past the last row
+    // ILU(0) factor in CSR over the block's local pattern. `diag_pos[i]`
+    // indexes the diagonal entry of local row i in `cols`/`vals`.
+    std::vector<nnz_t> row_ptr;
+    std::vector<index_t> cols;  ///< local column ids
+    std::vector<double> vals;
+    std::vector<nnz_t> diag_pos;
+  };
+
+  static Block factor_block(const sparse::CsrMatrix& a, index_t lo, index_t hi);
+
+  std::vector<Block> blocks_;
+  double capture_fraction_ = 0.0;
+};
+
+}  // namespace drcm::solver

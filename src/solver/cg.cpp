@@ -1,0 +1,66 @@
+#include "solver/cg.hpp"
+
+#include <vector>
+
+#include "solver/spmv.hpp"
+
+namespace drcm::solver {
+
+CgResult pcg(const sparse::CsrMatrix& a, std::span<const double> b,
+             std::span<double> x, const BlockJacobi* preconditioner,
+             const CgOptions& options) {
+  DRCM_CHECK(a.has_values(), "CG needs matrix values");
+  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()) && b.size() == x.size(),
+             "CG dimension mismatch");
+  const std::size_t n = b.size();
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+  // r = b - A x.
+  spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double bnorm = norm2(b);
+  CgResult res;
+  if (bnorm == 0.0) {
+    std::fill(x.begin(), x.end(), 0.0);
+    res.converged = true;
+    return res;
+  }
+
+  const auto precondition = [&](std::span<const double> in,
+                                std::span<double> out) {
+    if (preconditioner) {
+      preconditioner->apply(in, out);
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  precondition(r, z);
+  p = z;
+  double rz = dot(r, z);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    res.relative_residual = norm2(r) / bnorm;
+    if (res.relative_residual <= options.rtol) {
+      res.converged = true;
+      return res;
+    }
+    spmv(a, p, ap);
+    const double pap = dot(p, ap);
+    DRCM_CHECK(pap > 0.0, "matrix is not positive definite along p");
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    const double rz_next = dot(r, z);
+    xpby(z, rz_next / rz, p);  // p = z + beta p
+    rz = rz_next;
+    res.iterations = it + 1;
+  }
+  res.relative_residual = norm2(r) / bnorm;
+  res.converged = res.relative_residual <= options.rtol;
+  return res;
+}
+
+}  // namespace drcm::solver

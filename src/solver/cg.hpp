@@ -1,0 +1,28 @@
+// Preconditioned conjugate gradient (the PETSc KSPCG stand-in of Figure 1).
+#pragma once
+
+#include <span>
+
+#include "solver/block_jacobi.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::solver {
+
+struct CgOptions {
+  double rtol = 1e-8;    ///< relative residual tolerance ||r||/||b||
+  int max_iterations = 10000;
+};
+
+struct CgResult {
+  int iterations = 0;
+  double relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD A (values required). `x` is the initial guess on
+/// entry and the solution on exit. `preconditioner` may be null (plain CG).
+CgResult pcg(const sparse::CsrMatrix& a, std::span<const double> b,
+             std::span<double> x, const BlockJacobi* preconditioner,
+             const CgOptions& options = {});
+
+}  // namespace drcm::solver

@@ -1,0 +1,263 @@
+#include "solver/dist_cg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_map>
+
+#include "solver/block_jacobi.hpp"
+#include "sparse/coo.hpp"
+
+namespace drcm::solver {
+
+namespace {
+
+using sparse::CsrMatrix;
+
+index_t block_lo(index_t n, int p, int r) {
+  return (static_cast<index_t>(r) * n) / p;
+}
+
+/// Per-rank solver state: the local row block split into local-column and
+/// remote-column halves, plus the halo routing tables.
+struct LocalSystem {
+  index_t lo = 0, hi = 0;
+  // Local half: columns inside [lo, hi), stored with local column ids.
+  std::vector<nnz_t> lptr;
+  std::vector<index_t> lcol;
+  std::vector<double> lval;
+  // Remote half: columns outside, remapped to halo slots.
+  std::vector<nnz_t> rptr;
+  std::vector<index_t> rslot;
+  std::vector<double> rval;
+  // Halo: for each peer rank, which of my x entries it needs (send), and
+  // how many entries I receive from each peer (the slots are ordered by
+  // peer rank, then by the order of my distinct remote indices per peer).
+  std::vector<std::vector<index_t>> send_local_ids;  // per peer: local ids
+  index_t halo_size = 0;
+};
+
+LocalSystem build_local_system(mps::Comm& world, const CsrMatrix& a) {
+  const int p = world.size();
+  const int r = world.rank();
+  LocalSystem sys;
+  sys.lo = block_lo(a.n(), p, r);
+  sys.hi = block_lo(a.n(), p, r + 1);
+
+  const auto owner_of = [&](index_t g) {
+    int b = static_cast<int>((static_cast<long double>(g) * p) / a.n());
+    while (b > 0 && block_lo(a.n(), p, b) > g) --b;
+    while (b + 1 < p && block_lo(a.n(), p, b + 1) <= g) ++b;
+    return b;
+  };
+
+  // Distinct remote indices, grouped by owner, in ascending index order.
+  std::vector<std::vector<index_t>> need(static_cast<std::size_t>(p));
+  std::unordered_map<index_t, index_t> slot_of;
+  for (index_t i = sys.lo; i < sys.hi; ++i) {
+    for (const index_t j : a.row(i)) {
+      if (j < sys.lo || j >= sys.hi) {
+        if (slot_of.emplace(j, -1).second) {
+          need[static_cast<std::size_t>(owner_of(j))].push_back(j);
+        }
+      }
+    }
+  }
+  index_t slot = 0;
+  for (auto& group : need) {
+    std::sort(group.begin(), group.end());
+    for (const index_t j : group) slot_of[j] = slot++;
+  }
+  sys.halo_size = slot;
+
+  // Split rows into local/remote halves.
+  const index_t nloc = sys.hi - sys.lo;
+  sys.lptr.assign(static_cast<std::size_t>(nloc) + 1, 0);
+  sys.rptr.assign(static_cast<std::size_t>(nloc) + 1, 0);
+  for (index_t i = sys.lo; i < sys.hi; ++i) {
+    const auto cols = a.row(i);
+    const auto vals = a.row_values(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] >= sys.lo && cols[k] < sys.hi) {
+        sys.lcol.push_back(cols[k] - sys.lo);
+        sys.lval.push_back(vals[k]);
+      } else {
+        sys.rslot.push_back(slot_of[cols[k]]);
+        sys.rval.push_back(vals[k]);
+      }
+    }
+    sys.lptr[static_cast<std::size_t>(i - sys.lo) + 1] =
+        static_cast<nnz_t>(sys.lcol.size());
+    sys.rptr[static_cast<std::size_t>(i - sys.lo) + 1] =
+        static_cast<nnz_t>(sys.rslot.size());
+  }
+
+  // Tell each owner which entries I need; receive what I must send.
+  std::vector<std::vector<index_t>> requests(need.begin(), need.end());
+  std::vector<std::int64_t> counts;
+  const auto wanted = world.alltoallv(requests, &counts);
+  sys.send_local_ids.resize(static_cast<std::size_t>(p));
+  std::size_t pos = 0;
+  for (int peer = 0; peer < p; ++peer) {
+    auto& ids = sys.send_local_ids[static_cast<std::size_t>(peer)];
+    for (std::int64_t k = 0; k < counts[static_cast<std::size_t>(peer)]; ++k) {
+      ids.push_back(wanted[pos++] - sys.lo);
+    }
+  }
+  return sys;
+}
+
+/// One distributed SpMV: halo exchange + split local multiply.
+void dist_spmv(mps::Comm& world, const LocalSystem& sys,
+               std::span<const double> x_local, std::vector<double>& halo,
+               std::span<double> y_local) {
+  const int p = world.size();
+  std::vector<std::vector<double>> send(static_cast<std::size_t>(p));
+  for (int peer = 0; peer < p; ++peer) {
+    for (const index_t lid : sys.send_local_ids[static_cast<std::size_t>(peer)]) {
+      send[static_cast<std::size_t>(peer)].push_back(
+          x_local[static_cast<std::size_t>(lid)]);
+    }
+  }
+  const auto recv = world.alltoallv(send);
+  DRCM_CHECK(static_cast<index_t>(recv.size()) == sys.halo_size,
+             "halo exchange size mismatch");
+  halo.assign(recv.begin(), recv.end());
+
+  const index_t nloc = sys.hi - sys.lo;
+  for (index_t i = 0; i < nloc; ++i) {
+    double sum = 0.0;
+    for (nnz_t k = sys.lptr[static_cast<std::size_t>(i)];
+         k < sys.lptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      sum += sys.lval[static_cast<std::size_t>(k)] *
+             x_local[static_cast<std::size_t>(sys.lcol[static_cast<std::size_t>(k)])];
+    }
+    for (nnz_t k = sys.rptr[static_cast<std::size_t>(i)];
+         k < sys.rptr[static_cast<std::size_t>(i) + 1]; ++k) {
+      sum += sys.rval[static_cast<std::size_t>(k)] *
+             halo[static_cast<std::size_t>(sys.rslot[static_cast<std::size_t>(k)])];
+    }
+    y_local[static_cast<std::size_t>(i)] = sum;
+  }
+  world.charge_compute(static_cast<double>(sys.lval.size() + sys.rval.size()));
+}
+
+double dist_dot(mps::Comm& world, std::span<const double> a,
+                std::span<const double> b) {
+  double local = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) local += a[i] * b[i];
+  world.charge_compute(static_cast<double>(a.size()));
+  return world.allreduce(local, [](double x, double y) { return x + y; });
+}
+
+}  // namespace
+
+CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
+                  std::span<const double> b, std::vector<double>& x,
+                  bool precondition, const CgOptions& options) {
+  DRCM_CHECK(a.has_values(), "CG needs matrix values");
+  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
+  mps::PhaseScope scope(world, mps::Phase::kSolver);
+
+  const auto sys = build_local_system(world, a);
+  const auto nloc = static_cast<std::size_t>(sys.hi - sys.lo);
+
+  // Per-rank diagonal block preconditioner: my rows restricted to my
+  // columns, ILU(0)-factored (BlockJacobi with a single block).
+  std::unique_ptr<BlockJacobi> pre;
+  if (precondition && nloc > 0) {
+    sparse::CooBuilder blk(static_cast<index_t>(nloc));
+    for (index_t i = sys.lo; i < sys.hi; ++i) {
+      const auto cols = a.row(i);
+      const auto vals = a.row_values(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        if (cols[k] >= sys.lo && cols[k] < sys.hi) {
+          blk.add(i - sys.lo, cols[k] - sys.lo, vals[k]);
+        }
+      }
+    }
+    pre = std::make_unique<BlockJacobi>(blk.to_csr(true), 1);
+  }
+
+  std::vector<double> x_local(nloc, 0.0), r(nloc), z(nloc), pdir(nloc),
+      ap(nloc), halo;
+  for (std::size_t i = 0; i < nloc; ++i) {
+    r[i] = b[static_cast<std::size_t>(sys.lo) + i];
+  }
+  const double bnorm = std::sqrt(dist_dot(world, r, r));
+
+  CgResult res;
+  if (bnorm == 0.0) {
+    res.converged = true;
+    x.assign(static_cast<std::size_t>(a.n()), 0.0);
+    return res;
+  }
+
+  const auto apply_pre = [&](std::span<const double> in, std::span<double> out) {
+    if (pre) {
+      pre->apply(in, out);
+      world.charge_compute(static_cast<double>(2 * nloc));
+    } else {
+      std::copy(in.begin(), in.end(), out.begin());
+    }
+  };
+
+  apply_pre(r, z);
+  pdir.assign(z.begin(), z.end());
+  double rz = dist_dot(world, r, z);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    res.relative_residual = std::sqrt(dist_dot(world, r, r)) / bnorm;
+    if (res.relative_residual <= options.rtol) {
+      res.converged = true;
+      break;
+    }
+    dist_spmv(world, sys, pdir, halo, ap);
+    const double pap = dist_dot(world, pdir, ap);
+    DRCM_CHECK(pap > 0.0, "matrix is not positive definite along p");
+    const double alpha = rz / pap;
+    for (std::size_t i = 0; i < nloc; ++i) {
+      x_local[i] += alpha * pdir[i];
+      r[i] -= alpha * ap[i];
+    }
+    world.charge_compute(static_cast<double>(2 * nloc));
+    apply_pre(r, z);
+    const double rz_next = dist_dot(world, r, z);
+    const double beta = rz_next / rz;
+    for (std::size_t i = 0; i < nloc; ++i) pdir[i] = z[i] + beta * pdir[i];
+    world.charge_compute(static_cast<double>(nloc));
+    rz = rz_next;
+    res.iterations = it + 1;
+  }
+  if (!res.converged) {
+    res.relative_residual = std::sqrt(dist_dot(world, r, r)) / bnorm;
+    res.converged = res.relative_residual <= options.rtol;
+  }
+
+  // Replicate the solution: contiguous blocks concatenate in rank order.
+  x = world.allgatherv(std::span<const double>(x_local));
+  DRCM_CHECK(x.size() == static_cast<std::size_t>(a.n()),
+             "solution gather size mismatch");
+  return res;
+}
+
+DistCgRun run_dist_pcg(int nranks, const sparse::CsrMatrix& a,
+                       std::span<const double> b, bool precondition,
+                       const CgOptions& options,
+                       const mps::MachineParams& machine) {
+  DistCgRun run;
+  run.report = mps::Runtime::run(
+      nranks,
+      [&](mps::Comm& world) {
+        std::vector<double> x;
+        const auto res = dist_pcg(world, a, b, x, precondition, options);
+        if (world.rank() == 0) {
+          run.result = res;
+          run.x = std::move(x);
+        }
+      },
+      machine);
+  return run;
+}
+
+}  // namespace drcm::solver

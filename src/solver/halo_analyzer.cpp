@@ -1,0 +1,46 @@
+#include "solver/halo_analyzer.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace drcm::solver {
+
+HaloStats analyze_halo(const sparse::CsrMatrix& a, int ranks) {
+  DRCM_CHECK(ranks >= 1, "need at least one rank");
+  HaloStats stats;
+  stats.ranks = ranks;
+  const index_t n = a.n();
+
+  const auto block_of = [&](index_t g) {
+    // Balanced contiguous blocks: block b = [b*n/p, (b+1)*n/p).
+    int b = static_cast<int>((static_cast<long double>(g) * ranks) / n);
+    while (b > 0 && (static_cast<index_t>(b) * n) / ranks > g) --b;
+    while (b + 1 < ranks && (static_cast<index_t>(b + 1) * n) / ranks <= g) ++b;
+    return b;
+  };
+
+  u64 total_neighbors = 0;
+  for (int b = 0; b < ranks; ++b) {
+    const index_t lo = (static_cast<index_t>(b) * n) / ranks;
+    const index_t hi = (static_cast<index_t>(b + 1) * n) / ranks;
+    std::unordered_set<index_t> remote;
+    std::unordered_set<int> partners;
+    for (index_t i = lo; i < hi; ++i) {
+      for (const index_t j : a.row(i)) {
+        if (j < lo || j >= hi) {
+          if (remote.insert(j).second) partners.insert(block_of(j));
+        }
+      }
+    }
+    stats.total_remote_entries += remote.size();
+    stats.max_remote_entries =
+        std::max<u64>(stats.max_remote_entries, remote.size());
+    stats.max_neighbors =
+        std::max<int>(stats.max_neighbors, static_cast<int>(partners.size()));
+    total_neighbors += partners.size();
+  }
+  stats.mean_neighbors = static_cast<double>(total_neighbors) / ranks;
+  return stats;
+}
+
+}  // namespace drcm::solver

@@ -1,0 +1,30 @@
+// Communication-volume analysis of a distributed SpMV under the PETSc-style
+// 1D contiguous row-block partition.
+//
+// In each CG iteration, rank r needs x-entries for every column its rows
+// touch outside its own block — the "halo". The halo volume and the number
+// of neighbor ranks are direct functions of the matrix bandwidth: a
+// RCM-ordered matrix with bandwidth << n/p needs a sliver from at most two
+// neighbors, while a scattered ordering pulls from everyone. This is the
+// mechanism behind Figure 1's widening gap (paper Sec. I: RCM "can often
+// restrict the communication to resemble more of a nearest-neighbor
+// pattern").
+#pragma once
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::solver {
+
+struct HaloStats {
+  int ranks = 1;
+  u64 total_remote_entries = 0;  ///< sum over ranks of distinct remote x ids
+  u64 max_remote_entries = 0;    ///< per-rank maximum (critical path)
+  int max_neighbors = 0;         ///< max distinct partner ranks of any rank
+  double mean_neighbors = 0.0;
+};
+
+/// Analyzes the halo of `a` split into `ranks` contiguous row blocks.
+HaloStats analyze_halo(const sparse::CsrMatrix& a, int ranks);
+
+}  // namespace drcm::solver

@@ -1,0 +1,31 @@
+// Modeled parallel CG solve time (the y-axis of Figure 1).
+//
+// Per iteration on p ranks, the distributed PCG performs:
+//   * SpMV: nnz/p multiply-adds plus the halo exchange (volume and message
+//     count from the HaloStats of the actual matrix);
+//   * preconditioner sweep: ~2 * captured-nnz/p operations, no
+//     communication (block Jacobi is embarrassingly parallel);
+//   * BLAS-1 + two dot-product allreduces (latency log p).
+// Total time = iterations (measured by actually running the solver) times
+// the per-iteration model. Both the iteration count and the halo react to
+// the ordering, which is exactly Figure 1's experiment.
+#pragma once
+
+#include "mpsim/cost_model.hpp"
+#include "solver/halo_analyzer.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::solver {
+
+struct SolveTimeInputs {
+  nnz_t nnz = 0;            ///< matrix nonzeros
+  index_t n = 0;            ///< unknowns
+  int iterations = 0;       ///< measured CG iterations to tolerance
+  HaloStats halo;           ///< from analyze_halo(a, ranks)
+};
+
+/// Modeled seconds for the whole solve on `halo.ranks` cores.
+double modeled_cg_seconds(const SolveTimeInputs& inputs,
+                          const mps::MachineParams& machine = {});
+
+}  // namespace drcm::solver

@@ -1,0 +1,57 @@
+#include "solver/spmv.hpp"
+
+#include <cmath>
+
+namespace drcm::solver {
+
+void spmv(const sparse::CsrMatrix& a, std::span<const double> x,
+          std::span<double> y) {
+  DRCM_CHECK(a.has_values(), "SpMV needs matrix values");
+  DRCM_CHECK(x.size() == static_cast<std::size_t>(a.n()) && x.size() == y.size(),
+             "SpMV dimension mismatch");
+  const index_t n = a.n();
+#pragma omp parallel for schedule(static)
+  for (index_t i = 0; i < n; ++i) {
+    const auto cols = a.row(i);
+    const auto vals = a.row_values(i);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      sum += vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  DRCM_CHECK(x.size() == y.size(), "dot dimension mismatch");
+  double sum = 0.0;
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static) reduction(+ : sum)
+  for (std::int64_t i = 0; i < n; ++i) {
+    sum += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  DRCM_CHECK(x.size() == y.size(), "axpy dimension mismatch");
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+  }
+}
+
+void xpby(std::span<const double> x, double beta, std::span<double> y) {
+  DRCM_CHECK(x.size() == y.size(), "xpby dimension mismatch");
+  const auto n = static_cast<std::int64_t>(x.size());
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+  }
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+}  // namespace drcm::solver

@@ -1,0 +1,27 @@
+// Dense-vector kernels for the iterative solver: OpenMP CSR SpMV and the
+// few BLAS-1 helpers CG needs.
+#pragma once
+
+#include <span>
+
+#include "sparse/csr.hpp"
+
+namespace drcm::solver {
+
+/// y = A x. A must carry values; x and y must have length n.
+void spmv(const sparse::CsrMatrix& a, std::span<const double> x,
+          std::span<double> y);
+
+/// <x, y>.
+double dot(std::span<const double> x, std::span<const double> y);
+
+/// y += alpha * x.
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// y = x + beta * y (the CG direction update).
+void xpby(std::span<const double> x, double beta, std::span<double> y);
+
+/// Euclidean norm.
+double norm2(std::span<const double> x);
+
+}  // namespace drcm::solver

@@ -1,0 +1,76 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace drcm::sparse {
+
+CooBuilder::CooBuilder(index_t n) : n_(n) {
+  DRCM_CHECK(n >= 0, "matrix dimension must be non-negative");
+}
+
+void CooBuilder::add(index_t r, index_t c, double v) {
+  DRCM_CHECK(r >= 0 && r < n_ && c >= 0 && c < n_, "COO entry out of range");
+  rows_.push_back(r);
+  cols_.push_back(c);
+  vals_.push_back(v);
+}
+
+void CooBuilder::add_symmetric(index_t r, index_t c, double v) {
+  add(r, c, v);
+  if (r != c) add(c, r, v);
+}
+
+CsrMatrix CooBuilder::to_csr(bool keep_values) const {
+  // Counting sort by row, then sort each row's slice by column and merge
+  // duplicates. O(nnz log(max row degree)).
+  const std::size_t m = rows_.size();
+  std::vector<nnz_t> row_counts(static_cast<std::size_t>(n_) + 1, 0);
+  for (const index_t r : rows_) ++row_counts[static_cast<std::size_t>(r) + 1];
+  std::partial_sum(row_counts.begin(), row_counts.end(), row_counts.begin());
+
+  std::vector<index_t> cols_sorted(m);
+  std::vector<double> vals_sorted(m);
+  {
+    std::vector<nnz_t> cursor(row_counts.begin(), row_counts.end() - 1);
+    for (std::size_t k = 0; k < m; ++k) {
+      const auto pos = static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(rows_[k])]++);
+      cols_sorted[pos] = cols_[k];
+      vals_sorted[pos] = vals_[k];
+    }
+  }
+
+  std::vector<nnz_t> rp(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<index_t> ci;
+  std::vector<double> vv;
+  ci.reserve(m);
+  if (keep_values) vv.reserve(m);
+
+  std::vector<std::size_t> order;
+  for (index_t i = 0; i < n_; ++i) {
+    const auto b = static_cast<std::size_t>(row_counts[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(row_counts[static_cast<std::size_t>(i) + 1]);
+    order.resize(e - b);
+    std::iota(order.begin(), order.end(), b);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t c) {
+      return cols_sorted[a] < cols_sorted[c];
+    });
+    for (std::size_t t = 0; t < order.size(); ++t) {
+      const index_t col = cols_sorted[order[t]];
+      const double val = vals_sorted[order[t]];
+      if (!ci.empty() &&
+          static_cast<nnz_t>(ci.size()) > rp[static_cast<std::size_t>(i)] &&
+          ci.back() == col) {
+        if (keep_values) vv.back() += val;  // merge duplicate
+      } else {
+        ci.push_back(col);
+        if (keep_values) vv.push_back(val);
+      }
+    }
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<nnz_t>(ci.size());
+  }
+  return CsrMatrix(n_, std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,37 @@
+// Coordinate-format builder: the mutable stage every generator and the
+// Matrix Market reader assemble into before converting to CSR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// Accumulates (row, col, value) triplets and converts to CSR. Duplicate
+/// entries are summed (values) / collapsed (pattern).
+class CooBuilder {
+ public:
+  explicit CooBuilder(index_t n);
+
+  index_t n() const { return n_; }
+  std::size_t entries() const { return rows_.size(); }
+
+  /// Adds a single (possibly duplicate) entry.
+  void add(index_t r, index_t c, double v = 1.0);
+
+  /// Adds (r, c) and, when r != c, also (c, r): keeps patterns symmetric.
+  void add_symmetric(index_t r, index_t c, double v = 1.0);
+
+  /// Converts to CSR. `keep_values=false` drops values (pattern-only).
+  CsrMatrix to_csr(bool keep_values = true) const;
+
+ private:
+  index_t n_;
+  std::vector<index_t> rows_;
+  std::vector<index_t> cols_;
+  std::vector<double> vals_;
+};
+
+}  // namespace drcm::sparse

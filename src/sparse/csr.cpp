@@ -1,0 +1,80 @@
+#include "sparse/csr.hpp"
+
+#include <algorithm>
+
+namespace drcm::sparse {
+
+CsrMatrix::CsrMatrix(index_t n, std::vector<nnz_t> row_ptr,
+                     std::vector<index_t> col_idx, std::vector<double> values)
+    : n_(n),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  DRCM_CHECK(n_ >= 0, "matrix dimension must be non-negative");
+  DRCM_CHECK(row_ptr_.size() == static_cast<std::size_t>(n_) + 1,
+             "row_ptr must have n+1 entries");
+  DRCM_CHECK(row_ptr_.front() == 0, "row_ptr must start at 0");
+  DRCM_CHECK(row_ptr_.back() == static_cast<nnz_t>(col_idx_.size()),
+             "row_ptr must end at nnz");
+  DRCM_CHECK(values_.empty() || values_.size() == col_idx_.size(),
+             "values must be empty or match nnz");
+  for (index_t i = 0; i < n_; ++i) {
+    DRCM_CHECK(row_ptr_[static_cast<std::size_t>(i)] <=
+                   row_ptr_[static_cast<std::size_t>(i) + 1],
+               "row_ptr must be non-decreasing");
+    const auto r = row(i);
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      DRCM_CHECK(r[k] >= 0 && r[k] < n_, "column index out of range");
+      if (k > 0) DRCM_CHECK(r[k - 1] < r[k], "columns must be strictly sorted");
+    }
+  }
+}
+
+std::vector<index_t> CsrMatrix::degrees() const {
+  std::vector<index_t> d(static_cast<std::size_t>(n_));
+  for (index_t i = 0; i < n_; ++i) d[static_cast<std::size_t>(i)] = degree(i);
+  return d;
+}
+
+bool CsrMatrix::has_entry(index_t i, index_t j) const {
+  DRCM_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_, "entry out of range");
+  const auto r = row(i);
+  return std::binary_search(r.begin(), r.end(), j);
+}
+
+bool CsrMatrix::is_pattern_symmetric() const {
+  for (index_t i = 0; i < n_; ++i) {
+    for (const index_t j : row(i)) {
+      if (j == i) continue;
+      if (!has_entry(j, i)) return false;
+    }
+  }
+  return true;
+}
+
+bool CsrMatrix::has_self_loops() const {
+  for (index_t i = 0; i < n_; ++i) {
+    const auto r = row(i);
+    if (std::binary_search(r.begin(), r.end(), i)) return true;
+  }
+  return false;
+}
+
+CsrMatrix CsrMatrix::strip_diagonal() const {
+  std::vector<nnz_t> rp(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<index_t> ci;
+  ci.reserve(col_idx_.size());
+  for (index_t i = 0; i < n_; ++i) {
+    for (const index_t j : row(i)) {
+      if (j != i) ci.push_back(j);
+    }
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<nnz_t>(ci.size());
+  }
+  return CsrMatrix(n_, std::move(rp), std::move(ci));
+}
+
+CsrMatrix CsrMatrix::pattern() const {
+  return CsrMatrix(n_, row_ptr_, col_idx_);
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,94 @@
+// Compressed sparse row storage for square symmetric matrices / graphs.
+//
+// This is the sequential substrate everything else builds on: generators
+// emit it, the serial/shared-memory orderings traverse it, the distributed
+// matrix scatters it onto the 2D grid, and the CG solver multiplies with it.
+//
+// Conventions:
+//  * vertices / rows / columns are 0-based `index_t`;
+//  * the full symmetric pattern is stored (both triangles);
+//  * `values` is optional — empty means pattern-only (graph adjacency);
+//  * graph semantics (degree, neighbors) ignore nothing: generators do not
+//    produce self-loops, and `strip_diagonal()` converts a solver matrix to
+//    an adjacency pattern as the RCM front-ends require.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace drcm::sparse {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Takes ownership of classic CSR arrays. `values` may be empty
+  /// (pattern-only) or have exactly nnz entries. Column indices must be
+  /// sorted and in range within each row.
+  CsrMatrix(index_t n, std::vector<nnz_t> row_ptr, std::vector<index_t> col_idx,
+            std::vector<double> values = {});
+
+  index_t n() const { return n_; }
+  nnz_t nnz() const { return static_cast<nnz_t>(col_idx_.size()); }
+  bool has_values() const { return !values_.empty(); }
+  bool empty() const { return n_ == 0; }
+
+  /// Column indices of row `i`, sorted ascending.
+  std::span<const index_t> row(index_t i) const {
+    DRCM_DCHECK(i >= 0 && i < n_);
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]);
+    return {col_idx_.data() + b, e - b};
+  }
+
+  /// Values of row `i`; only valid when has_values().
+  std::span<const double> row_values(index_t i) const {
+    DRCM_DCHECK(has_values());
+    DRCM_DCHECK(i >= 0 && i < n_);
+    const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i)]);
+    const auto e = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(i) + 1]);
+    return {values_.data() + b, e - b};
+  }
+
+  /// Number of stored entries in row `i` (== vertex degree for a self-loop
+  /// free adjacency pattern).
+  index_t degree(index_t i) const {
+    DRCM_DCHECK(i >= 0 && i < n_);
+    return static_cast<index_t>(row_ptr_[static_cast<std::size_t>(i) + 1] -
+                                row_ptr_[static_cast<std::size_t>(i)]);
+  }
+
+  /// Degrees of all vertices (the paper's dense vector D).
+  std::vector<index_t> degrees() const;
+
+  std::span<const nnz_t> row_ptr() const { return row_ptr_; }
+  std::span<const index_t> col_idx() const { return col_idx_; }
+  std::span<const double> values() const { return values_; }
+
+  /// True if entry (i, j) is present (binary search within row i).
+  bool has_entry(index_t i, index_t j) const;
+
+  /// True if the stored pattern is structurally symmetric.
+  bool is_pattern_symmetric() const;
+
+  /// True if any diagonal entry is stored.
+  bool has_self_loops() const;
+
+  /// Copy without diagonal entries (values dropped too): the adjacency
+  /// pattern RCM operates on.
+  CsrMatrix strip_diagonal() const;
+
+  /// Copy of the pattern only (values dropped).
+  CsrMatrix pattern() const;
+
+ private:
+  index_t n_ = 0;
+  std::vector<nnz_t> row_ptr_{0};
+  std::vector<index_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace drcm::sparse

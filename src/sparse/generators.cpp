@@ -1,0 +1,359 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::sparse::gen {
+
+namespace {
+
+/// Packs an undirected edge into one 64-bit key for deduplication.
+u64 edge_key(index_t u, index_t v) {
+  const auto lo = static_cast<u64>(std::min(u, v));
+  const auto hi = static_cast<u64>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+CsrMatrix path(index_t n) {
+  DRCM_CHECK(n >= 0);
+  CooBuilder b(n);
+  for (index_t i = 0; i + 1 < n; ++i) b.add_symmetric(i, i + 1);
+  return b.to_csr(false);
+}
+
+CsrMatrix cycle(index_t n) {
+  DRCM_CHECK(n >= 0);
+  CooBuilder b(n);
+  for (index_t i = 0; i + 1 < n; ++i) b.add_symmetric(i, i + 1);
+  if (n > 2) b.add_symmetric(n - 1, 0);
+  return b.to_csr(false);
+}
+
+CsrMatrix star(index_t n) {
+  DRCM_CHECK(n >= 1);
+  CooBuilder b(n);
+  for (index_t i = 1; i < n; ++i) b.add_symmetric(0, i);
+  return b.to_csr(false);
+}
+
+CsrMatrix complete(index_t n) {
+  DRCM_CHECK(n >= 0);
+  CooBuilder b(n);
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t j = i + 1; j < n; ++j) b.add_symmetric(i, j);
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix caterpillar(index_t spine, index_t legs) {
+  DRCM_CHECK(spine >= 1 && legs >= 0);
+  const index_t n = spine + spine * legs;
+  CooBuilder b(n);
+  for (index_t i = 0; i + 1 < spine; ++i) b.add_symmetric(i, i + 1);
+  for (index_t i = 0; i < spine; ++i) {
+    for (index_t l = 0; l < legs; ++l) {
+      b.add_symmetric(i, spine + i * legs + l);
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix disjoint_union(const std::vector<CsrMatrix>& parts) {
+  index_t n = 0;
+  for (const auto& p : parts) n += p.n();
+  CooBuilder b(n);
+  index_t offset = 0;
+  for (const auto& p : parts) {
+    for (index_t i = 0; i < p.n(); ++i) {
+      for (const index_t j : p.row(i)) b.add(offset + i, offset + j);
+    }
+    offset += p.n();
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix empty_graph(index_t n) {
+  CooBuilder b(n);
+  return b.to_csr(false);
+}
+
+CsrMatrix grid2d(index_t nx, index_t ny) {
+  DRCM_CHECK(nx >= 1 && ny >= 1);
+  CooBuilder b(nx * ny);
+  const auto id = [&](index_t x, index_t y) { return x * ny + y; };
+  for (index_t x = 0; x < nx; ++x) {
+    for (index_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx) b.add_symmetric(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_symmetric(id(x, y), id(x, y + 1));
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix grid2d_9pt(index_t nx, index_t ny) {
+  DRCM_CHECK(nx >= 1 && ny >= 1);
+  CooBuilder b(nx * ny);
+  const auto id = [&](index_t x, index_t y) { return x * ny + y; };
+  for (index_t x = 0; x < nx; ++x) {
+    for (index_t y = 0; y < ny; ++y) {
+      if (x + 1 < nx) b.add_symmetric(id(x, y), id(x + 1, y));
+      if (y + 1 < ny) b.add_symmetric(id(x, y), id(x, y + 1));
+      if (x + 1 < nx && y + 1 < ny) b.add_symmetric(id(x, y), id(x + 1, y + 1));
+      if (x + 1 < nx && y > 0) b.add_symmetric(id(x, y), id(x + 1, y - 1));
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix grid3d(index_t nx, index_t ny, index_t nz, Stencil3d s) {
+  DRCM_CHECK(nx >= 1 && ny >= 1 && nz >= 1);
+  CooBuilder b(nx * ny * nz);
+  const auto id = [&](index_t x, index_t y, index_t z) {
+    return (x * ny + y) * nz + z;
+  };
+  for (index_t x = 0; x < nx; ++x) {
+    for (index_t y = 0; y < ny; ++y) {
+      for (index_t z = 0; z < nz; ++z) {
+        // Enumerate the "positive" half of the stencil; symmetry adds the rest.
+        for (index_t dx = -1; dx <= 1; ++dx) {
+          for (index_t dy = -1; dy <= 1; ++dy) {
+            for (index_t dz = -1; dz <= 1; ++dz) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              if (s == Stencil3d::k7 &&
+                  (dx != 0) + (dy != 0) + (dz != 0) != 1) {
+                continue;
+              }
+              // Only the lexicographically positive direction.
+              if (dx < 0 || (dx == 0 && dy < 0) ||
+                  (dx == 0 && dy == 0 && dz < 0)) {
+                continue;
+              }
+              const index_t X = x + dx, Y = y + dy, Z = z + dz;
+              if (X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz) {
+                continue;
+              }
+              b.add_symmetric(id(x, y, z), id(X, Y, Z));
+            }
+          }
+        }
+      }
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix erdos_renyi(index_t n, double avg_degree, u64 seed) {
+  DRCM_CHECK(n >= 0 && avg_degree >= 0.0);
+  const auto target = static_cast<u64>(static_cast<double>(n) * avg_degree / 2.0);
+  Rng rng(seed);
+  std::unordered_set<u64> edges;
+  edges.reserve(static_cast<std::size_t>(target) * 2);
+  CooBuilder b(n);
+  u64 attempts = 0;
+  const u64 max_attempts = target * 20 + 100;
+  while (edges.size() < target && attempts++ < max_attempts) {
+    const auto u = static_cast<index_t>(rng.next_below(static_cast<u64>(n)));
+    const auto v = static_cast<index_t>(rng.next_below(static_cast<u64>(n)));
+    if (u == v) continue;
+    if (edges.insert(edge_key(u, v)).second) b.add_symmetric(u, v);
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix rmat(int scale, index_t edges_per_vertex, u64 seed, double a,
+               double b_, double c) {
+  DRCM_CHECK(scale >= 1 && scale < 31);
+  DRCM_CHECK(a > 0 && b_ >= 0 && c >= 0 && a + b_ + c < 1.0,
+             "R-MAT quadrant probabilities must leave room for d");
+  const index_t n = index_t{1} << scale;
+  const u64 m = static_cast<u64>(n) * static_cast<u64>(edges_per_vertex);
+  Rng rng(seed);
+  std::unordered_set<u64> edges;
+  edges.reserve(static_cast<std::size_t>(m) * 2);
+  CooBuilder builder(n);
+  for (u64 e = 0; e < m; ++e) {
+    index_t u = 0, v = 0;
+    for (int bit = scale - 1; bit >= 0; --bit) {
+      const double r = rng.next_double();
+      if (r < a) {
+        // top-left quadrant: no bits set
+      } else if (r < a + b_) {
+        v |= index_t{1} << bit;
+      } else if (r < a + b_ + c) {
+        u |= index_t{1} << bit;
+      } else {
+        u |= index_t{1} << bit;
+        v |= index_t{1} << bit;
+      }
+    }
+    if (u == v) continue;
+    if (edges.insert(edge_key(u, v)).second) builder.add_symmetric(u, v);
+  }
+  return builder.to_csr(false);
+}
+
+CsrMatrix random_banded(index_t n, index_t half_bw, double fill, u64 seed) {
+  DRCM_CHECK(n >= 0 && half_bw >= 0 && fill >= 0.0 && fill <= 1.0);
+  Rng rng(seed);
+  CooBuilder b(n);
+  for (index_t i = 0; i < n; ++i) {
+    const index_t hi = std::min<index_t>(n - 1, i + half_bw);
+    for (index_t j = i + 1; j <= hi; ++j) {
+      if (rng.next_double() < fill) b.add_symmetric(i, j);
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix random_geometric(index_t n, double radius, u64 seed) {
+  DRCM_CHECK(n >= 0 && radius > 0.0 && radius <= 1.0);
+  Rng rng(seed);
+  std::vector<double> xs(static_cast<std::size_t>(n)), ys(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    xs[static_cast<std::size_t>(v)] = rng.next_double();
+    ys[static_cast<std::size_t>(v)] = rng.next_double();
+  }
+  // Bucket the unit square into radius-sized cells; only neighboring cells
+  // can contain edge partners.
+  const auto cells = static_cast<index_t>(std::max(1.0, std::floor(1.0 / radius)));
+  const auto cell_of = [&](double c) {
+    return std::min<index_t>(cells - 1, static_cast<index_t>(c * static_cast<double>(cells)));
+  };
+  std::vector<std::vector<index_t>> bucket(
+      static_cast<std::size_t>(cells * cells));
+  for (index_t v = 0; v < n; ++v) {
+    bucket[static_cast<std::size_t>(
+               cell_of(xs[static_cast<std::size_t>(v)]) * cells +
+               cell_of(ys[static_cast<std::size_t>(v)]))].push_back(v);
+  }
+  CooBuilder b(n);
+  const double r2 = radius * radius;
+  for (index_t v = 0; v < n; ++v) {
+    const index_t cx = cell_of(xs[static_cast<std::size_t>(v)]);
+    const index_t cy = cell_of(ys[static_cast<std::size_t>(v)]);
+    for (index_t dx = -1; dx <= 1; ++dx) {
+      for (index_t dy = -1; dy <= 1; ++dy) {
+        const index_t nx = cx + dx, ny = cy + dy;
+        if (nx < 0 || nx >= cells || ny < 0 || ny >= cells) continue;
+        for (const index_t w : bucket[static_cast<std::size_t>(nx * cells + ny)]) {
+          if (w <= v) continue;  // each pair once
+          const double ddx = xs[static_cast<std::size_t>(v)] - xs[static_cast<std::size_t>(w)];
+          const double ddy = ys[static_cast<std::size_t>(v)] - ys[static_cast<std::size_t>(w)];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_symmetric(v, w);
+        }
+      }
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix small_world(index_t n, index_t k, double beta, u64 seed) {
+  DRCM_CHECK(n >= 0 && k >= 1 && beta >= 0.0 && beta <= 1.0);
+  Rng rng(seed);
+  std::unordered_set<u64> edges;
+  CooBuilder b(n);
+  const auto add_edge = [&](index_t u, index_t v) {
+    if (u != v && edges.insert(edge_key(u, v)).second) b.add_symmetric(u, v);
+  };
+  for (index_t v = 0; v < n; ++v) {
+    for (index_t d = 1; d <= k; ++d) {
+      index_t w = (v + d) % std::max<index_t>(1, n);
+      if (rng.next_double() < beta && n > 2) {
+        // Rewire to a uniform random endpoint.
+        w = static_cast<index_t>(rng.next_below(static_cast<u64>(n)));
+      }
+      add_edge(v, w);
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix kkt_system(const CsrMatrix& h, index_t constraints, index_t arity) {
+  DRCM_CHECK(constraints >= 0 && arity >= 1);
+  const index_t nh = h.n();
+  const index_t n = nh + constraints;
+  CooBuilder b(n);
+  for (index_t i = 0; i < nh; ++i) {
+    for (const index_t j : h.row(i)) b.add(i, j);
+  }
+  // Constraint row k couples `arity` consecutive H-columns, spread evenly
+  // across the H index range so the Jacobian has block-banded structure.
+  for (index_t k = 0; k < constraints; ++k) {
+    const index_t base =
+        constraints <= 1 ? 0 : (k * std::max<index_t>(1, nh - arity)) / std::max<index_t>(1, constraints - 1);
+    for (index_t t = 0; t < arity; ++t) {
+      const index_t col = std::min(nh - 1, base + t);
+      b.add_symmetric(nh + k, col);
+    }
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix relabel_random(const CsrMatrix& a, u64 seed) {
+  const auto labels = random_permutation(a.n(), seed);
+  return permute_symmetric(a, labels);
+}
+
+CsrMatrix add_random_long_edges(const CsrMatrix& a, double frac, u64 seed) {
+  DRCM_CHECK(frac >= 0.0);
+  const index_t n = a.n();
+  Rng rng(seed);
+  CooBuilder b(n);
+  for (index_t i = 0; i < n; ++i) {
+    for (const index_t j : a.row(i)) b.add(i, j);
+  }
+  const auto extra = static_cast<u64>(frac * static_cast<double>(n));
+  for (u64 e = 0; e < extra; ++e) {
+    const auto u = static_cast<index_t>(rng.next_below(static_cast<u64>(n)));
+    const auto v = static_cast<index_t>(rng.next_below(static_cast<u64>(n)));
+    if (u != v) b.add_symmetric(u, v);
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix symmetrize(const CsrMatrix& a) {
+  CooBuilder b(a.n());
+  for (index_t i = 0; i < a.n(); ++i) {
+    for (const index_t j : a.row(i)) b.add_symmetric(i, j);
+  }
+  return b.to_csr(false);
+}
+
+CsrMatrix with_laplacian_values(const CsrMatrix& pattern, double shift) {
+  DRCM_CHECK(!pattern.has_self_loops(),
+             "with_laplacian_values expects a self-loop-free pattern");
+  const index_t n = pattern.n();
+  std::vector<nnz_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<index_t> ci;
+  std::vector<double> vv;
+  ci.reserve(static_cast<std::size_t>(pattern.nnz() + n));
+  vv.reserve(ci.capacity());
+  for (index_t i = 0; i < n; ++i) {
+    bool diag_placed = false;
+    const double diag = static_cast<double>(pattern.degree(i)) + shift;
+    for (const index_t j : pattern.row(i)) {
+      if (!diag_placed && j > i) {
+        ci.push_back(i);
+        vv.push_back(diag);
+        diag_placed = true;
+      }
+      ci.push_back(j);
+      vv.push_back(-1.0);
+    }
+    if (!diag_placed) {
+      ci.push_back(i);
+      vv.push_back(diag);
+    }
+    rp[static_cast<std::size_t>(i) + 1] = static_cast<nnz_t>(ci.size());
+  }
+  return CsrMatrix(n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace drcm::sparse::gen

@@ -1,0 +1,98 @@
+#include "sparse/graph_algo.hpp"
+
+#include <algorithm>
+
+namespace drcm::sparse {
+
+index_t BfsResult::width() const {
+  index_t w = 0;
+  for (const index_t s : level_sizes) w = std::max(w, s);
+  return w;
+}
+
+BfsResult bfs(const CsrMatrix& a, index_t root) {
+  DRCM_CHECK(root >= 0 && root < a.n(), "BFS root out of range");
+  BfsResult res;
+  res.level.assign(static_cast<std::size_t>(a.n()), kNoVertex);
+  std::vector<index_t> frontier{root};
+  res.level[static_cast<std::size_t>(root)] = 0;
+  res.reached = 1;
+  index_t depth = 0;
+  while (!frontier.empty()) {
+    res.level_sizes.push_back(static_cast<index_t>(frontier.size()));
+    std::vector<index_t> next;
+    for (const index_t u : frontier) {
+      for (const index_t v : a.row(u)) {
+        if (res.level[static_cast<std::size_t>(v)] == kNoVertex) {
+          res.level[static_cast<std::size_t>(v)] = depth + 1;
+          next.push_back(v);
+          ++res.reached;
+        }
+      }
+    }
+    frontier = std::move(next);
+    ++depth;
+  }
+  return res;
+}
+
+std::vector<std::vector<index_t>> Components::members() const {
+  std::vector<std::vector<index_t>> out(static_cast<std::size_t>(count));
+  for (std::size_t v = 0; v < component.size(); ++v) {
+    out[static_cast<std::size_t>(component[v])].push_back(static_cast<index_t>(v));
+  }
+  return out;
+}
+
+Components connected_components(const CsrMatrix& a) {
+  Components res;
+  res.component.assign(static_cast<std::size_t>(a.n()), kNoVertex);
+  std::vector<index_t> stack;
+  for (index_t s = 0; s < a.n(); ++s) {
+    if (res.component[static_cast<std::size_t>(s)] != kNoVertex) continue;
+    const index_t id = res.count++;
+    res.component[static_cast<std::size_t>(s)] = id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const index_t u = stack.back();
+      stack.pop_back();
+      for (const index_t v : a.row(u)) {
+        if (res.component[static_cast<std::size_t>(v)] == kNoVertex) {
+          res.component[static_cast<std::size_t>(v)] = id;
+          stack.push_back(v);
+        }
+      }
+    }
+  }
+  return res;
+}
+
+index_t pseudo_diameter(const CsrMatrix& a, index_t root) {
+  DRCM_CHECK(root >= 0 && root < a.n(), "root out of range");
+  // George-Liu iteration (paper Alg. 2): BFS, jump to a minimum-degree
+  // vertex of the last level, repeat while the eccentricity grows.
+  index_t r = root;
+  BfsResult b = bfs(a, r);
+  index_t ecc = b.eccentricity();
+  while (true) {
+    // Minimum-degree vertex in the last level (ties: smallest id).
+    index_t best = kNoVertex;
+    for (index_t v = 0; v < a.n(); ++v) {
+      if (b.level[static_cast<std::size_t>(v)] != ecc) continue;
+      if (best == kNoVertex || a.degree(v) < a.degree(best)) best = v;
+    }
+    if (best == kNoVertex) break;  // isolated root
+    BfsResult nb = bfs(a, best);
+    if (nb.eccentricity() <= ecc) break;
+    r = best;
+    ecc = nb.eccentricity();
+    b = std::move(nb);
+  }
+  return ecc;
+}
+
+index_t eccentricity(const CsrMatrix& a, index_t v) {
+  return bfs(a, v).eccentricity();
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,52 @@
+// Sequential graph traversal building blocks: BFS level structures
+// (the paper's rooted level structure L(v)), connected components, and the
+// pseudo-diameter figure reported in the paper's matrix table (Fig. 3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// Rooted level structure of one BFS: level[v] is the BFS depth of v
+/// (kNoVertex if unreached from the root).
+struct BfsResult {
+  std::vector<index_t> level;
+  std::vector<index_t> level_sizes;  ///< |L_0|, |L_1|, ...
+  index_t reached = 0;               ///< number of vertices reached
+
+  /// Eccentricity estimate: number of levels minus one.
+  index_t eccentricity() const {
+    return static_cast<index_t>(level_sizes.size()) - 1;
+  }
+  /// Width nu(v) of the level structure: max level size.
+  index_t width() const;
+};
+
+/// Level-synchronous BFS from `root`.
+BfsResult bfs(const CsrMatrix& a, index_t root);
+
+/// Connected components: component[v] in [0, count); components are
+/// numbered by their smallest vertex id.
+struct Components {
+  std::vector<index_t> component;
+  index_t count = 0;
+  /// Vertices of each component, ascending.
+  std::vector<std::vector<index_t>> members() const;
+};
+
+Components connected_components(const CsrMatrix& a);
+
+/// Pseudo-diameter of the component containing `root`: the eccentricity of
+/// the pseudo-peripheral vertex found by George-Liu iteration (Fig. 3's
+/// last column). Returns 0 for an isolated vertex.
+index_t pseudo_diameter(const CsrMatrix& a, index_t root = 0);
+
+/// Exact eccentricity of `v` within its component (BFS); test helper and
+/// reference for property tests.
+index_t eccentricity(const CsrMatrix& a, index_t v);
+
+}  // namespace drcm::sparse

@@ -1,0 +1,134 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "sparse/coo.hpp"
+
+namespace drcm::sparse {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw CheckError("Matrix Market parse error at line " + std::to_string(line) +
+                   ": " + what);
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  std::size_t lineno = 0;
+
+  DRCM_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+  ++lineno;
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  if (banner != "%%MatrixMarket") fail(lineno, "missing %%MatrixMarket banner");
+  if (lower(object) != "matrix") fail(lineno, "unsupported object '" + object + "'");
+  if (lower(format) != "coordinate") {
+    fail(lineno, "unsupported format '" + format + "' (only coordinate)");
+  }
+  field = lower(field);
+  symmetry = lower(symmetry);
+  const bool is_pattern = field == "pattern";
+  if (!is_pattern && field != "real" && field != "integer") {
+    fail(lineno, "unsupported field '" + field + "'");
+  }
+  const bool is_symmetric = symmetry == "symmetric";
+  if (!is_symmetric && symmetry != "general") {
+    fail(lineno, "unsupported symmetry '" + symmetry + "'");
+  }
+
+  // Skip comments / blank lines, then read the size line.
+  index_t rows = 0, cols = 0;
+  nnz_t entries = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sz(line);
+    if (!(sz >> rows >> cols >> entries)) fail(lineno, "bad size line");
+    break;
+  }
+  if (rows <= 0 || cols <= 0) fail(lineno, "non-positive dimensions");
+  if (rows != cols) fail(lineno, "only square matrices are supported");
+  if (entries < 0) fail(lineno, "negative entry count");
+
+  CooBuilder builder(rows);
+  nnz_t seen = 0;
+  while (seen < entries) {
+    if (!std::getline(in, line)) fail(lineno, "unexpected end of file");
+    ++lineno;
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream es(line);
+    index_t r = 0, c = 0;
+    double v = 1.0;
+    if (!(es >> r >> c)) fail(lineno, "bad entry line");
+    if (!is_pattern && !(es >> v)) fail(lineno, "missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail(lineno, "entry out of range");
+    if (is_symmetric && c > r) fail(lineno, "upper-triangle entry in symmetric file");
+    if (is_symmetric) {
+      builder.add_symmetric(r - 1, c - 1, v);
+    } else {
+      builder.add(r - 1, c - 1, v);
+    }
+    ++seen;
+  }
+  return builder.to_csr(!is_pattern);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  DRCM_CHECK(in.good(), "cannot open Matrix Market file: " + path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a,
+                         bool as_symmetric) {
+  if (as_symmetric) {
+    DRCM_CHECK(a.is_pattern_symmetric(),
+               "cannot write an unsymmetric pattern as symmetric");
+  }
+  const bool pattern = !a.has_values();
+  out << "%%MatrixMarket matrix coordinate "
+      << (pattern ? "pattern" : "real") << ' '
+      << (as_symmetric ? "symmetric" : "general") << '\n';
+
+  nnz_t count = 0;
+  for (index_t i = 0; i < a.n(); ++i) {
+    for (const index_t j : a.row(i)) {
+      if (as_symmetric && j > i) continue;
+      ++count;
+    }
+  }
+  out << a.n() << ' ' << a.n() << ' ' << count << '\n';
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto r = a.row(i);
+    for (std::size_t k = 0; k < r.size(); ++k) {
+      const index_t j = r[k];
+      if (as_symmetric && j > i) continue;
+      out << (i + 1) << ' ' << (j + 1);
+      if (!pattern) out << ' ' << a.row_values(i)[k];
+      out << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a,
+                              bool as_symmetric) {
+  std::ofstream out(path);
+  DRCM_CHECK(out.good(), "cannot open file for writing: " + path);
+  write_matrix_market(out, a, as_symmetric);
+  DRCM_CHECK(out.good(), "write failed: " + path);
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,33 @@
+// Matrix Market (.mtx) coordinate-format I/O.
+//
+// The paper's suite comes from the UF/SuiteSparse collection, which ships in
+// this format; users with local copies can run every bench and example on
+// the real matrices. Supported: `matrix coordinate real|integer|pattern
+// general|symmetric`. Reads are validated and throw drcm::CheckError with a
+// line number on malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// Parses a Matrix Market stream. Symmetric files are mirrored to a full
+/// pattern; `pattern` files yield a pattern-only CsrMatrix.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience file wrapper around read_matrix_market.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes coordinate format. When `as_symmetric` is true only the lower
+/// triangle (plus diagonal) is emitted with a `symmetric` header; the
+/// matrix pattern must actually be symmetric.
+void write_matrix_market(std::ostream& out, const CsrMatrix& a,
+                         bool as_symmetric = true);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a,
+                              bool as_symmetric = true);
+
+}  // namespace drcm::sparse

@@ -1,0 +1,74 @@
+#include "sparse/metrics.hpp"
+
+#include <algorithm>
+
+namespace drcm::sparse {
+
+std::vector<index_t> row_bandwidths(const CsrMatrix& a) {
+  std::vector<index_t> beta(static_cast<std::size_t>(a.n()), 0);
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto r = a.row(i);
+    if (!r.empty() && r.front() < i) {
+      beta[static_cast<std::size_t>(i)] = i - r.front();
+    }
+  }
+  return beta;
+}
+
+index_t bandwidth(const CsrMatrix& a) {
+  index_t best = 0;
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto r = a.row(i);
+    if (!r.empty() && r.front() < i) best = std::max(best, i - r.front());
+  }
+  return best;
+}
+
+nnz_t profile(const CsrMatrix& a) {
+  nnz_t total = 0;
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto r = a.row(i);
+    if (!r.empty() && r.front() < i) total += i - r.front();
+  }
+  return total;
+}
+
+namespace {
+
+/// min over neighbors j of labels[j], restricted to labels[j] < labels[i];
+/// kNoVertex if none. Shared by the with-labels metrics.
+index_t leftmost_label(const CsrMatrix& a, std::span<const index_t> labels,
+                       index_t i) {
+  const index_t li = labels[static_cast<std::size_t>(i)];
+  index_t lo = li;
+  for (const index_t j : a.row(i)) {
+    lo = std::min(lo, labels[static_cast<std::size_t>(j)]);
+  }
+  return lo;
+}
+
+}  // namespace
+
+index_t bandwidth_with_labels(const CsrMatrix& a,
+                              std::span<const index_t> labels) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels size must match matrix dimension");
+  index_t best = 0;
+  for (index_t i = 0; i < a.n(); ++i) {
+    best = std::max(best,
+                    labels[static_cast<std::size_t>(i)] - leftmost_label(a, labels, i));
+  }
+  return best;
+}
+
+nnz_t profile_with_labels(const CsrMatrix& a, std::span<const index_t> labels) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels size must match matrix dimension");
+  nnz_t total = 0;
+  for (index_t i = 0; i < a.n(); ++i) {
+    total += labels[static_cast<std::size_t>(i)] - leftmost_label(a, labels, i);
+  }
+  return total;
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,34 @@
+// Ordering-quality metrics from the paper's preliminaries (Sec. II-A):
+// per-row bandwidth beta_i = i - f_i, overall bandwidth beta = max beta_i,
+// and the envelope/profile |Env(A)| = sum beta_i.
+//
+// All metrics are also computable under a relabeling without materializing
+// the permuted matrix: `*_with_labels` treat `labels[v]` as the new index of
+// vertex v and evaluate the metric of P*A*P^T.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// beta_i for each row: distance from the diagonal to the leftmost stored
+/// entry in row i (0 for empty rows; diagonal entries are implied, so
+/// entries right of the diagonal do not contribute).
+std::vector<index_t> row_bandwidths(const CsrMatrix& a);
+
+/// Overall (half-)bandwidth beta(A) = max_i beta_i.
+index_t bandwidth(const CsrMatrix& a);
+
+/// Envelope size / profile |Env(A)| = sum_i beta_i.
+nnz_t profile(const CsrMatrix& a);
+
+/// bandwidth(P A P^T) where labels[v] is v's new index.
+index_t bandwidth_with_labels(const CsrMatrix& a, std::span<const index_t> labels);
+
+/// profile(P A P^T) where labels[v] is v's new index.
+nnz_t profile_with_labels(const CsrMatrix& a, std::span<const index_t> labels);
+
+}  // namespace drcm::sparse

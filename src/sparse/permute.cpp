@@ -1,0 +1,82 @@
+#include "sparse/permute.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hpp"
+
+namespace drcm::sparse {
+
+bool is_valid_permutation(std::span<const index_t> p) {
+  std::vector<bool> seen(p.size(), false);
+  for (const index_t v : p) {
+    if (v < 0 || static_cast<std::size_t>(v) >= p.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+std::vector<index_t> inverse_permutation(std::span<const index_t> p) {
+  DRCM_CHECK(is_valid_permutation(p), "not a permutation");
+  std::vector<index_t> inv(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    inv[static_cast<std::size_t>(p[i])] = static_cast<index_t>(i);
+  }
+  return inv;
+}
+
+std::vector<index_t> identity_permutation(index_t n) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), index_t{0});
+  return p;
+}
+
+std::vector<index_t> random_permutation(index_t n, u64 seed) {
+  auto p = identity_permutation(n);
+  Rng rng(seed);
+  rng.shuffle(p.begin(), p.end());
+  return p;
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const index_t> labels) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels size must match matrix dimension");
+  DRCM_CHECK(is_valid_permutation(labels), "labels must form a permutation");
+  const index_t n = a.n();
+  const auto ordering = inverse_permutation(labels);
+
+  std::vector<nnz_t> rp(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t new_i = 0; new_i < n; ++new_i) {
+    rp[static_cast<std::size_t>(new_i) + 1] =
+        rp[static_cast<std::size_t>(new_i)] +
+        a.degree(ordering[static_cast<std::size_t>(new_i)]);
+  }
+  std::vector<index_t> ci(static_cast<std::size_t>(rp.back()));
+  std::vector<double> vv;
+  if (a.has_values()) vv.resize(ci.size());
+
+  std::vector<std::size_t> perm_scratch;
+  for (index_t new_i = 0; new_i < n; ++new_i) {
+    const index_t old_i = ordering[static_cast<std::size_t>(new_i)];
+    const auto old_row = a.row(old_i);
+    const auto base = static_cast<std::size_t>(rp[static_cast<std::size_t>(new_i)]);
+    // Map old columns to new, then sort the slice (values follow).
+    perm_scratch.resize(old_row.size());
+    std::iota(perm_scratch.begin(), perm_scratch.end(), std::size_t{0});
+    std::sort(perm_scratch.begin(), perm_scratch.end(),
+              [&](std::size_t x, std::size_t y) {
+                return labels[static_cast<std::size_t>(old_row[x])] <
+                       labels[static_cast<std::size_t>(old_row[y])];
+              });
+    for (std::size_t k = 0; k < old_row.size(); ++k) {
+      ci[base + k] = labels[static_cast<std::size_t>(old_row[perm_scratch[k]])];
+      if (a.has_values()) {
+        vv[base + k] = a.row_values(old_i)[perm_scratch[k]];
+      }
+    }
+  }
+  return CsrMatrix(n, std::move(rp), std::move(ci), std::move(vv));
+}
+
+}  // namespace drcm::sparse

@@ -1,0 +1,34 @@
+// Symmetric permutation of matrices and permutation-vector utilities.
+//
+// Two complementary representations are used throughout the library:
+//  * `labels`   — labels[old_vertex] = new_index   (the paper's R vector)
+//  * `ordering` — ordering[new_index] = old_vertex (the sequence w1..wn)
+// They are inverses of one another.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// True iff `p` is a bijection on [0, n).
+bool is_valid_permutation(std::span<const index_t> p);
+
+/// Inverse permutation: converts labels <-> ordering.
+std::vector<index_t> inverse_permutation(std::span<const index_t> p);
+
+/// Identity permutation of length n.
+std::vector<index_t> identity_permutation(index_t n);
+
+/// Uniformly random permutation (deterministic per seed).
+std::vector<index_t> random_permutation(index_t n, u64 seed);
+
+/// Forms B = P A P^T where labels[v] is v's new index: entry (i, j) of A
+/// becomes entry (labels[i], labels[j]) of B. Values, when present, travel
+/// with their entries.
+CsrMatrix permute_symmetric(const CsrMatrix& a, std::span<const index_t> labels);
+
+}  // namespace drcm::sparse

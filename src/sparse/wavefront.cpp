@@ -1,0 +1,65 @@
+#include "sparse/wavefront.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sparse/permute.hpp"
+
+namespace drcm::sparse {
+
+namespace {
+
+/// Shared core: row i becomes active at step first_touch[i] (the smallest
+/// new index among itself and its neighbors) and retires after step
+/// new_index[i]. The wavefront at step s is #{i : first_touch[i] <= s <=
+/// new_index[i]}, computed by a sweep over activation/retirement events.
+WavefrontMetrics from_spans(const std::vector<index_t>& first_touch,
+                            const std::vector<index_t>& new_index) {
+  const auto n = static_cast<index_t>(first_touch.size());
+  WavefrontMetrics m;
+  if (n == 0) return m;
+  std::vector<index_t> activate(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> retire(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < first_touch.size(); ++i) {
+    ++activate[static_cast<std::size_t>(first_touch[i])];
+    ++retire[static_cast<std::size_t>(new_index[i])];
+  }
+  index_t active = 0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (index_t s = 0; s < n; ++s) {
+    active += activate[static_cast<std::size_t>(s)];
+    m.max_wavefront = std::max(m.max_wavefront, active);
+    sum += static_cast<double>(active);
+    sum_sq += static_cast<double>(active) * static_cast<double>(active);
+    active -= retire[static_cast<std::size_t>(s)];
+  }
+  m.mean_wavefront = sum / static_cast<double>(n);
+  m.rms_wavefront = std::sqrt(sum_sq / static_cast<double>(n));
+  return m;
+}
+
+}  // namespace
+
+WavefrontMetrics wavefront(const CsrMatrix& a) {
+  return wavefront_with_labels(a, identity_permutation(a.n()));
+}
+
+WavefrontMetrics wavefront_with_labels(const CsrMatrix& a,
+                                       std::span<const index_t> labels) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels size must match matrix dimension");
+  std::vector<index_t> first_touch(static_cast<std::size_t>(a.n()));
+  std::vector<index_t> new_index(static_cast<std::size_t>(a.n()));
+  for (index_t v = 0; v < a.n(); ++v) {
+    const index_t lv = labels[static_cast<std::size_t>(v)];
+    index_t lo = lv;
+    for (const index_t u : a.row(v)) {
+      lo = std::min(lo, labels[static_cast<std::size_t>(u)]);
+    }
+    first_touch[static_cast<std::size_t>(v)] = lo;
+    new_index[static_cast<std::size_t>(v)] = lv;
+  }
+  return from_spans(first_touch, new_index);
+}
+
+}  // namespace drcm::sparse

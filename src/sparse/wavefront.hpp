@@ -1,0 +1,34 @@
+// Wavefront metrics — the second quality axis of the paper's shared-memory
+// baseline (Karantasis et al. [8]: "bandwidth and WAVEFRONT reduction").
+//
+// The wavefront at step i is the set of rows that are "active" when row i
+// is eliminated: rows j >= i adjacent (within the envelope) to some row
+// already processed, plus row i itself. Frontal direct solvers hold exactly
+// one wavefront in dense storage, so max-wavefront bounds their working
+// memory and sum-of-squares bounds their flops (Sloan's objective).
+//
+// Standard formulation: wf_i = |{j >= i : exists k <= i with A_jk != 0}|.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+struct WavefrontMetrics {
+  index_t max_wavefront = 0;
+  double mean_wavefront = 0.0;
+  double rms_wavefront = 0.0;  ///< sqrt(mean of squares): the flop proxy
+};
+
+/// Wavefront metrics of A under its current numbering.
+WavefrontMetrics wavefront(const CsrMatrix& a);
+
+/// Wavefront metrics of P A P^T where labels[v] is v's new index
+/// (computed without materializing the permutation).
+WavefrontMetrics wavefront_with_labels(const CsrMatrix& a,
+                                       std::span<const index_t> labels);
+
+}  // namespace drcm::sparse

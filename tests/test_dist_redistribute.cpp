@@ -1,0 +1,174 @@
+// Tests for the root-rooted collectives and the distributed in-place
+// permutation (redistribute_permuted), including the full pipeline the
+// paper's conclusion describes: order on the grid, permute on the grid,
+// no gather anywhere.
+#include <gtest/gtest.h>
+
+#include "dist/redistribute.hpp"
+#include "dist/spmspv.hpp"
+#include "mpsim/runtime.hpp"
+#include "order/rcm_serial.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::dist {
+namespace {
+
+using mps::Comm;
+using mps::Runtime;
+namespace gen = sparse::gen;
+
+class RootCollectives : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, RootCollectives, ::testing::Values(1, 2, 5, 9));
+
+TEST_P(RootCollectives, GathervConcentratesOnRoot) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& world) {
+    const int root = world.size() / 2;
+    std::vector<std::int64_t> mine(static_cast<std::size_t>(world.rank() + 1),
+                                   world.rank());
+    const auto out = world.gatherv(std::span<const std::int64_t>(mine), root);
+    if (world.rank() == root) {
+      std::size_t expected = 0;
+      for (int r = 0; r < p; ++r) expected += static_cast<std::size_t>(r + 1);
+      ASSERT_EQ(out.size(), expected);
+      // Rank r's block holds r+1 copies of r, in rank order.
+      std::size_t pos = 0;
+      for (int r = 0; r < p; ++r) {
+        for (int k = 0; k <= r; ++k) EXPECT_EQ(out[pos++], r);
+      }
+    } else {
+      EXPECT_TRUE(out.empty());
+    }
+  });
+}
+
+TEST_P(RootCollectives, ScattervDistributesChunks) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& world) {
+    const int root = 0;
+    std::vector<std::vector<std::int64_t>> chunks;
+    if (world.rank() == root) {
+      chunks.resize(static_cast<std::size_t>(p));
+      for (int r = 0; r < p; ++r) {
+        chunks[static_cast<std::size_t>(r)].assign(static_cast<std::size_t>(r + 2),
+                                                   100 + r);
+      }
+    }
+    const auto mine = world.scatterv(chunks, root);
+    ASSERT_EQ(mine.size(), static_cast<std::size_t>(world.rank() + 2));
+    for (const auto v : mine) EXPECT_EQ(v, 100 + world.rank());
+  });
+}
+
+TEST_P(RootCollectives, ReduceToRootOnly) {
+  const int p = GetParam();
+  Runtime::run(p, [&](Comm& world) {
+    const int root = world.size() - 1;
+    const auto sum = world.reduce(
+        static_cast<std::int64_t>(world.rank() + 1),
+        [](std::int64_t a, std::int64_t b) { return a + b; }, root);
+    if (world.rank() == root) {
+      EXPECT_EQ(sum, static_cast<std::int64_t>(p) * (p + 1) / 2);
+    } else {
+      EXPECT_EQ(sum, 0);
+    }
+  });
+}
+
+TEST(RootCollectives, RootOutOfRangeThrows) {
+  Runtime::run(1, [](Comm& world) {
+    std::vector<std::int64_t> v{1};
+    EXPECT_THROW(world.gatherv(std::span<const std::int64_t>(v), 3), CheckError);
+  });
+}
+
+class RedistributeGrids : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Grids, RedistributeGrids, ::testing::Values(1, 4, 9, 16));
+
+TEST_P(RedistributeGrids, MatchesSequentialPermutation) {
+  const int p = GetParam();
+  for (u64 seed : {1u, 5u}) {
+    const auto a = gen::erdos_renyi(70, 5.0, seed);
+    const auto labels = sparse::random_permutation(a.n(), seed + 100);
+    const auto want = sparse::permute_symmetric(a, labels);
+    Runtime::run(p, [&](Comm& world) {
+      ProcGrid2D grid(world);
+      DistSpMat mat(grid, a);
+      const auto moved = redistribute_permuted(mat, labels, grid);
+      // The redistributed matrix must equal the block of the sequentially
+      // permuted matrix, column for column.
+      DistSpMat reference(grid, want);
+      EXPECT_EQ(moved.local_nnz(), reference.local_nnz());
+      for (index_t lc = 0; lc < moved.local_cols(); ++lc) {
+        const auto got = moved.column(lc);
+        const auto exp = reference.column(lc);
+        ASSERT_EQ(got.size(), exp.size()) << "col " << lc;
+        for (std::size_t k = 0; k < got.size(); ++k) {
+          EXPECT_EQ(got[k], exp[k]);
+        }
+      }
+      EXPECT_EQ(moved.global_nnz(world), want.nnz());
+    });
+  }
+}
+
+TEST_P(RedistributeGrids, FullInPlacePipeline) {
+  // The paper's conclusion pipeline: compute RCM on the grid, then permute
+  // the matrix on the grid — never gathering anything — and verify the
+  // redistributed matrix has the RCM bandwidth.
+  const int p = GetParam();
+  const auto a = gen::relabel_random(gen::grid2d(12, 12), 3);
+  const auto expected_bw =
+      sparse::bandwidth_with_labels(a, order::rcm_serial(a));
+  Runtime::run(p, [&](Comm& world) {
+    ProcGrid2D grid(world);
+    DistSpMat mat(grid, a);
+    const auto labels = rcm::dist_rcm(world, a);
+    const auto moved = redistribute_permuted(mat, labels, grid);
+    // Bandwidth of the redistributed matrix, computed distributively: each
+    // local entry's |row - col| is a lower bound; the max over all ranks is
+    // exact because every entry lives somewhere.
+    index_t local_bw = 0;
+    for (index_t lc = 0; lc < moved.local_cols(); ++lc) {
+      for (const index_t lr : moved.column(lc)) {
+        local_bw = std::max(local_bw, std::abs((lr + moved.row_lo()) -
+                                               (lc + moved.col_lo())));
+      }
+    }
+    const auto bw = world.allreduce(
+        local_bw, [](index_t x, index_t y) { return std::max(x, y); });
+    EXPECT_EQ(bw, expected_bw);
+  });
+}
+
+TEST(Redistribute, IdentityIsNoop) {
+  Runtime::run(4, [](Comm& world) {
+    ProcGrid2D grid(world);
+    const auto a = gen::grid2d_9pt(8, 8);
+    DistSpMat mat(grid, a);
+    const auto moved =
+        redistribute_permuted(mat, sparse::identity_permutation(a.n()), grid);
+    EXPECT_EQ(moved.local_nnz(), mat.local_nnz());
+    for (index_t lc = 0; lc < mat.local_cols(); ++lc) {
+      const auto got = moved.column(lc);
+      const auto exp = mat.column(lc);
+      ASSERT_EQ(got.size(), exp.size());
+      for (std::size_t k = 0; k < got.size(); ++k) EXPECT_EQ(got[k], exp[k]);
+    }
+  });
+}
+
+TEST(Redistribute, BadLabelSizeThrows) {
+  Runtime::run(1, [](Comm& world) {
+    ProcGrid2D grid(world);
+    DistSpMat mat(grid, gen::path(6));
+    std::vector<index_t> short_labels{0, 1, 2};
+    EXPECT_THROW(redistribute_permuted(mat, short_labels, grid), CheckError);
+  });
+}
+
+}  // namespace
+}  // namespace drcm::dist

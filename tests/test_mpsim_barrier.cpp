@@ -1,0 +1,75 @@
+// Unit tests for the reusable SPMD barrier.
+#include "mpsim/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace drcm::mps {
+namespace {
+
+TEST(Barrier, SingleParticipantNeverBlocks) {
+  Barrier b(1);
+  for (int i = 0; i < 100; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(Barrier, RejectsNonPositiveParticipantCount) {
+  EXPECT_THROW(Barrier(0), CheckError);
+  EXPECT_THROW(Barrier(-3), CheckError);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  // Each thread increments a counter, crosses the barrier, and checks that
+  // every increment from the previous phase is visible.
+  constexpr int kThreads = 8;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::atomic<bool> failed{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 1; phase <= kPhases; ++phase) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+        if (counter.load(std::memory_order_relaxed) < phase * kThreads) {
+          failed.store(true);
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, ReportsParticipantCount) {
+  Barrier b(7);
+  EXPECT_EQ(b.participants(), 7);
+}
+
+TEST(Barrier, ManyReusesSameBarrier) {
+  constexpr int kThreads = 4;
+  Barrier barrier(kThreads);
+  std::atomic<long> sum{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        sum.fetch_add(1, std::memory_order_relaxed);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(sum.load(), 500L * kThreads);
+}
+
+}  // namespace
+}  // namespace drcm::mps

@@ -1,0 +1,96 @@
+// Unit tests for the alpha-beta-gamma cost model formulas.
+#include "mpsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drcm::mps {
+namespace {
+
+MachineParams simple_params() {
+  MachineParams p;
+  p.alpha = 1.0;   // 1 second per message: costs readable in the tests
+  p.beta = 0.01;   // per word
+  p.gamma = 0.001; // per work unit
+  return p;
+}
+
+TEST(CostModel, SingleRankCollectivesAreFree) {
+  CostModel m(simple_params());
+  EXPECT_DOUBLE_EQ(m.barrier(1).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.bcast(1, 100).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.allreduce(1, 1).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.allgatherv(1, 100).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.alltoallv(1, 100, 100).seconds, 0.0);
+  EXPECT_DOUBLE_EQ(m.exscan(1, 1).seconds, 0.0);
+}
+
+TEST(CostModel, BarrierIsLogDepth) {
+  CostModel m(simple_params());
+  EXPECT_EQ(m.barrier(2).messages, 1u);
+  EXPECT_EQ(m.barrier(4).messages, 2u);
+  EXPECT_EQ(m.barrier(5).messages, 3u);
+  EXPECT_EQ(m.barrier(1024).messages, 10u);
+}
+
+TEST(CostModel, AllgathervIsLinearInRanks) {
+  // The paper's T_SpMSpV has an alpha*sqrt(p) per-iteration latency term:
+  // allgatherv on a q-rank (sub)communicator must cost (q-1) messages.
+  CostModel m(simple_params());
+  EXPECT_EQ(m.allgatherv(8, 0).messages, 7u);
+  EXPECT_EQ(m.allgatherv(32, 0).messages, 31u);
+  EXPECT_NEAR(m.allgatherv(8, 1000).seconds, 7.0 + 0.01 * 1000, 1e-12);
+}
+
+TEST(CostModel, AlltoallvChargesMaxDirection) {
+  CostModel m(simple_params());
+  const auto c1 = m.alltoallv(4, 100, 900);
+  const auto c2 = m.alltoallv(4, 900, 100);
+  EXPECT_DOUBLE_EQ(c1.seconds, c2.seconds);
+  EXPECT_EQ(c1.words, 900u);
+  EXPECT_NEAR(c1.seconds, 3.0 + 0.01 * 900, 1e-12);
+}
+
+TEST(CostModel, AllreduceIsTwiceTreeDepth) {
+  CostModel m(simple_params());
+  EXPECT_EQ(m.allreduce(16, 1).messages, 8u);
+  EXPECT_NEAR(m.allreduce(16, 1).seconds, 8 * (1.0 + 0.01), 1e-12);
+}
+
+TEST(CostModel, ComputeSecondsScalesWithGamma) {
+  CostModel m(simple_params());
+  EXPECT_NEAR(m.compute_seconds(1e6), 1000.0, 1e-9);
+}
+
+TEST(CostModel, PairwiseIsOneMessage) {
+  CostModel m(simple_params());
+  const auto c = m.pairwise(500);
+  EXPECT_EQ(c.messages, 1u);
+  EXPECT_NEAR(c.seconds, 1.0 + 5.0, 1e-12);
+}
+
+TEST(CostModel, RejectsInvalidCommunicatorSize) {
+  CostModel m(simple_params());
+  EXPECT_THROW(m.barrier(0), CheckError);
+}
+
+TEST(CostModel, CommCostAccumulates) {
+  CommCost a{1.0, 2, 3};
+  CommCost b{0.5, 1, 7};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.seconds, 1.5);
+  EXPECT_EQ(a.messages, 3u);
+  EXPECT_EQ(a.words, 10u);
+}
+
+TEST(CostModel, DefaultParametersAreSane) {
+  // Guards against accidental unit mix-ups in the calibrated constants:
+  // latency must dominate per-word cost, which must dominate per-op cost.
+  MachineParams p;
+  EXPECT_GT(p.alpha, p.beta);
+  EXPECT_GT(p.beta, 0.0);
+  EXPECT_GT(p.gamma, 0.0);
+  EXPECT_GT(p.cores_per_node, 0);
+}
+
+}  // namespace
+}  // namespace drcm::mps

@@ -1,0 +1,123 @@
+// Tests for the SPMD launcher: error propagation, poisoning, reports.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "mpsim/comm.hpp"
+#include "mpsim/runtime.hpp"
+
+namespace drcm::mps {
+namespace {
+
+TEST(Runtime, RunsBodyOncePerRank) {
+  std::atomic<int> executions{0};
+  Runtime::run(6, [&](Comm& comm) {
+    EXPECT_EQ(comm.size(), 6);
+    executions.fetch_add(1);
+  });
+  EXPECT_EQ(executions.load(), 6);
+}
+
+TEST(Runtime, RejectsNonPositiveRankCount) {
+  EXPECT_THROW(Runtime::run(0, [](Comm&) {}), CheckError);
+}
+
+TEST(Runtime, PropagatesExceptionFromSingleRank) {
+  EXPECT_THROW(
+      Runtime::run(1, [](Comm&) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
+}
+
+TEST(Runtime, FailingRankDoesNotDeadlockPeersInCollective) {
+  // Rank 1 throws while every other rank is blocked in a barrier; the
+  // runtime must poison the world and rethrow the ORIGINAL error.
+  try {
+    Runtime::run(4, [](Comm& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("original failure");
+      comm.barrier();   // would deadlock without poisoning
+      comm.barrier();
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "original failure");
+  }
+}
+
+TEST(Runtime, PoisonReachesSubcommunicators) {
+  try {
+    Runtime::run(4, [](Comm& comm) {
+      Comm sub = comm.split(comm.rank() % 2, comm.rank());
+      if (comm.rank() == 3) throw std::logic_error("sub failure");
+      sub.barrier();
+      sub.barrier();
+      sub.barrier();
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "sub failure");
+  }
+}
+
+TEST(Runtime, ReportHasOneRecorderPerRank) {
+  const auto report = Runtime::run(5, [](Comm& comm) { comm.barrier(); });
+  EXPECT_EQ(report.ranks.size(), 5u);
+}
+
+TEST(Runtime, ModeledMakespanSumsPhaseMaxima) {
+  const auto report = Runtime::run(2, [](Comm& comm) {
+    {
+      PhaseScope scope(comm, Phase::kOrderingSpmspv);
+      comm.charge_compute(comm.rank() == 0 ? 100.0 : 300.0);
+    }
+    {
+      PhaseScope scope(comm, Phase::kOrderingSort);
+      comm.charge_compute(comm.rank() == 0 ? 50.0 : 10.0);
+    }
+  });
+  const double gamma = report.machine.gamma;
+  // makespan = max(100,300)*gamma + max(50,10)*gamma (no comm charged).
+  EXPECT_NEAR(report.modeled_makespan(), (300.0 + 50.0) * gamma, 1e-12);
+}
+
+TEST(Runtime, PhaseScopeRecordsWallTime) {
+  const auto report = Runtime::run(1, [](Comm& comm) {
+    PhaseScope scope(comm, Phase::kSolver);
+    volatile double sink = 0;
+    for (int i = 0; i < 100000; ++i) sink = sink + i;
+  });
+  EXPECT_GT(report.aggregate(Phase::kSolver).max.wall_seconds, 0.0);
+}
+
+TEST(Runtime, CustomMachineParamsArePropagated) {
+  MachineParams mp;
+  mp.gamma = 1.0;
+  const auto report = Runtime::run(1, [](Comm& comm) {
+    comm.charge_compute(2.5);
+  }, mp);
+  EXPECT_DOUBLE_EQ(report.aggregate(Phase::kOther).max.model_compute_seconds, 2.5);
+}
+
+TEST(Runtime, AggregateMeanAndMaxDiffer) {
+  const auto report = Runtime::run(4, [](Comm& comm) {
+    PhaseScope scope(comm, Phase::kSolver);
+    comm.charge_compute(100.0 * (comm.rank() + 1));
+  });
+  const auto agg = report.aggregate(Phase::kSolver);
+  EXPECT_DOUBLE_EQ(agg.max.compute_units, 400.0);
+  EXPECT_DOUBLE_EQ(agg.mean.compute_units, 250.0);
+}
+
+TEST(Runtime, OversubscribedRankCountsComplete) {
+  // 64 ranks on 2 cores: collectives must still terminate promptly.
+  const auto report = Runtime::run(64, [](Comm& comm) {
+    for (int i = 0; i < 3; ++i) {
+      const auto sum = comm.allreduce(static_cast<std::int64_t>(1),
+                                      [](std::int64_t a, std::int64_t b) { return a + b; });
+      EXPECT_EQ(sum, 64);
+    }
+  });
+  EXPECT_EQ(report.ranks.size(), 64u);
+}
+
+}  // namespace
+}  // namespace drcm::mps

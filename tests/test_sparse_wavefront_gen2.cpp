@@ -1,0 +1,135 @@
+// Tests for wavefront metrics and the second wave of generators
+// (random geometric, small world).
+#include <gtest/gtest.h>
+
+#include "order/rcm_serial.hpp"
+#include "order/sloan.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph_algo.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+#include "sparse/wavefront.hpp"
+
+namespace drcm::sparse {
+namespace {
+
+namespace gen = sparse::gen;
+
+TEST(Wavefront, PathIsConstantTwo) {
+  // Eliminating a path front-to-back keeps exactly {i, i+1} active.
+  const auto a = gen::path(20);
+  const auto m = wavefront(a);
+  EXPECT_EQ(m.max_wavefront, 2);
+  EXPECT_GT(m.mean_wavefront, 1.0);
+  EXPECT_LE(m.mean_wavefront, 2.0);
+}
+
+TEST(Wavefront, EmptyAndSingleton) {
+  EXPECT_EQ(wavefront(gen::empty_graph(0)).max_wavefront, 0);
+  const auto m = wavefront(gen::empty_graph(5));
+  EXPECT_EQ(m.max_wavefront, 1);  // each isolated row active only at itself
+  EXPECT_DOUBLE_EQ(m.mean_wavefront, 1.0);
+  EXPECT_DOUBLE_EQ(m.rms_wavefront, 1.0);
+}
+
+TEST(Wavefront, StarDependsOnCenterPosition) {
+  // Center first: every leaf becomes active at step 0 -> max wavefront n.
+  // Center last: leaves activate only at their own step -> max wavefront 2.
+  const index_t n = 12;
+  const auto a = gen::star(n);
+  EXPECT_EQ(wavefront(a).max_wavefront, n);
+  std::vector<index_t> center_last(static_cast<std::size_t>(n));
+  center_last[0] = n - 1;
+  for (index_t v = 1; v < n; ++v) center_last[static_cast<std::size_t>(v)] = v - 1;
+  EXPECT_EQ(wavefront_with_labels(a, center_last).max_wavefront, 2);
+}
+
+TEST(Wavefront, MatchesMaterializedPermutation) {
+  const auto a = gen::grid2d_9pt(9, 7);
+  const auto labels = random_permutation(a.n(), 5);
+  const auto direct = wavefront_with_labels(a, labels);
+  const auto materialized = wavefront(permute_symmetric(a, labels));
+  EXPECT_EQ(direct.max_wavefront, materialized.max_wavefront);
+  EXPECT_DOUBLE_EQ(direct.mean_wavefront, materialized.mean_wavefront);
+  EXPECT_DOUBLE_EQ(direct.rms_wavefront, materialized.rms_wavefront);
+}
+
+TEST(Wavefront, BoundedByBandwidthPlusOne) {
+  // Every active row is within the bandwidth of the current step.
+  for (u64 seed : {1u, 2u, 3u}) {
+    const auto a = gen::erdos_renyi(120, 5.0, seed);
+    const auto m = wavefront(a);
+    EXPECT_LE(m.max_wavefront, bandwidth(a) + 1) << seed;
+    EXPECT_LE(m.rms_wavefront, static_cast<double>(m.max_wavefront)) << seed;
+    EXPECT_LE(m.mean_wavefront, m.rms_wavefront) << seed;
+  }
+}
+
+TEST(Wavefront, RcmAndSloanShrinkIt) {
+  // The Karantasis-baseline claim: reordering reduces wavefront too.
+  const auto a = gen::relabel_random(gen::grid2d(22, 22), 7);
+  const auto before = wavefront(a);
+  const auto rcm = wavefront_with_labels(a, order::rcm_serial(a));
+  const auto slo = wavefront_with_labels(a, order::sloan(a));
+  EXPECT_LT(rcm.max_wavefront * 4, before.max_wavefront);
+  EXPECT_LT(slo.rms_wavefront, before.rms_wavefront / 2);
+}
+
+TEST(Wavefront, LabelSizeMismatchThrows) {
+  std::vector<index_t> short_labels{0, 1};
+  EXPECT_THROW(wavefront_with_labels(gen::path(3), short_labels), CheckError);
+}
+
+TEST(RandomGeometric, BasicStructure) {
+  const auto a = gen::random_geometric(500, 0.08, 11);
+  EXPECT_TRUE(a.is_pattern_symmetric());
+  EXPECT_FALSE(a.has_self_loops());
+  EXPECT_GT(a.nnz(), 0);
+  // Determinism per seed.
+  const auto b = gen::random_geometric(500, 0.08, 11);
+  EXPECT_EQ(a.nnz(), b.nnz());
+}
+
+TEST(RandomGeometric, RadiusControlsDensity) {
+  const auto sparse_g = gen::random_geometric(400, 0.05, 3);
+  const auto dense_g = gen::random_geometric(400, 0.15, 3);
+  EXPECT_LT(sparse_g.nnz(), dense_g.nnz());
+}
+
+TEST(RandomGeometric, MeshLikeOrderability) {
+  // Geometric graphs are RCM-friendly: bandwidth ~ O(sqrt(n)) after RCM.
+  const auto a = gen::random_geometric(800, 0.07, 9);
+  const auto labels = order::rcm_serial(a);
+  EXPECT_LT(bandwidth_with_labels(a, labels), 200);
+}
+
+TEST(RandomGeometric, RejectsBadRadius) {
+  EXPECT_THROW(gen::random_geometric(10, 0.0, 1), CheckError);
+  EXPECT_THROW(gen::random_geometric(10, 1.5, 1), CheckError);
+}
+
+TEST(SmallWorld, NoRewiringIsRingLattice) {
+  const auto a = gen::small_world(30, 2, 0.0, 5);
+  EXPECT_TRUE(a.is_pattern_symmetric());
+  for (index_t v = 0; v < 30; ++v) EXPECT_EQ(a.degree(v), 4);
+  EXPECT_EQ(connected_components(a).count, 1);
+}
+
+TEST(SmallWorld, RewiringShrinksDiameterAndHurtsRcm) {
+  const auto lattice = gen::small_world(400, 3, 0.0, 7);
+  const auto rewired = gen::small_world(400, 3, 0.3, 7);
+  EXPECT_LT(pseudo_diameter(rewired, 0), pseudo_diameter(lattice, 0));
+  const auto bw_lat =
+      bandwidth_with_labels(lattice, order::rcm_serial(lattice));
+  const auto bw_rew =
+      bandwidth_with_labels(rewired, order::rcm_serial(rewired));
+  EXPECT_LT(bw_lat, bw_rew);  // long-range edges defeat bandwidth reduction
+}
+
+TEST(SmallWorld, RejectsBadParameters) {
+  EXPECT_THROW(gen::small_world(10, 0, 0.1, 1), CheckError);
+  EXPECT_THROW(gen::small_world(10, 2, 1.5, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace drcm::sparse
