@@ -1,0 +1,68 @@
+// 2D-partitioned sparse matrix: rank (r, c) stores the block with rows in
+// chunk r and columns in chunk c of the conformal vector distribution.
+//
+// Blocks are stored CSC (by local column, row lists sorted ascending)
+// because SpMSpV streams frontier entries through columns. The input
+// pattern must be structurally symmetric (the RCM precondition), which
+// makes per-column counts equal to vertex degrees.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/dist_vector.hpp"
+#include "dist/proc_grid.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::dist {
+
+class DistSpMat {
+ public:
+  /// Builds my block from the replicated matrix. Collective only in the
+  /// sense that every rank must construct the same matrix on the same grid.
+  DistSpMat(ProcGrid2D& grid, const sparse::CsrMatrix& a);
+
+  /// Assembles a matrix directly from my local CSC block (used by
+  /// redistribute_permuted, which never materializes the global matrix).
+  static DistSpMat from_local_csc(ProcGrid2D& grid, index_t n,
+                                  std::vector<nnz_t> col_ptr,
+                                  std::vector<index_t> rows);
+
+  index_t n() const { return dist_.n(); }
+  const VectorDist& vec_dist() const { return dist_; }
+
+  index_t row_lo() const { return row_lo_; }
+  index_t row_hi() const { return row_hi_; }
+  index_t col_lo() const { return col_lo_; }
+  index_t col_hi() const { return col_hi_; }
+  index_t local_rows() const { return row_hi_ - row_lo_; }
+  index_t local_cols() const { return col_hi_ - col_lo_; }
+  nnz_t local_nnz() const { return static_cast<nnz_t>(rows_.size()); }
+
+  /// Local row indices of local column lc, ascending.
+  std::span<const index_t> column(index_t lc) const {
+    DRCM_DCHECK(lc >= 0 && lc < local_cols());
+    const auto b = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(lc)]);
+    const auto e = static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(lc) + 1]);
+    return {rows_.data() + b, e - b};
+  }
+
+  /// Total stored entries across all blocks. Collective.
+  nnz_t global_nnz(mps::Comm& world) const;
+
+  /// The distributed degree vector D (per-column counts summed along the
+  /// processor column; equals row degrees for a symmetric pattern).
+  /// Collective.
+  DistDenseVec degrees(ProcGrid2D& grid) const;
+
+ private:
+  DistSpMat() = default;
+
+  VectorDist dist_{};
+  index_t row_lo_ = 0, row_hi_ = 0;
+  index_t col_lo_ = 0, col_hi_ = 0;
+  std::vector<nnz_t> col_ptr_{0};
+  std::vector<index_t> rows_;  ///< local row ids, sorted within each column
+};
+
+}  // namespace drcm::dist

@@ -1,0 +1,80 @@
+#include "dist/dist_vector.hpp"
+
+namespace drcm::dist {
+
+DistDenseVec::DistDenseVec(const VectorDist& dist, ProcGrid2D& grid,
+                           index_t init)
+    : dist_(dist) {
+  DRCM_CHECK(dist.q() == grid.q(), "vector distribution does not fit grid");
+  const auto [lo, hi] = dist.owned_range(grid.row(), grid.col());
+  lo_ = lo;
+  hi_ = hi;
+  data_.assign(static_cast<std::size_t>(hi_ - lo_), init);
+}
+
+std::vector<index_t> DistDenseVec::to_global(mps::Comm& world) const {
+  const int q = dist_.q();
+  DRCM_CHECK(world.size() == q * q, "to_global needs the grid's world comm");
+  const auto all = world.allgatherv(std::span<const index_t>(data_));
+  std::vector<index_t> global(static_cast<std::size_t>(dist_.n()));
+  // allgatherv concatenates in world-rank order; owned ranges are known
+  // arithmetically, so each block lands at its global offset.
+  std::size_t pos = 0;
+  for (int w = 0; w < world.size(); ++w) {
+    const auto [lo, hi] = dist_.owned_range(w / q, w % q);
+    for (index_t g = lo; g < hi; ++g) {
+      global[static_cast<std::size_t>(g)] = all[pos++];
+    }
+  }
+  return global;
+}
+
+DistSpVec::DistSpVec(const VectorDist& dist, ProcGrid2D& grid) : dist_(dist) {
+  DRCM_CHECK(dist.q() == grid.q(), "vector distribution does not fit grid");
+  const auto [lo, hi] = dist.owned_range(grid.row(), grid.col());
+  lo_ = lo;
+  hi_ = hi;
+}
+
+void DistSpVec::assign(std::vector<VecEntry> entries) {
+  index_t prev = lo_ - 1;
+  for (const auto& e : entries) {
+    DRCM_CHECK(e.idx >= lo_ && e.idx < hi_, "sparse entry not locally owned");
+    DRCM_CHECK(e.idx > prev, "sparse entries must be strictly ascending");
+    prev = e.idx;
+  }
+  entries_ = std::move(entries);
+}
+
+index_t DistSpVec::global_nnz(mps::Comm& world) const {
+  return world.allreduce(local_nnz(),
+                         [](index_t a, index_t b) { return a + b; });
+}
+
+std::vector<VecEntry> DistSpVec::to_global(mps::Comm& world) const {
+  const int q = dist_.q();
+  DRCM_CHECK(world.size() == q * q, "to_global needs the grid's world comm");
+  const auto counts = world.allgather(local_nnz());
+  const auto all = world.allgatherv(std::span<const VecEntry>(entries_));
+  // Per-rank block offsets within the rank-order concatenation.
+  std::vector<std::size_t> offset(static_cast<std::size_t>(world.size()) + 1, 0);
+  for (int w = 0; w < world.size(); ++w) {
+    offset[static_cast<std::size_t>(w) + 1] =
+        offset[static_cast<std::size_t>(w)] +
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(w)]);
+  }
+  // Owned ranges ascend in (col, row) grid order, so emitting blocks in
+  // that order yields a globally index-sorted list without sorting.
+  std::vector<VecEntry> global;
+  global.reserve(offset.back());
+  for (int c = 0; c < q; ++c) {
+    for (int r = 0; r < q; ++r) {
+      const auto w = static_cast<std::size_t>(r * q + c);
+      global.insert(global.end(), all.begin() + static_cast<std::ptrdiff_t>(offset[w]),
+                    all.begin() + static_cast<std::ptrdiff_t>(offset[w + 1]));
+    }
+  }
+  return global;
+}
+
+}  // namespace drcm::dist

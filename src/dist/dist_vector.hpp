@@ -1,0 +1,173 @@
+// Vector distribution math and the dense / sparse distributed vectors.
+//
+// A length-n vector on a q x q grid is cut into q chunks (chunk c is
+// conformal with the matrix columns of processor column c), and each chunk
+// is cut again into q sub-chunks, one per grid row. Element g is owned by
+// exactly one rank: (owner_row(g), owner_col(g)). All cuts are balanced
+// (sizes differ by at most one) and purely arithmetic, so every rank can
+// compute any owner without communication — the property the SpMSpV
+// routing and SORTPERM bucket routing rely on.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "dist/proc_grid.hpp"
+
+namespace drcm::dist {
+
+/// One entry of a sparse distributed vector: (global index, value). The
+/// value carries labels / levels through the (select2nd, min) semiring.
+struct VecEntry {
+  index_t idx;
+  index_t val;
+  friend bool operator==(const VecEntry&, const VecEntry&) = default;
+};
+
+/// The ownership arithmetic for one vector length on one grid side q.
+class VectorDist {
+ public:
+  VectorDist() = default;
+  VectorDist(index_t n, int q) : n_(n), q_(q) {
+    DRCM_CHECK(n >= 0 && q >= 1, "VectorDist needs n >= 0 and q >= 1");
+  }
+
+  index_t n() const { return n_; }
+  int q() const { return q_; }
+
+  /// First element of chunk c (c in [0, q]; chunk_lo(q) == n).
+  index_t chunk_lo(int c) const {
+    DRCM_DCHECK(c >= 0 && c <= q_);
+    return (static_cast<index_t>(c) * n_) / q_;
+  }
+  index_t chunk_size(int c) const { return chunk_lo(c + 1) - chunk_lo(c); }
+
+  /// First element of sub-chunk r of chunk c (r in [0, q];
+  /// sub_lo(c, q) == chunk_lo(c + 1)).
+  index_t sub_lo(int c, int r) const {
+    DRCM_DCHECK(r >= 0 && r <= q_);
+    return chunk_lo(c) + (static_cast<index_t>(r) * chunk_size(c)) / q_;
+  }
+  index_t sub_size(int c, int r) const { return sub_lo(c, r + 1) - sub_lo(c, r); }
+
+  /// Chunk containing element g == the grid column whose matrix columns
+  /// are conformal with g.
+  int owner_col(index_t g) const {
+    DRCM_DCHECK(g >= 0 && g < n_);
+    int c = static_cast<int>((g * q_) / n_);
+    if (c >= q_) c = q_ - 1;
+    while (c > 0 && chunk_lo(c) > g) --c;
+    while (c + 1 < q_ && chunk_lo(c + 1) <= g) ++c;
+    return c;
+  }
+
+  /// Sub-chunk of chunk owner_col(g) containing g == the grid row of g's
+  /// owner.
+  int owner_row(index_t g) const {
+    const int c = owner_col(g);
+    const index_t off = g - chunk_lo(c);
+    const index_t sz = chunk_size(c);
+    int r = static_cast<int>((off * q_) / (sz > 0 ? sz : 1));
+    if (r >= q_) r = q_ - 1;
+    while (r > 0 && sub_lo(c, r) > g) --r;
+    while (r + 1 < q_ && sub_lo(c, r + 1) <= g) ++r;
+    return r;
+  }
+
+  /// Elements owned by the rank at grid position (r, c).
+  std::pair<index_t, index_t> owned_range(int r, int c) const {
+    return {sub_lo(c, r), sub_lo(c, r + 1)};
+  }
+
+  /// World rank owning element g.
+  int owner_rank(index_t g) const { return owner_row(g) * q_ + owner_col(g); }
+
+  friend bool operator==(const VectorDist&, const VectorDist&) = default;
+
+ private:
+  index_t n_ = 0;
+  int q_ = 1;
+};
+
+/// Dense distributed vector of index_t (the paper's R, D and level
+/// vectors): each rank stores exactly its owned range.
+class DistDenseVec {
+ public:
+  DistDenseVec() = default;
+  DistDenseVec(const VectorDist& dist, ProcGrid2D& grid, index_t init = 0);
+
+  index_t lo() const { return lo_; }
+  index_t hi() const { return hi_; }
+  index_t local_size() const { return hi_ - lo_; }
+  bool owns(index_t g) const { return g >= lo_ && g < hi_; }
+
+  index_t get(index_t g) const {
+    DRCM_DCHECK(owns(g), "get of unowned element");
+    return data_[static_cast<std::size_t>(g - lo_)];
+  }
+  void set(index_t g, index_t v) {
+    DRCM_DCHECK(owns(g), "set of unowned element");
+    data_[static_cast<std::size_t>(g - lo_)] = v;
+  }
+
+  const VectorDist& dist() const { return dist_; }
+
+  /// Replicates the full vector on every rank, in global index order.
+  /// Collective.
+  std::vector<index_t> to_global(mps::Comm& world) const;
+
+ private:
+  VectorDist dist_{};
+  index_t lo_ = 0;
+  index_t hi_ = 0;
+  std::vector<index_t> data_;
+};
+
+/// Sparse distributed vector (the paper's frontiers): each rank holds the
+/// entries of its owned range, strictly ascending by index.
+class DistSpVec {
+ public:
+  DistSpVec() = default;
+  DistSpVec(const VectorDist& dist, ProcGrid2D& grid);
+
+  index_t lo() const { return lo_; }
+  index_t hi() const { return hi_; }
+
+  /// Replaces the local entries. Every entry must be owned and the list
+  /// strictly ascending by index (throws CheckError otherwise).
+  void assign(std::vector<VecEntry> entries);
+
+  /// A vector with my distribution and ownership holding `entries`
+  /// (validated as in assign) — result construction without copying my
+  /// own entries first.
+  DistSpVec sibling(std::vector<VecEntry> entries) const {
+    DistSpVec out;
+    out.dist_ = dist_;
+    out.lo_ = lo_;
+    out.hi_ = hi_;
+    out.assign(std::move(entries));
+    return out;
+  }
+
+  const std::vector<VecEntry>& entries() const { return entries_; }
+  index_t local_nnz() const { return static_cast<index_t>(entries_.size()); }
+
+  /// Total entry count across ranks. Collective.
+  index_t global_nnz(mps::Comm& world) const;
+
+  /// Replicates all entries on every rank, ascending by index. Collective.
+  std::vector<VecEntry> to_global(mps::Comm& world) const;
+
+  const VectorDist& dist() const { return dist_; }
+
+ private:
+  VectorDist dist_{};
+  index_t lo_ = 0;
+  index_t hi_ = 0;
+  std::vector<VecEntry> entries_;
+};
+
+}  // namespace drcm::dist

@@ -1,0 +1,82 @@
+// The sqrt(p) x sqrt(p) process grid of the paper's 2D decomposition.
+//
+// World rank w sits at grid position (row, col) = (w / q, w % q). The grid
+// owns the two sub-communicators every 2D kernel needs:
+//   * row_comm: the q ranks sharing my grid row (SpMSpV result merge),
+//   * col_comm: the q ranks sharing my grid column (frontier gather).
+// Both are formed with Comm::split exactly once at construction, so the
+// split cost is paid during setup, not inside kernels.
+#pragma once
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "mpsim/comm.hpp"
+
+namespace drcm::dist {
+
+/// floor(sqrt(p)) by integer search.
+inline int grid_side_floor(int p) {
+  DRCM_CHECK(p > 0, "grid needs at least one rank");
+  int s = 1;
+  while ((s + 1) * (s + 1) <= p) ++s;
+  return s;
+}
+
+/// Largest perfect square <= p: the number of ranks a square grid can use.
+inline int largest_square_grid(int p) {
+  const int s = grid_side_floor(p);
+  return s * s;
+}
+
+class ProcGrid2D {
+ public:
+  /// Collective on `world`, whose size must be a perfect square.
+  explicit ProcGrid2D(mps::Comm& world)
+      : world_(world),
+        q_(side_of(world.size())),
+        row_(world.rank() / q_),
+        col_(world.rank() % q_),
+        row_comm_(world.split(/*color=*/row_, /*key=*/col_)),
+        col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {}
+
+  ProcGrid2D(const ProcGrid2D&) = delete;
+  ProcGrid2D& operator=(const ProcGrid2D&) = delete;
+
+  /// Grid side length: sqrt of the world size.
+  int q() const { return q_; }
+  int row() const { return row_; }
+  int col() const { return col_; }
+
+  mps::Comm& world() { return world_; }
+  /// The q ranks with my row index, ranked by column.
+  mps::Comm& row_comm() { return row_comm_; }
+  /// The q ranks with my column index, ranked by row.
+  mps::Comm& col_comm() { return col_comm_; }
+
+  /// World rank of grid position (r, c).
+  int world_rank_of(int r, int c) const {
+    DRCM_DCHECK(r >= 0 && r < q_ && c >= 0 && c < q_);
+    return r * q_ + c;
+  }
+
+  /// World rank of my mirror across the diagonal: (col, row). The SpMSpV
+  /// realignment pairs every rank with its transpose partner.
+  int transpose_partner() const { return world_rank_of(col_, row_); }
+
+ private:
+  static int side_of(int size) {
+    const int s = grid_side_floor(size);
+    DRCM_CHECK(s * s == size,
+               "ProcGrid2D needs a perfect-square number of ranks");
+    return s;
+  }
+
+  mps::Comm& world_;
+  int q_;
+  int row_;
+  int col_;
+  mps::Comm row_comm_;
+  mps::Comm col_comm_;
+};
+
+}  // namespace drcm::dist

@@ -1,0 +1,91 @@
+#include "dist/redistribute.hpp"
+
+#include <algorithm>
+
+namespace drcm::dist {
+
+namespace {
+
+/// One matrix entry in flight, already relabeled to its new coordinates.
+struct MatEntry {
+  index_t row;
+  index_t col;
+};
+
+}  // namespace
+
+DistSpMat redistribute_permuted(const DistSpMat& a,
+                                const std::vector<index_t>& labels,
+                                ProcGrid2D& grid) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels must cover every vertex");
+  auto& world = grid.world();
+  const auto& dist = a.vec_dist();
+
+  // Relabel my entries and ship each to the rank owning its new block:
+  // grid position (row chunk of new row, column chunk of new column).
+  std::vector<std::vector<MatEntry>> send(
+      static_cast<std::size_t>(world.size()));
+  for (index_t lc = 0; lc < a.local_cols(); ++lc) {
+    const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
+    DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
+    const int cc = dist.owner_col(nc);
+    for (const index_t lr : a.column(lc)) {
+      const index_t nr = labels[static_cast<std::size_t>(lr + a.row_lo())];
+      const int dest = grid.world_rank_of(dist.owner_col(nr), cc);
+      send[static_cast<std::size_t>(dest)].push_back(MatEntry{nr, nc});
+    }
+  }
+  const auto recv = world.alltoallv(send);
+
+  // Rebuild my CSC block: count per column, prefix, fill, sort row lists.
+  const index_t row_lo = dist.chunk_lo(grid.row());
+  const index_t col_lo = dist.chunk_lo(grid.col());
+  const auto ncols = static_cast<std::size_t>(dist.chunk_size(grid.col()));
+  std::vector<nnz_t> col_ptr(ncols + 1, 0);
+  for (const auto& e : recv) {
+    ++col_ptr[static_cast<std::size_t>(e.col - col_lo) + 1];
+  }
+  for (std::size_t c = 0; c < ncols; ++c) col_ptr[c + 1] += col_ptr[c];
+  std::vector<index_t> rows(recv.size());
+  std::vector<nnz_t> next(col_ptr.begin(), col_ptr.end() - 1);
+  for (const auto& e : recv) {
+    const auto lc = static_cast<std::size_t>(e.col - col_lo);
+    rows[static_cast<std::size_t>(next[lc]++)] = e.row - row_lo;
+  }
+  for (std::size_t c = 0; c < ncols; ++c) {
+    std::sort(rows.begin() + static_cast<std::ptrdiff_t>(col_ptr[c]),
+              rows.begin() + static_cast<std::ptrdiff_t>(col_ptr[c + 1]));
+  }
+  world.charge_compute(static_cast<double>(a.local_nnz() + recv.size()) +
+                       static_cast<double>(ncols));
+  return DistSpMat::from_local_csc(grid, a.n(), std::move(col_ptr),
+                                   std::move(rows));
+}
+
+DistDenseVec redistribute_permuted(const DistDenseVec& v,
+                                   const std::vector<index_t>& labels,
+                                   ProcGrid2D& grid) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(v.dist().n()),
+             "labels must cover every element");
+  auto& world = grid.world();
+  const auto& dist = v.dist();
+
+  std::vector<std::vector<VecEntry>> send(
+      static_cast<std::size_t>(world.size()));
+  for (index_t g = v.lo(); g < v.hi(); ++g) {
+    const index_t ng = labels[static_cast<std::size_t>(g)];
+    DRCM_DCHECK(ng >= 0 && ng < dist.n(), "label out of range");
+    send[static_cast<std::size_t>(dist.owner_rank(ng))].push_back(
+        VecEntry{ng, v.get(g)});
+  }
+  const auto recv = world.alltoallv(send);
+  DistDenseVec out(dist, grid, 0);
+  DRCM_CHECK(recv.size() == static_cast<std::size_t>(out.local_size()),
+             "permutation must re-own every element exactly once");
+  for (const auto& e : recv) out.set(e.idx, e.val);
+  world.charge_compute(static_cast<double>(v.local_size() + recv.size()));
+  return out;
+}
+
+}  // namespace drcm::dist

@@ -1,0 +1,30 @@
+// Permutation-driven re-owning: apply a relabeling to distributed data
+// without ever gathering it — the paper's conclusion pipeline ("the matrix
+// can be permuted in place in parallel").
+//
+// Every entry knows its destination arithmetically (the owner maps of
+// VectorDist / the block map of DistSpMat), so one alltoallv moves
+// everything and a local rebuild restores the invariants.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_vector.hpp"
+
+namespace drcm::dist {
+
+/// Returns the distributed matrix B with B(labels[i], labels[j]) = A(i, j):
+/// the 2D-partitioned equivalent of sparse::permute_symmetric. `labels` is
+/// the replicated new-index-of vector (size n). Collective.
+DistSpMat redistribute_permuted(const DistSpMat& a,
+                                const std::vector<index_t>& labels,
+                                ProcGrid2D& grid);
+
+/// Same for a dense vector: out[labels[g]] = v[g], re-owned accordingly.
+/// Collective.
+DistDenseVec redistribute_permuted(const DistDenseVec& v,
+                                   const std::vector<index_t>& labels,
+                                   ProcGrid2D& grid);
+
+}  // namespace drcm::dist

@@ -1,0 +1,289 @@
+#include "dist/sortperm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drcm::dist {
+
+namespace {
+
+/// One element in flight: (parent bucket, degree, global index).
+struct SortRec {
+  index_t bucket;
+  index_t degree;
+  index_t idx;
+};
+
+bool rec_less(const SortRec& a, const SortRec& b) {
+  if (a.bucket != b.bucket) return a.bucket < b.bucket;
+  if (a.degree != b.degree) return a.degree < b.degree;
+  return a.idx < b.idx;
+}
+
+/// Emits ranks held in dense slots (indexed by idx - lo) on the support of
+/// `x`: the result is sorted by construction.
+DistSpVec emit_from_slots(const DistSpVec& x, const std::vector<index_t>& slot) {
+  auto out_entries = x.entries();
+  for (auto& e : out_entries) {
+    e.val = slot[static_cast<std::size_t>(e.idx - x.lo())];
+  }
+  return x.sibling(std::move(out_entries));
+}
+
+/// Two stable counting passes (degree, then bucket) over triples already
+/// in ascending-index order; returns the triples in final
+/// (bucket, degree, idx) order. Zero comparison sorts.
+void lsd_counting_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
+                       index_t b_hi) {
+  std::vector<index_t> cnt(static_cast<std::size_t>(dmax) + 1, 0);
+  for (const auto& rec : arr) ++cnt[static_cast<std::size_t>(rec.degree)];
+  index_t run = 0;
+  for (auto& c : cnt) {
+    const index_t c0 = c;
+    c = run;
+    run += c0;
+  }
+  std::vector<SortRec> tmp(arr.size());
+  for (const auto& rec : arr) {
+    tmp[static_cast<std::size_t>(cnt[static_cast<std::size_t>(rec.degree)]++)] = rec;
+  }
+  std::vector<index_t> bcnt(static_cast<std::size_t>(b_hi - b_lo), 0);
+  for (const auto& rec : tmp) ++bcnt[static_cast<std::size_t>(rec.bucket - b_lo)];
+  run = 0;
+  for (auto& c : bcnt) {
+    const index_t c0 = c;
+    c = run;
+    run += c0;
+  }
+  for (const auto& rec : tmp) {
+    arr[static_cast<std::size_t>(bcnt[static_cast<std::size_t>(rec.bucket - b_lo)]++)] = rec;
+  }
+}
+
+/// Routes (idx, rank) pairs to the index owners and emits the result on
+/// the support of `x`, sorted by construction via dense local slots.
+DistSpVec scatter_ranks_back(const DistSpVec& x,
+                             const std::vector<std::vector<VecEntry>>& back,
+                             mps::Comm& world) {
+  const auto got = world.alltoallv(back);
+  DRCM_CHECK(got.size() == x.entries().size(),
+             "every frontier entry must receive exactly one rank");
+  std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+  for (const auto& e : got) {
+    DRCM_DCHECK(e.idx >= x.lo() && e.idx < x.hi(), "rank routed to non-owner");
+    slot[static_cast<std::size_t>(e.idx - x.lo())] = e.val;
+  }
+  world.charge_compute(static_cast<double>(2 * got.size()));
+  return emit_from_slots(x, slot);
+}
+
+}  // namespace
+
+DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
+                          index_t label_lo, index_t label_hi,
+                          ProcGrid2D& grid) {
+  DRCM_CHECK(x.dist() == degrees.dist(),
+             "frontier and degree vector must share one distribution");
+  DRCM_CHECK(label_hi > label_lo, "empty parent label range");
+  auto& world = grid.world();
+  const int p = world.size();
+  const int q = grid.q();
+  const auto& dist = x.dist();
+  const index_t nb = label_hi - label_lo;
+
+  if (p == 1) {
+    // Degenerate single-rank grid: the entries are already the whole
+    // frontier in index order — two counting passes finish the job with
+    // no collectives.
+    std::vector<SortRec> arr;
+    arr.reserve(x.entries().size());
+    index_t dmax = 0;
+    for (const auto& e : x.entries()) {
+      DRCM_CHECK(e.val >= label_lo && e.val < label_hi,
+                 "parent label outside the frontier's label range");
+      const index_t d = degrees.get(e.idx);
+      dmax = std::max(dmax, d);
+      arr.push_back(SortRec{e.val - label_lo, d, e.idx});
+    }
+    lsd_counting_sort(arr, dmax, 0, nb);
+    std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+    for (std::size_t t = 0; t < arr.size(); ++t) {
+      slot[static_cast<std::size_t>(arr[t].idx - x.lo())] =
+          static_cast<index_t>(t);
+    }
+    world.charge_compute(static_cast<double>(4 * arr.size()) +
+                         static_cast<double>(nb + dmax + 1));
+    return emit_from_slots(x, slot);
+  }
+
+  // Local bucket histogram (validates the contiguous-range precondition),
+  // exchanged sparsely: (bucket, count) pairs in first-touch order — the
+  // accumulation below is order-blind, so no emission scan over nb.
+  std::vector<index_t> hist(static_cast<std::size_t>(nb), 0);
+  std::vector<index_t> touched;
+  touched.reserve(x.entries().size());
+  for (const auto& e : x.entries()) {
+    DRCM_CHECK(e.val >= label_lo && e.val < label_hi,
+               "parent label outside the frontier's label range");
+    if (hist[static_cast<std::size_t>(e.val - label_lo)]++ == 0) {
+      touched.push_back(e.val - label_lo);
+    }
+  }
+  std::vector<VecEntry> sparse_hist;
+  sparse_hist.reserve(touched.size());
+  for (const index_t b : touched) {
+    sparse_hist.push_back(VecEntry{b, hist[static_cast<std::size_t>(b)]});
+  }
+  const auto all_hist =
+      world.allgatherv(std::span<const VecEntry>(sparse_hist));
+
+  // Global start position of every bucket (exclusive prefix, built in
+  // place), and the worker that owns it: buckets are dealt to workers in
+  // contiguous, load-balanced stripes.
+  std::vector<index_t> g_start(static_cast<std::size_t>(nb) + 1, 0);
+  index_t m = 0;
+  for (const auto& h : all_hist) {
+    g_start[static_cast<std::size_t>(h.idx) + 1] += h.val;
+    m += h.val;
+  }
+  world.charge_compute(static_cast<double>(x.entries().size() + nb) +
+                       static_cast<double>(all_hist.size()));
+  if (m == 0) {
+    return x.sibling({});
+  }
+  for (index_t b = 0; b < nb; ++b) {
+    g_start[static_cast<std::size_t>(b) + 1] += g_start[static_cast<std::size_t>(b)];
+  }
+  const auto worker_of = [&](index_t b) {
+    const auto w = static_cast<int>((g_start[static_cast<std::size_t>(b)] * p) / m);
+    return w < p ? w : p - 1;
+  };
+
+  // Route every element (bucket, degree, idx) to its bucket's worker.
+  std::vector<std::vector<SortRec>> send(static_cast<std::size_t>(p));
+  for (const auto& e : x.entries()) {
+    const index_t b = e.val - label_lo;
+    send[static_cast<std::size_t>(worker_of(b))].push_back(
+        SortRec{b, degrees.get(e.idx), e.idx});
+  }
+  std::vector<std::int64_t> recv_counts;
+  const auto recv = world.alltoallv(send, &recv_counts);
+
+  // Replay received blocks in (col, row) source order: owned ranges ascend
+  // in that order, so the concatenation is globally index-sorted — the
+  // stability baseline both counting passes preserve. The degree maximum
+  // and my stripe's bucket range fall out of the same pass.
+  std::vector<std::size_t> offset(static_cast<std::size_t>(p) + 1, 0);
+  for (int s = 0; s < p; ++s) {
+    offset[static_cast<std::size_t>(s) + 1] =
+        offset[static_cast<std::size_t>(s)] +
+        static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(s)]);
+  }
+  std::vector<SortRec> arr;
+  arr.reserve(recv.size());
+  index_t dmax = 0;
+  index_t b_min = nb;
+  index_t b_max = 0;
+  for (int c = 0; c < q; ++c) {
+    for (int r = 0; r < q; ++r) {
+      const auto s = static_cast<std::size_t>(r * q + c);
+      for (auto i = offset[s]; i < offset[s + 1]; ++i) {
+        const auto& rec = recv[i];
+        arr.push_back(rec);
+        dmax = std::max(dmax, rec.degree);
+        b_min = std::min(b_min, rec.bucket);
+        b_max = std::max(b_max, rec.bucket);
+      }
+    }
+  }
+
+  // The two stable counting passes (degree, then parent bucket, counters
+  // restricted to my stripe's bucket range) — the final
+  // (bucket, degree, idx) order.
+  const index_t width = arr.empty() ? 0 : b_max - b_min + 1;
+  lsd_counting_sort(arr, dmax, b_min, b_min + width);
+
+  // My worker stripe starts after every bucket dealt to earlier workers:
+  // any nonempty bucket below b_min belongs to an earlier worker (the
+  // assignment is monotone), so the prefix sum already holds the answer.
+  const index_t base = arr.empty() ? 0 : g_start[static_cast<std::size_t>(b_min)];
+  world.charge_compute(static_cast<double>(3 * arr.size()) +
+                       static_cast<double>(width + dmax + 1));
+
+  // Hand each element its global position and route it home.
+  std::vector<std::vector<VecEntry>> back(static_cast<std::size_t>(p));
+  for (std::size_t t = 0; t < arr.size(); ++t) {
+    back[static_cast<std::size_t>(dist.owner_rank(arr[t].idx))].push_back(
+        VecEntry{arr[t].idx, base + static_cast<index_t>(t)});
+  }
+  return scatter_ranks_back(x, back, world);
+}
+
+DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
+                          ProcGrid2D& grid) {
+  DRCM_CHECK(x.dist() == degrees.dist(),
+             "frontier and degree vector must share one distribution");
+  auto& world = grid.world();
+  const int p = world.size();
+  const auto& dist = x.dist();
+
+  std::vector<SortRec> local;
+  for (const auto& e : x.entries()) {
+    local.push_back(SortRec{e.val, degrees.get(e.idx), e.idx});
+  }
+  std::sort(local.begin(), local.end(), rec_less);
+
+  if (p == 1) {
+    // Degenerate single-rank grid: the local sort is the global sort.
+    std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+    for (std::size_t t = 0; t < local.size(); ++t) {
+      slot[static_cast<std::size_t>(local[t].idx - x.lo())] =
+          static_cast<index_t>(t);
+    }
+    const double ml = static_cast<double>(local.size());
+    world.charge_compute(ml * std::log2(ml + 2) + ml);
+    return emit_from_slots(x, slot);
+  }
+
+  // Regular sampling: one sample per destination stratum.
+  std::vector<SortRec> samples;
+  for (int i = 0; i < p && !local.empty(); ++i) {
+    const auto pos = (static_cast<std::size_t>(i) * local.size() +
+                      local.size() / 2) / static_cast<std::size_t>(p);
+    samples.push_back(local[pos]);
+  }
+  auto all_samples = world.allgatherv(std::span<const SortRec>(samples));
+  std::sort(all_samples.begin(), all_samples.end(), rec_less);
+
+  // p-1 splitters; destination d holds (splitter[d-1], splitter[d]].
+  std::vector<SortRec> splitters;
+  for (int d = 0; d + 1 < p && !all_samples.empty(); ++d) {
+    splitters.push_back(
+        all_samples[(static_cast<std::size_t>(d) + 1) * all_samples.size() /
+                    static_cast<std::size_t>(p)]);
+  }
+  std::vector<std::vector<SortRec>> send(static_cast<std::size_t>(p));
+  {
+    std::size_t d = 0;
+    for (const auto& rec : local) {
+      while (d < splitters.size() && rec_less(splitters[d], rec)) ++d;
+      send[d].push_back(rec);
+    }
+  }
+  auto mine = world.alltoallv(send);
+  std::sort(mine.begin(), mine.end(), rec_less);
+  const auto base = world.exscan_sum(static_cast<index_t>(mine.size()));
+
+  const double ml = static_cast<double>(local.size());
+  const double mr = static_cast<double>(mine.size());
+  world.charge_compute(ml * std::log2(ml + 2) + mr * std::log2(mr + 2));
+
+  std::vector<std::vector<VecEntry>> back(static_cast<std::size_t>(p));
+  for (std::size_t t = 0; t < mine.size(); ++t) {
+    back[static_cast<std::size_t>(dist.owner_rank(mine[t].idx))].push_back(
+        VecEntry{mine[t].idx, base + static_cast<index_t>(t)});
+  }
+  return scatter_ranks_back(x, back, world);
+}
+
+}  // namespace drcm::dist

@@ -1,0 +1,29 @@
+// SORTPERM: rank the frontier by (parent label, degree, index) — the step
+// that turns one BFS level into consecutive Cuthill-McKee labels.
+//
+// The paper's observation (Sec. IV-B): the parent labels of a level are
+// exactly the contiguous range handed out for the previous level, so the
+// primary key needs counting, not comparing. sortperm_bucket exploits this
+// with a two-pass counting sort (degree pass, then bucket pass — an LSD
+// radix over the pair key) and performs zero comparison sorts end to end.
+// sortperm_sample is the general sample sort used as the HykSort-style
+// ablation baseline.
+#pragma once
+
+#include "dist/dist_vector.hpp"
+
+namespace drcm::dist {
+
+/// Ranks the entries of `x` (val = parent label in [label_lo, label_hi),
+/// enforced) by (parent label, degrees[idx], idx). Returns a vector with
+/// the same support whose values are the 0-based global positions.
+/// Collective; no comparison sort anywhere on the path.
+DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
+                          index_t label_lo, index_t label_hi, ProcGrid2D& grid);
+
+/// Same contract, implemented as a general distributed sample sort (local
+/// sorts + splitter partition + merge): the comparison baseline.
+DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
+                          ProcGrid2D& grid);
+
+}  // namespace drcm::dist

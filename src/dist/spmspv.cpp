@@ -1,0 +1,180 @@
+#include "dist/spmspv.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace drcm::dist {
+
+namespace {
+
+/// Work units charged per element of a sequential stamp-check sweep.
+/// MachineParams::gamma is calibrated for one random CSR edge visit; a
+/// predictable linear sweep over a dense array costs a fraction of that,
+/// and charging it at full weight would overstate the SPA emission scans
+/// relative to the trace model's output-sensitive analysis.
+constexpr double kScanUnit = 0.125;
+
+/// Reusable dense sparse accumulator with timestamp reset: one pair of
+/// arrays per rank (ranks are threads), never cleared — a slot is live only
+/// when its stamp equals the current epoch, so consecutive BFS iterations
+/// pay O(touched + rows) instead of O(rows) clearing.
+struct SpaBuffer {
+  std::vector<index_t> val;
+  std::vector<u64> stamp;
+  u64 epoch = 0;
+
+  void begin(std::size_t rows) {
+    ++epoch;
+    if (val.size() < rows) {
+      val.resize(rows);
+      stamp.resize(rows, 0);
+    }
+  }
+};
+
+thread_local SpaBuffer tl_spa;
+
+/// Stage 2, kSpa: accumulate minima in the dense SPA, emit by dense scan
+/// (sorted by construction). Returns entries with GLOBAL row indices.
+std::vector<VecEntry> multiply_spa(const DistSpMat& a,
+                                   std::span<const VecEntry> frontier,
+                                   double* work) {
+  const auto rows = static_cast<std::size_t>(a.local_rows());
+  auto& spa = tl_spa;
+  spa.begin(rows);
+  double edges = 0;
+  for (const auto& e : frontier) {
+    const auto col = a.column(e.idx - a.col_lo());
+    edges += static_cast<double>(col.size());
+    for (const index_t lr : col) {
+      const auto s = static_cast<std::size_t>(lr);
+      if (spa.stamp[s] != spa.epoch) {
+        spa.stamp[s] = spa.epoch;
+        spa.val[s] = e.val;
+      } else if (e.val < spa.val[s]) {
+        spa.val[s] = e.val;
+      }
+    }
+  }
+  std::vector<VecEntry> out;
+  for (std::size_t s = 0; s < rows; ++s) {
+    if (spa.stamp[s] == spa.epoch) {
+      out.push_back(VecEntry{a.row_lo() + static_cast<index_t>(s), spa.val[s]});
+    }
+  }
+  *work = edges + kScanUnit * static_cast<double>(rows);
+  return out;
+}
+
+/// Stage 2, kSortMerge: k-way heap merge of the sorted column lists with
+/// min-combine on duplicate rows. No dense state.
+std::vector<VecEntry> multiply_sort_merge(const DistSpMat& a,
+                                          std::span<const VecEntry> frontier,
+                                          double* work) {
+  struct Cursor {
+    std::span<const index_t> rows;
+    std::size_t pos;
+    index_t val;
+  };
+  std::vector<Cursor> cursors;
+  double edges = 0;
+  for (const auto& e : frontier) {
+    const auto col = a.column(e.idx - a.col_lo());
+    edges += static_cast<double>(col.size());
+    if (!col.empty()) cursors.push_back(Cursor{col, 0, e.val});
+  }
+  using HeapItem = std::pair<index_t, std::size_t>;  // (local row, cursor)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t k = 0; k < cursors.size(); ++k) {
+    heap.emplace(cursors[k].rows[0], k);
+  }
+  std::vector<VecEntry> out;
+  while (!heap.empty()) {
+    const auto [lr, k] = heap.top();
+    heap.pop();
+    const index_t g = a.row_lo() + lr;
+    if (!out.empty() && out.back().idx == g) {
+      out.back().val = std::min(out.back().val, cursors[k].val);
+    } else {
+      out.push_back(VecEntry{g, cursors[k].val});
+    }
+    if (++cursors[k].pos < cursors[k].rows.size()) {
+      heap.emplace(cursors[k].rows[cursors[k].pos], k);
+    }
+  }
+  const double logk =
+      cursors.empty() ? 1.0 : std::log2(static_cast<double>(cursors.size()) + 1);
+  *work = edges * (1.0 + logk);
+  return out;
+}
+
+}  // namespace
+
+DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
+                               ProcGrid2D& grid, SpmspvAccumulator acc) {
+  DRCM_CHECK(x.dist() == a.vec_dist(),
+             "frontier distribution does not match the matrix");
+  auto& world = grid.world();
+  const auto& dist = a.vec_dist();
+  const int q = grid.q();
+
+  // Stage 1: my block needs the frontier entries of my whole column chunk,
+  // which lives sub-chunk by sub-chunk on my processor column. Members are
+  // ranked by grid row, so the concatenation arrives index-sorted.
+  const auto frontier =
+      grid.col_comm().allgatherv(std::span<const VecEntry>(x.entries()));
+
+  // Stage 2: local block multiply into per-row partial minima.
+  double work = 0;
+  auto partial = acc == SpmspvAccumulator::kSpa
+                     ? multiply_spa(a, frontier, &work)
+                     : multiply_sort_merge(a, frontier, &work);
+
+  // Stage 3a: my partial rows live in row chunk R = grid.row(); the rank
+  // in my processor row at column s merges sub-chunk s of that chunk.
+  std::vector<std::vector<VecEntry>> to_merge(static_cast<std::size_t>(q));
+  {
+    int s = 0;
+    for (const auto& e : partial) {
+      while (e.idx >= dist.sub_lo(grid.row(), s + 1)) ++s;
+      to_merge[static_cast<std::size_t>(s)].push_back(e);
+    }
+  }
+  const auto received = grid.row_comm().alltoallv(to_merge);
+
+  // Stage 3b: min-merge the q partial lists over my merge sub-range
+  // (sub-chunk grid.col() of chunk grid.row()) with a dense slot array.
+  const index_t m_lo = dist.sub_lo(grid.row(), grid.col());
+  const index_t m_hi = dist.sub_lo(grid.row(), grid.col() + 1);
+  std::vector<index_t> slot(static_cast<std::size_t>(m_hi - m_lo));
+  std::vector<unsigned char> live(static_cast<std::size_t>(m_hi - m_lo), 0);
+  for (const auto& e : received) {
+    DRCM_DCHECK(e.idx >= m_lo && e.idx < m_hi, "partial routed to wrong rank");
+    const auto s = static_cast<std::size_t>(e.idx - m_lo);
+    if (!live[s]) {
+      live[s] = 1;
+      slot[s] = e.val;
+    } else if (e.val < slot[s]) {
+      slot[s] = e.val;
+    }
+  }
+  std::vector<VecEntry> merged;
+  for (index_t g = m_lo; g < m_hi; ++g) {
+    const auto s = static_cast<std::size_t>(g - m_lo);
+    if (live[s]) merged.push_back(VecEntry{g, slot[s]});
+  }
+  work += static_cast<double>(partial.size() + received.size()) +
+          kScanUnit * static_cast<double>(m_hi - m_lo);
+  world.charge_compute(work);
+
+  // Stage 3c: the merge range I hold is owned by my transpose partner (and
+  // vice versa) — one simultaneous pairwise exchange realigns everything.
+  auto mine = world.pairwise_exchange(grid.transpose_partner(),
+                                      std::span<const VecEntry>(merged));
+  DistSpVec y(dist, grid);
+  y.assign(std::move(mine));
+  return y;
+}
+
+}  // namespace drcm::dist

@@ -1,0 +1,36 @@
+// The (select2nd, min) SpMSpV: one BFS/ordering expansion step (paper
+// Algorithm 2). y[i] = min over frontier entries (j, v) with A(i, j) != 0
+// of v — children adopt the minimum parent value.
+//
+// Three bulk-synchronous stages on the 2D grid:
+//   1. gather the frontier chunk along my processor column (allgatherv),
+//   2. multiply my block locally into per-row partial minima,
+//   3. merge partials along my processor row (alltoallv by sub-chunk) and
+//      hand the merged sub-chunk to its true owner via the transpose
+//      pairwise exchange.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_vector.hpp"
+
+namespace drcm::dist {
+
+/// Local accumulation policy of stage 2 — the kernel-design tradeoff
+/// bench/micro_spmspv.cpp measures.
+enum class SpmspvAccumulator {
+  /// Dense sparse accumulator: O(local_rows) array with timestamp reset
+  /// (no clearing between calls) and a dense emission scan. Wins on dense
+  /// frontiers where the scan amortizes over many touched rows.
+  kSpa,
+  /// Heap merge of the (already sorted) column row lists. No dense scan,
+  /// but pays a log(k) comparison factor per edge; wins on tiny frontiers.
+  kSortMerge,
+};
+
+/// Collective. `x` must be distributed conformally with `a`
+/// (x.dist() == a.vec_dist(); throws CheckError otherwise).
+DistSpVec spmspv_select2nd_min(
+    const DistSpMat& a, const DistSpVec& x, ProcGrid2D& grid,
+    SpmspvAccumulator acc = SpmspvAccumulator::kSpa);
+
+}  // namespace drcm::dist
