@@ -16,16 +16,9 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "dist/proc_grid.hpp"
+#include "dist/vec_entry.hpp"
 
 namespace drcm::dist {
-
-/// One entry of a sparse distributed vector: (global index, value). The
-/// value carries labels / levels through the (select2nd, min) semiring.
-struct VecEntry {
-  index_t idx;
-  index_t val;
-  friend bool operator==(const VecEntry&, const VecEntry&) = default;
-};
 
 /// The ownership arithmetic for one vector length on one grid side q.
 class VectorDist {

@@ -10,6 +10,7 @@
 
 #include "common/check.hpp"
 #include "common/types.hpp"
+#include "dist/workspace.hpp"
 #include "mpsim/comm.hpp"
 
 namespace drcm::dist {
@@ -37,7 +38,12 @@ class ProcGrid2D {
         row_(world.rank() / q_),
         col_(world.rank() % q_),
         row_comm_(world.split(/*color=*/row_, /*key=*/col_)),
-        col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {}
+        col_comm_(world.split(/*color=*/col_, /*key=*/row_)) {
+    col_world_ranks_.reserve(static_cast<std::size_t>(q_));
+    for (int r = 0; r < q_; ++r) {
+      col_world_ranks_.push_back(world_rank_of(r, col_));
+    }
+  }
 
   ProcGrid2D(const ProcGrid2D&) = delete;
   ProcGrid2D& operator=(const ProcGrid2D&) = delete;
@@ -63,6 +69,16 @@ class ProcGrid2D {
   /// realignment pairs every rank with its transpose partner.
   int transpose_partner() const { return world_rank_of(col_, row_); }
 
+  /// World ranks of my processor column in grid-row order (the gather
+  /// group of the fused level kernel; same member order as col_comm).
+  /// Computed once — the per-level hot path must not allocate it.
+  std::span<const int> col_world_ranks() const { return col_world_ranks_; }
+
+  /// This rank's default kernel scratch. The grid is per-rank and outlives
+  /// every kernel call made on it, which makes it the natural owner; callers
+  /// needing isolated sizing pass their own DistWorkspace instead.
+  DistWorkspace& workspace() { return workspace_; }
+
  private:
   static int side_of(int size) {
     const int s = grid_side_floor(size);
@@ -77,6 +93,8 @@ class ProcGrid2D {
   int col_;
   mps::Comm row_comm_;
   mps::Comm col_comm_;
+  std::vector<int> col_world_ranks_;
+  DistWorkspace workspace_;
 };
 
 }  // namespace drcm::dist

@@ -7,13 +7,6 @@ namespace drcm::dist {
 
 namespace {
 
-/// One element in flight: (parent bucket, degree, global index).
-struct SortRec {
-  index_t bucket;
-  index_t degree;
-  index_t idx;
-};
-
 bool rec_less(const SortRec& a, const SortRec& b) {
   if (a.bucket != b.bucket) return a.bucket < b.bucket;
   if (a.degree != b.degree) return a.degree < b.degree;
@@ -32,9 +25,10 @@ DistSpVec emit_from_slots(const DistSpVec& x, const std::vector<index_t>& slot) 
 
 /// Two stable counting passes (degree, then bucket) over triples already
 /// in ascending-index order; returns the triples in final
-/// (bucket, degree, idx) order. Zero comparison sorts.
+/// (bucket, degree, idx) order. Zero comparison sorts. The shadow array
+/// of the first pass comes from the workspace.
 void lsd_counting_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
-                       index_t b_hi) {
+                       index_t b_hi, DistWorkspace& ws) {
   std::vector<index_t> cnt(static_cast<std::size_t>(dmax) + 1, 0);
   for (const auto& rec : arr) ++cnt[static_cast<std::size_t>(rec.degree)];
   index_t run = 0;
@@ -43,7 +37,8 @@ void lsd_counting_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
     c = run;
     run += c0;
   }
-  std::vector<SortRec> tmp(arr.size());
+  auto& tmp = ws.sort_tmp();
+  tmp.resize(arr.size());
   for (const auto& rec : arr) {
     tmp[static_cast<std::size_t>(cnt[static_cast<std::size_t>(rec.degree)]++)] = rec;
   }
@@ -64,11 +59,11 @@ void lsd_counting_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
 /// the support of `x`, sorted by construction via dense local slots.
 DistSpVec scatter_ranks_back(const DistSpVec& x,
                              const std::vector<std::vector<VecEntry>>& back,
-                             mps::Comm& world) {
+                             mps::Comm& world, DistWorkspace& ws) {
   const auto got = world.alltoallv(back);
   DRCM_CHECK(got.size() == x.entries().size(),
              "every frontier entry must receive exactly one rank");
-  std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+  auto& slot = ws.index_scratch(static_cast<std::size_t>(x.hi() - x.lo()));
   for (const auto& e : got) {
     DRCM_DCHECK(e.idx >= x.lo() && e.idx < x.hi(), "rank routed to non-owner");
     slot[static_cast<std::size_t>(e.idx - x.lo())] = e.val;
@@ -81,11 +76,12 @@ DistSpVec scatter_ranks_back(const DistSpVec& x,
 
 DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
                           index_t label_lo, index_t label_hi,
-                          ProcGrid2D& grid) {
+                          ProcGrid2D& grid, DistWorkspace* ws) {
   DRCM_CHECK(x.dist() == degrees.dist(),
              "frontier and degree vector must share one distribution");
   DRCM_CHECK(label_hi > label_lo, "empty parent label range");
   auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
   const int p = world.size();
   const int q = grid.q();
   const auto& dist = x.dist();
@@ -95,7 +91,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
     // Degenerate single-rank grid: the entries are already the whole
     // frontier in index order — two counting passes finish the job with
     // no collectives.
-    std::vector<SortRec> arr;
+    auto& arr = w.sort_scratch();
     arr.reserve(x.entries().size());
     index_t dmax = 0;
     for (const auto& e : x.entries()) {
@@ -105,8 +101,8 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
       dmax = std::max(dmax, d);
       arr.push_back(SortRec{e.val - label_lo, d, e.idx});
     }
-    lsd_counting_sort(arr, dmax, 0, nb);
-    std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+    lsd_counting_sort(arr, dmax, 0, nb, w);
+    auto& slot = w.index_scratch(static_cast<std::size_t>(x.hi() - x.lo()));
     for (std::size_t t = 0; t < arr.size(); ++t) {
       slot[static_cast<std::size_t>(arr[t].idx - x.lo())] =
           static_cast<index_t>(t);
@@ -155,12 +151,12 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
     g_start[static_cast<std::size_t>(b) + 1] += g_start[static_cast<std::size_t>(b)];
   }
   const auto worker_of = [&](index_t b) {
-    const auto w = static_cast<int>((g_start[static_cast<std::size_t>(b)] * p) / m);
-    return w < p ? w : p - 1;
+    const auto w_of = static_cast<int>((g_start[static_cast<std::size_t>(b)] * p) / m);
+    return w_of < p ? w_of : p - 1;
   };
 
   // Route every element (bucket, degree, idx) to its bucket's worker.
-  std::vector<std::vector<SortRec>> send(static_cast<std::size_t>(p));
+  auto& send = w.sort_route(static_cast<std::size_t>(p));
   for (const auto& e : x.entries()) {
     const index_t b = e.val - label_lo;
     send[static_cast<std::size_t>(worker_of(b))].push_back(
@@ -179,7 +175,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
         offset[static_cast<std::size_t>(s)] +
         static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(s)]);
   }
-  std::vector<SortRec> arr;
+  auto& arr = w.sort_scratch();
   arr.reserve(recv.size());
   index_t dmax = 0;
   index_t b_min = nb;
@@ -201,7 +197,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
   // restricted to my stripe's bucket range) — the final
   // (bucket, degree, idx) order.
   const index_t width = arr.empty() ? 0 : b_max - b_min + 1;
-  lsd_counting_sort(arr, dmax, b_min, b_min + width);
+  lsd_counting_sort(arr, dmax, b_min, b_min + width, w);
 
   // My worker stripe starts after every bucket dealt to earlier workers:
   // any nonempty bucket below b_min belongs to an earlier worker (the
@@ -211,23 +207,24 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
                        static_cast<double>(width + dmax + 1));
 
   // Hand each element its global position and route it home.
-  std::vector<std::vector<VecEntry>> back(static_cast<std::size_t>(p));
+  auto& back = w.entry_route(static_cast<std::size_t>(p));
   for (std::size_t t = 0; t < arr.size(); ++t) {
     back[static_cast<std::size_t>(dist.owner_rank(arr[t].idx))].push_back(
         VecEntry{arr[t].idx, base + static_cast<index_t>(t)});
   }
-  return scatter_ranks_back(x, back, world);
+  return scatter_ranks_back(x, back, world, w);
 }
 
 DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
-                          ProcGrid2D& grid) {
+                          ProcGrid2D& grid, DistWorkspace* ws) {
   DRCM_CHECK(x.dist() == degrees.dist(),
              "frontier and degree vector must share one distribution");
   auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
   const int p = world.size();
   const auto& dist = x.dist();
 
-  std::vector<SortRec> local;
+  auto& local = w.sort_scratch();
   for (const auto& e : x.entries()) {
     local.push_back(SortRec{e.val, degrees.get(e.idx), e.idx});
   }
@@ -235,7 +232,7 @@ DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
 
   if (p == 1) {
     // Degenerate single-rank grid: the local sort is the global sort.
-    std::vector<index_t> slot(static_cast<std::size_t>(x.hi() - x.lo()));
+    auto& slot = w.index_scratch(static_cast<std::size_t>(x.hi() - x.lo()));
     for (std::size_t t = 0; t < local.size(); ++t) {
       slot[static_cast<std::size_t>(local[t].idx - x.lo())] =
           static_cast<index_t>(t);
@@ -262,7 +259,7 @@ DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
         all_samples[(static_cast<std::size_t>(d) + 1) * all_samples.size() /
                     static_cast<std::size_t>(p)]);
   }
-  std::vector<std::vector<SortRec>> send(static_cast<std::size_t>(p));
+  auto& send = w.sort_route(static_cast<std::size_t>(p));
   {
     std::size_t d = 0;
     for (const auto& rec : local) {
@@ -278,12 +275,12 @@ DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
   const double mr = static_cast<double>(mine.size());
   world.charge_compute(ml * std::log2(ml + 2) + mr * std::log2(mr + 2));
 
-  std::vector<std::vector<VecEntry>> back(static_cast<std::size_t>(p));
+  auto& back = w.entry_route(static_cast<std::size_t>(p));
   for (std::size_t t = 0; t < mine.size(); ++t) {
     back[static_cast<std::size_t>(dist.owner_rank(mine[t].idx))].push_back(
         VecEntry{mine[t].idx, base + static_cast<index_t>(t)});
   }
-  return scatter_ranks_back(x, back, world);
+  return scatter_ranks_back(x, back, world, w);
 }
 
 }  // namespace drcm::dist

@@ -11,19 +11,23 @@
 #pragma once
 
 #include "dist/dist_vector.hpp"
+#include "dist/workspace.hpp"
 
 namespace drcm::dist {
 
 /// Ranks the entries of `x` (val = parent label in [label_lo, label_hi),
 /// enforced) by (parent label, degrees[idx], idx). Returns a vector with
 /// the same support whose values are the 0-based global positions.
-/// Collective; no comparison sort anywhere on the path.
+/// Collective; no comparison sort anywhere on the path. Scratch (element
+/// triples, routing buffers, rank slots) comes from `ws`, or from the
+/// grid's per-rank workspace when null.
 DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
-                          index_t label_lo, index_t label_hi, ProcGrid2D& grid);
+                          index_t label_lo, index_t label_hi, ProcGrid2D& grid,
+                          DistWorkspace* ws = nullptr);
 
 /// Same contract, implemented as a general distributed sample sort (local
 /// sorts + splitter partition + merge): the comparison baseline.
 DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
-                          ProcGrid2D& grid);
+                          ProcGrid2D& grid, DistWorkspace* ws = nullptr);
 
 }  // namespace drcm::dist

@@ -2,97 +2,62 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <cstdlib>
+#include <string_view>
 
 namespace drcm::dist {
 
 namespace {
 
-/// Work units charged per element of a sequential stamp-check sweep.
-/// MachineParams::gamma is calibrated for one random CSR edge visit; a
-/// predictable linear sweep over a dense array costs a fraction of that,
-/// and charging it at full weight would overstate the SPA emission scans
-/// relative to the trace model's output-sensitive analysis.
-constexpr double kScanUnit = 0.125;
-
-/// Reusable dense sparse accumulator with timestamp reset: one pair of
-/// arrays per rank (ranks are threads), never cleared — a slot is live only
-/// when its stamp equals the current epoch, so consecutive BFS iterations
-/// pay O(touched + rows) instead of O(rows) clearing.
-struct SpaBuffer {
-  std::vector<index_t> val;
-  std::vector<u64> stamp;
-  u64 epoch = 0;
-
-  void begin(std::size_t rows) {
-    ++epoch;
-    if (val.size() < rows) {
-      val.resize(rows);
-      stamp.resize(rows, 0);
-    }
-  }
-};
-
-thread_local SpaBuffer tl_spa;
-
-/// Stage 2, kSpa: accumulate minima in the dense SPA, emit by dense scan
-/// (sorted by construction). Returns entries with GLOBAL row indices.
-std::vector<VecEntry> multiply_spa(const DistSpMat& a,
-                                   std::span<const VecEntry> frontier,
-                                   double* work) {
+/// Stage 2, kSpa: accumulate minima in the workspace's dense stamped SPA,
+/// emit by dense scan (sorted by construction) into `out` (GLOBAL rows).
+void multiply_spa(const DistSpMat& a, std::span<const VecEntry> frontier,
+                  DistWorkspace& ws, std::vector<VecEntry>& out,
+                  double* work) {
   const auto rows = static_cast<std::size_t>(a.local_rows());
-  auto& spa = tl_spa;
-  spa.begin(rows);
+  auto& spa = ws.spa(rows);
   double edges = 0;
   for (const auto& e : frontier) {
     const auto col = a.column(e.idx - a.col_lo());
     edges += static_cast<double>(col.size());
     for (const index_t lr : col) {
-      const auto s = static_cast<std::size_t>(lr);
-      if (spa.stamp[s] != spa.epoch) {
-        spa.stamp[s] = spa.epoch;
-        spa.val[s] = e.val;
-      } else if (e.val < spa.val[s]) {
-        spa.val[s] = e.val;
-      }
+      spa.put_min(static_cast<std::size_t>(lr), e.val);
     }
   }
-  std::vector<VecEntry> out;
   for (std::size_t s = 0; s < rows; ++s) {
-    if (spa.stamp[s] == spa.epoch) {
+    if (spa.live(s)) {
       out.push_back(VecEntry{a.row_lo() + static_cast<index_t>(s), spa.val[s]});
     }
   }
   *work = edges + kScanUnit * static_cast<double>(rows);
-  return out;
 }
 
 /// Stage 2, kSortMerge: k-way heap merge of the sorted column lists with
-/// min-combine on duplicate rows. No dense state.
-std::vector<VecEntry> multiply_sort_merge(const DistSpMat& a,
-                                          std::span<const VecEntry> frontier,
-                                          double* work) {
-  struct Cursor {
-    std::span<const index_t> rows;
-    std::size_t pos;
-    index_t val;
-  };
-  std::vector<Cursor> cursors;
+/// min-combine on duplicate rows. No dense state; cursor and heap arrays
+/// come from the workspace.
+void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
+                         DistWorkspace& ws, std::vector<VecEntry>& out,
+                         double* work) {
+  auto& cursors = ws.cursors();
   double edges = 0;
   for (const auto& e : frontier) {
     const auto col = a.column(e.idx - a.col_lo());
     edges += static_cast<double>(col.size());
-    if (!col.empty()) cursors.push_back(Cursor{col, 0, e.val});
+    if (!col.empty()) cursors.push_back(MergeCursor{col, 0, e.val});
   }
   using HeapItem = std::pair<index_t, std::size_t>;  // (local row, cursor)
-  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  const auto heap_greater = [](const HeapItem& x, const HeapItem& y) {
+    return x > y;
+  };
+  auto& heap = ws.heap_storage();
   for (std::size_t k = 0; k < cursors.size(); ++k) {
-    heap.emplace(cursors[k].rows[0], k);
+    heap.emplace_back(cursors[k].rows[0], k);
   }
-  std::vector<VecEntry> out;
+  std::make_heap(heap.begin(), heap.end(), heap_greater);
   while (!heap.empty()) {
-    const auto [lr, k] = heap.top();
-    heap.pop();
+    std::pop_heap(heap.begin(), heap.end(), heap_greater);
+    const auto [lr, k] = heap.back();
+    heap.pop_back();
     const index_t g = a.row_lo() + lr;
     if (!out.empty() && out.back().idx == g) {
       out.back().val = std::min(out.back().val, cursors[k].val);
@@ -100,22 +65,82 @@ std::vector<VecEntry> multiply_sort_merge(const DistSpMat& a,
       out.push_back(VecEntry{g, cursors[k].val});
     }
     if (++cursors[k].pos < cursors[k].rows.size()) {
-      heap.emplace(cursors[k].rows[cursors[k].pos], k);
+      heap.emplace_back(cursors[k].rows[cursors[k].pos], k);
+      std::push_heap(heap.begin(), heap.end(), heap_greater);
     }
   }
   const double logk =
       cursors.empty() ? 1.0 : std::log2(static_cast<double>(cursors.size()) + 1);
   *work = edges * (1.0 + logk);
-  return out;
+}
+
+/// The DRCM_SPMSPV_ACC override, re-read per call so tests and benches can
+/// flip it between runs (a getenv per BFS level, not per edge). Returns
+/// kAuto when unset or "auto".
+SpmspvAccumulator env_accumulator() {
+  if (const char* env = std::getenv("DRCM_SPMSPV_ACC")) {
+    const std::string_view v(env);
+    if (v == "spa") return SpmspvAccumulator::kSpa;
+    if (v == "sortmerge") return SpmspvAccumulator::kSortMerge;
+    DRCM_CHECK(v.empty() || v == "auto",
+               "DRCM_SPMSPV_ACC must be spa, sortmerge or auto");
+  }
+  return SpmspvAccumulator::kAuto;
 }
 
 }  // namespace
 
+SpmspvAccumulator resolve_accumulator(SpmspvAccumulator requested,
+                                      double frontier_edges,
+                                      index_t local_rows) {
+  if (requested != SpmspvAccumulator::kAuto) return requested;
+  if (const auto pinned = env_accumulator(); pinned != SpmspvAccumulator::kAuto) {
+    return pinned;
+  }
+  // BENCH_1.json places the crossover near |frontier| 16-256 on a graph
+  // with avg degree ~27 and 8000 local rows: the SPA's dense emission scan
+  // (kScanUnit * rows) amortizes once the touched edges reach ~1/8 of the
+  // local rows, which on that graph is frontier ~37.
+  return frontier_edges >= kScanUnit * static_cast<double>(local_rows)
+             ? SpmspvAccumulator::kSpa
+             : SpmspvAccumulator::kSortMerge;
+}
+
+std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
+                                             std::span<const VecEntry> frontier,
+                                             SpmspvAccumulator acc,
+                                             DistWorkspace& ws, double* work,
+                                             SpmspvAccumulator* used) {
+  if (acc == SpmspvAccumulator::kAuto) {
+    acc = env_accumulator();
+  }
+  if (acc == SpmspvAccumulator::kAuto) {
+    // Heuristic actually consulted: the crossover needs the frontier's
+    // local edge volume, an O(|frontier|) col_ptr sweep (cheap next to
+    // the O(edges) multiply, and skipped entirely when an arm is pinned).
+    double edges = 0;
+    for (const auto& e : frontier) {
+      edges += static_cast<double>(a.column(e.idx - a.col_lo()).size());
+    }
+    acc = resolve_accumulator(acc, edges, a.local_rows());
+  }
+  if (used) *used = acc;
+  auto& out = ws.partial_scratch();
+  if (acc == SpmspvAccumulator::kSpa) {
+    multiply_spa(a, frontier, ws, out, work);
+  } else {
+    multiply_sort_merge(a, frontier, ws, out, work);
+  }
+  return out;
+}
+
 DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
-                               ProcGrid2D& grid, SpmspvAccumulator acc) {
+                               ProcGrid2D& grid, SpmspvAccumulator acc,
+                               DistWorkspace* ws, SpmspvAccumulator* used) {
   DRCM_CHECK(x.dist() == a.vec_dist(),
              "frontier distribution does not match the matrix");
   auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
   const auto& dist = a.vec_dist();
   const int q = grid.q();
 
@@ -127,13 +152,11 @@ DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
 
   // Stage 2: local block multiply into per-row partial minima.
   double work = 0;
-  auto partial = acc == SpmspvAccumulator::kSpa
-                     ? multiply_spa(a, frontier, &work)
-                     : multiply_sort_merge(a, frontier, &work);
+  const auto& partial = spmspv_local_multiply(a, frontier, acc, w, &work, used);
 
   // Stage 3a: my partial rows live in row chunk R = grid.row(); the rank
   // in my processor row at column s merges sub-chunk s of that chunk.
-  std::vector<std::vector<VecEntry>> to_merge(static_cast<std::size_t>(q));
+  auto& to_merge = w.merge_route(static_cast<std::size_t>(q));
   {
     int s = 0;
     for (const auto& e : partial) {
@@ -144,25 +167,18 @@ DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
   const auto received = grid.row_comm().alltoallv(to_merge);
 
   // Stage 3b: min-merge the q partial lists over my merge sub-range
-  // (sub-chunk grid.col() of chunk grid.row()) with a dense slot array.
+  // (sub-chunk grid.col() of chunk grid.row()) with the stamped slot array.
   const index_t m_lo = dist.sub_lo(grid.row(), grid.col());
   const index_t m_hi = dist.sub_lo(grid.row(), grid.col() + 1);
-  std::vector<index_t> slot(static_cast<std::size_t>(m_hi - m_lo));
-  std::vector<unsigned char> live(static_cast<std::size_t>(m_hi - m_lo), 0);
+  auto& slots = w.merge_slots(static_cast<std::size_t>(m_hi - m_lo));
   for (const auto& e : received) {
     DRCM_DCHECK(e.idx >= m_lo && e.idx < m_hi, "partial routed to wrong rank");
-    const auto s = static_cast<std::size_t>(e.idx - m_lo);
-    if (!live[s]) {
-      live[s] = 1;
-      slot[s] = e.val;
-    } else if (e.val < slot[s]) {
-      slot[s] = e.val;
-    }
+    slots.put_min(static_cast<std::size_t>(e.idx - m_lo), e.val);
   }
   std::vector<VecEntry> merged;
   for (index_t g = m_lo; g < m_hi; ++g) {
     const auto s = static_cast<std::size_t>(g - m_lo);
-    if (live[s]) merged.push_back(VecEntry{g, slot[s]});
+    if (slots.live(s)) merged.push_back(VecEntry{g, slots.val[s]});
   }
   work += static_cast<double>(partial.size() + received.size()) +
           kScanUnit * static_cast<double>(m_hi - m_lo);

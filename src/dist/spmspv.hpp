@@ -8,12 +8,30 @@
 //   3. merge partials along my processor row (alltoallv by sub-chunk) and
 //      hand the merged sub-chunk to its true owner via the transpose
 //      pairwise exchange.
+//
+// This is the unfused kernel: three collectives (six barrier crossings)
+// per call, plus the caller's SET / SELECT / emptiness round trips. The
+// fused per-level path (dist/level_kernel.hpp) performs the same math in
+// one three-crossing collective and is what the BFS loops actually run;
+// this entry point remains the primitive-chain reference the equivalence
+// tests compare against.
 #pragma once
 
 #include "dist/dist_matrix.hpp"
 #include "dist/dist_vector.hpp"
+#include "dist/workspace.hpp"
 
 namespace drcm::dist {
+
+/// Work units charged per element of a sequential stamp-check sweep.
+/// MachineParams::gamma is calibrated for one random CSR edge visit; a
+/// predictable linear sweep over a dense array costs a fraction of that,
+/// and charging it at full weight would overstate the SPA emission scans
+/// relative to the trace model's output-sensitive analysis. Doubles as the
+/// kAuto crossover constant: the SPA arm pays kScanUnit * local_rows for
+/// its emission scan, so it wins once the frontier's edge volume clears
+/// that bar.
+inline constexpr double kScanUnit = 0.125;
 
 /// Local accumulation policy of stage 2 — the kernel-design tradeoff
 /// bench/micro_spmspv.cpp measures.
@@ -25,12 +43,41 @@ enum class SpmspvAccumulator {
   /// Heap merge of the (already sorted) column row lists. No dense scan,
   /// but pays a log(k) comparison factor per edge; wins on tiny frontiers.
   kSortMerge,
+  /// Degree-aware selection per call: kSpa once the frontier's local edge
+  /// count reaches 1/8 of the local rows (the BENCH_1.json crossover),
+  /// kSortMerge below it. The DRCM_SPMSPV_ACC environment variable
+  /// ("spa" / "sortmerge" / "auto") overrides the heuristic so benches can
+  /// pin either arm without recompiling.
+  kAuto,
 };
 
+/// Resolves kAuto to a concrete arm from the frontier's local expansion
+/// volume (sum of local column lengths) versus the local row count,
+/// honoring the DRCM_SPMSPV_ACC override. Returns kSpa or kSortMerge;
+/// non-kAuto requests pass through unchanged.
+SpmspvAccumulator resolve_accumulator(SpmspvAccumulator requested,
+                                      double frontier_edges,
+                                      index_t local_rows);
+
+/// Stage 2 alone: multiplies my block by the (index-sorted) gathered
+/// frontier into per-row partial minima with GLOBAL row indices, ascending.
+/// Returns workspace-owned scratch valid until the next workspace checkout;
+/// `*work` receives the work units to charge. `used` (optional) reports the
+/// arm chosen after kAuto resolution. Shared by the unfused kernel below
+/// and the fused level kernel.
+std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
+                                             std::span<const VecEntry> frontier,
+                                             SpmspvAccumulator acc,
+                                             DistWorkspace& ws, double* work,
+                                             SpmspvAccumulator* used = nullptr);
+
 /// Collective. `x` must be distributed conformally with `a`
-/// (x.dist() == a.vec_dist(); throws CheckError otherwise).
+/// (x.dist() == a.vec_dist(); throws CheckError otherwise). Scratch comes
+/// from `ws`, or from the grid's per-rank workspace when `ws` is null.
+/// `used` (optional) reports the arm chosen after kAuto resolution.
 DistSpVec spmspv_select2nd_min(
     const DistSpMat& a, const DistSpVec& x, ProcGrid2D& grid,
-    SpmspvAccumulator acc = SpmspvAccumulator::kSpa);
+    SpmspvAccumulator acc = SpmspvAccumulator::kSpa,
+    DistWorkspace* ws = nullptr, SpmspvAccumulator* used = nullptr);
 
 }  // namespace drcm::dist

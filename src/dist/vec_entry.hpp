@@ -1,0 +1,19 @@
+// The sparse-vector entry type, split out of dist_vector.hpp so the
+// per-rank workspace (workspace.hpp) can use it without dragging in the
+// distribution math — ProcGrid2D owns a DistWorkspace, and dist_vector.hpp
+// includes proc_grid.hpp.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace drcm::dist {
+
+/// One entry of a sparse distributed vector: (global index, value). The
+/// value carries labels / levels through the (select2nd, min) semiring.
+struct VecEntry {
+  index_t idx;
+  index_t val;
+  friend bool operator==(const VecEntry&, const VecEntry&) = default;
+};
+
+}  // namespace drcm::dist

@@ -1,0 +1,180 @@
+// Per-rank scratch memory for the distributed kernels.
+//
+// The SpMSpV accumulators, the SORTPERM routing passes and the fused level
+// kernel all need O(local_rows) / O(frontier) scratch every call. Before
+// this object existed the SPA lived in a `thread_local` inside spmspv.cpp:
+// invisible to callers, sized by whichever matrix touched it last, leaked
+// across Runtime::run invocations on reused threads, and impossible to
+// share with the sort-merge arm's cursor arrays. A DistWorkspace is owned
+// per rank (ProcGrid2D carries one; callers may pass their own), so the
+// scoping is explicit and two matrices of different dimensions on one rank
+// can alternate kernels through it safely:
+//
+//   * StampedSlots buffers never need clearing — a slot is live only when
+//     its stamp equals the epoch opened by the current call, so a small
+//     matrix reusing a buffer grown by a big one reads no stale state;
+//   * plain scratch vectors are cleared (not shrunk) on checkout, so
+//     steady-state BFS levels run scratch-allocation-free after warm-up
+//     (result vectors handed to the caller are the only per-level
+//     allocations left);
+//   * every capacity growth is counted, which is how the workspace tests
+//     pin the "no reallocation after warm-up" property.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "dist/vec_entry.hpp"
+
+namespace drcm::dist {
+
+/// Dense accumulator array with timestamp reset: slot s holds a valid value
+/// only when stamp[s] equals the epoch of the latest begin(). Consecutive
+/// uses pay O(touched), not O(size) clearing, and a use over a smaller
+/// range than the last one cannot observe the previous caller's values.
+struct StampedSlots {
+  std::vector<index_t> val;
+  std::vector<u64> stamp;
+  u64 epoch = 0;
+
+  /// Opens a fresh epoch over `n` slots; returns true if storage grew.
+  bool begin(std::size_t n) {
+    ++epoch;
+    if (val.size() < n) {
+      val.resize(n);
+      stamp.resize(n, 0);
+      return true;
+    }
+    return false;
+  }
+
+  bool live(std::size_t s) const { return stamp[s] == epoch; }
+
+  /// Min-combines `v` into slot s (first write wins unconditionally).
+  void put_min(std::size_t s, index_t v) {
+    if (stamp[s] != epoch) {
+      stamp[s] = epoch;
+      val[s] = v;
+    } else if (v < val[s]) {
+      val[s] = v;
+    }
+  }
+};
+
+/// One column cursor of the kSortMerge heap: position `pos` in the sorted
+/// local row list of a frontier column carrying value `val`.
+struct MergeCursor {
+  std::span<const index_t> rows;
+  std::size_t pos;
+  index_t val;
+};
+
+/// One SORTPERM element in flight: (parent bucket, degree, global index).
+struct SortRec {
+  index_t bucket;
+  index_t degree;
+  index_t idx;
+};
+
+class DistWorkspace {
+ public:
+  /// The SpMSpV stage-2 accumulator (kSpa arm), epoch opened over `rows`.
+  StampedSlots& spa(std::size_t rows);
+  /// The result-merge accumulator (SpMSpV stage 3b / fused owner merge),
+  /// epoch opened over `n` slots.
+  StampedSlots& merge_slots(std::size_t n);
+
+  /// kSortMerge cursor array and heap storage, cleared.
+  std::vector<MergeCursor>& cursors();
+  std::vector<std::pair<index_t, std::size_t>>& heap_storage();
+
+  /// Outgoing frontier buffer (the SET-refreshed entries a kernel
+  /// publishes). Kept distinct from partial_scratch(): the published span
+  /// must stay untouched while peers read it.
+  std::vector<VecEntry>& frontier_scratch();
+  /// Stage-2 output (per-row partial minima), cleared.
+  std::vector<VecEntry>& partial_scratch();
+  /// Gathered-frontier landing buffer, cleared.
+  std::vector<VecEntry>& gather_scratch();
+  /// Routed-exchange landing buffer, cleared.
+  std::vector<VecEntry>& recv_scratch();
+  /// Per-destination VecEntry routing buffers, sized to exactly `ranks`
+  /// with each destination cleared (capacity retained). One table per call
+  /// site, because the tables are sized to different communicators (the
+  /// row merge to q, the owner routes to p) and a shared table would
+  /// thrash its outer size between them:
+  /// SpMSpV stage 3a (row communicator).
+  std::vector<std::vector<VecEntry>>& merge_route(std::size_t ranks);
+  /// SORTPERM position scatter-back (world).
+  std::vector<std::vector<VecEntry>>& entry_route(std::size_t ranks);
+  /// Fused level kernel owner routing (world).
+  std::vector<std::vector<VecEntry>>& fused_route(std::size_t ranks);
+
+  /// SORTPERM triple scratch (element array + counting-sort shadow),
+  /// cleared, and its per-destination routing buffers.
+  std::vector<SortRec>& sort_scratch();
+  std::vector<SortRec>& sort_tmp();
+  std::vector<std::vector<SortRec>>& sort_route(std::size_t ranks);
+
+  /// Plain index scratch of exactly `n` elements, contents unspecified
+  /// (callers overwrite every slot they read).
+  std::vector<index_t>& index_scratch(std::size_t n);
+
+  /// Number of capacity growths observed across all buffers — the warm-up
+  /// metric: steady-state reuse must leave this constant. Growth performed
+  /// by a caller's push_backs is detected at the buffer's next checkout.
+  u64 reallocations() const { return reallocations_; }
+
+ private:
+  template <class V>
+  V& checkout_cleared(V& v, std::size_t& last_cap) {
+    if (v.capacity() != last_cap) {
+      ++reallocations_;
+      last_cap = v.capacity();
+    }
+    v.clear();
+    return v;
+  }
+
+  template <class Route>
+  Route& checkout_route(Route& route, std::size_t ranks,
+                        std::size_t& last_cap) {
+    route.resize(ranks);  // exact: collectives demand one buffer per rank
+    std::size_t cap = route.capacity();
+    for (auto& dest : route) {
+      cap += dest.capacity();
+      dest.clear();
+    }
+    if (cap != last_cap) {
+      ++reallocations_;
+      last_cap = cap;
+    }
+    return route;
+  }
+
+  StampedSlots spa_;
+  StampedSlots merge_slots_;
+  std::vector<MergeCursor> cursors_;
+  std::vector<std::pair<index_t, std::size_t>> heap_;
+  std::vector<VecEntry> frontier_;
+  std::vector<VecEntry> partial_;
+  std::vector<VecEntry> gather_;
+  std::vector<VecEntry> recv_;
+  std::vector<std::vector<VecEntry>> merge_route_;
+  std::vector<std::vector<VecEntry>> entry_route_;
+  std::vector<std::vector<VecEntry>> fused_route_;
+  std::vector<SortRec> sort_;
+  std::vector<SortRec> sort_tmp_;
+  std::vector<std::vector<SortRec>> sort_route_;
+  std::vector<index_t> index_;
+  std::size_t cursors_cap_ = 0, heap_cap_ = 0, frontier_cap_ = 0,
+              partial_cap_ = 0, gather_cap_ = 0, recv_cap_ = 0,
+              merge_route_cap_ = 0, entry_route_cap_ = 0,
+              fused_route_cap_ = 0, sort_cap_ = 0, sort_tmp_cap_ = 0,
+              sort_route_cap_ = 0, index_cap_ = 0;
+  u64 reallocations_ = 0;
+};
+
+}  // namespace drcm::dist

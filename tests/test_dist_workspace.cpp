@@ -1,0 +1,151 @@
+// Tests for the per-rank DistWorkspace: the explicit replacement for the
+// old `thread_local` SPA inside spmspv.cpp. Two properties are pinned:
+// alternating kernels over matrices of different dimensions through ONE
+// workspace never cross-contaminates results, and steady-state reuse
+// (BFS level after BFS level) stops allocating after warm-up.
+#include "dist/workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dist/dist_matrix.hpp"
+#include "dist/spmspv.hpp"
+#include "mpsim/runtime.hpp"
+#include "rcm/dist_bfs.hpp"
+#include "rcm/dist_rcm.hpp"
+#include "sparse/generators.hpp"
+
+namespace drcm::dist {
+namespace {
+
+using mps::Comm;
+using mps::Runtime;
+namespace gen = sparse::gen;
+
+TEST(StampedSlots, ShrinkingReuseCannotSeeStaleState) {
+  StampedSlots s;
+  s.begin(100);
+  for (std::size_t i = 0; i < 100; ++i) s.put_min(i, 7);
+  // A later, smaller epoch: every slot starts dead even though the storage
+  // still physically holds the previous epoch's values.
+  s.begin(10);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_FALSE(s.live(i));
+  s.put_min(3, 5);
+  s.put_min(3, 9);  // min-combine keeps 5
+  EXPECT_TRUE(s.live(3));
+  EXPECT_EQ(s.val[3], 5);
+  EXPECT_FALSE(s.live(4));
+}
+
+TEST(StampedSlots, GrowthReportsReallocation) {
+  StampedSlots s;
+  EXPECT_TRUE(s.begin(8));
+  EXPECT_FALSE(s.begin(8));
+  EXPECT_FALSE(s.begin(4));
+  EXPECT_TRUE(s.begin(16));
+}
+
+/// Frontier over every stride-th owned vertex, values distinct per vertex.
+std::vector<VecEntry> owned_frontier(const DistSpVec& shape, index_t n,
+                                     index_t stride) {
+  std::vector<VecEntry> mine;
+  for (index_t v = 0; v < n; v += stride) {
+    if (v >= shape.lo() && v < shape.hi()) mine.push_back(VecEntry{v, n - v});
+  }
+  return mine;
+}
+
+class WorkspaceGrids : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Grids, WorkspaceGrids, ::testing::Values(1, 4));
+
+TEST_P(WorkspaceGrids, TwoMatrixSizesAlternateWithoutCrossContamination) {
+  // The hazard the workspace object fixes: under the thread_local SPA, a
+  // big matrix inflated the shared buffer and a small matrix reused it
+  // blind. Alternate SpMSpV calls of two differently-sized matrices
+  // through ONE shared workspace and demand bit-identical results to
+  // calls made with a fresh workspace each time.
+  const int p = GetParam();
+  const auto big = gen::grid3d(6, 5, 5);   // n = 150
+  const auto small = gen::path(37);        // n = 37
+  for (const auto acc :
+       {SpmspvAccumulator::kSpa, SpmspvAccumulator::kSortMerge}) {
+    Runtime::run(p, [&](Comm& world) {
+      ProcGrid2D grid(world);
+      DistSpMat mat_big(grid, big);
+      DistSpMat mat_small(grid, small);
+      DistSpVec x_big(mat_big.vec_dist(), grid);
+      DistSpVec x_small(mat_small.vec_dist(), grid);
+      DistWorkspace shared;
+      for (int round = 0; round < 4; ++round) {
+        x_big.assign(owned_frontier(x_big, big.n(), 2 + round));
+        x_small.assign(owned_frontier(x_small, small.n(), 1 + round));
+        for (bool use_big : {true, false, true}) {
+          const auto& mat = use_big ? mat_big : mat_small;
+          const auto& x = use_big ? x_big : x_small;
+          const auto got = spmspv_select2nd_min(mat, x, grid, acc, &shared);
+          DistWorkspace fresh;
+          const auto want = spmspv_select2nd_min(mat, x, grid, acc, &fresh);
+          ASSERT_EQ(got.entries(), want.entries())
+              << "p=" << p << " round=" << round << " big=" << use_big;
+        }
+      }
+    });
+  }
+}
+
+TEST_P(WorkspaceGrids, SteadyStateLevelsStopAllocatingAfterWarmup) {
+  // One full BFS (every level shape the matrix can produce) warms every
+  // buffer; a second identical traversal must not grow anything.
+  const int p = GetParam();
+  const auto a = gen::relabel_random(gen::grid2d(14, 14), 3);
+  Runtime::run(p, [&](Comm& world) {
+    ProcGrid2D grid(world);
+    DistSpMat mat(grid, a);
+    const auto degrees = mat.degrees(grid);
+    const auto run_both = [&] {
+      DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
+      rcm::dist_bfs(mat, 0, levels, grid, mps::Phase::kPeripheralSpmspv,
+                    mps::Phase::kPeripheralOther);
+      DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+      rcm::dist_cm_component(mat, degrees, labels, 0, 0, grid);
+    };
+    run_both();
+    const u64 warm = grid.workspace().reallocations();
+    EXPECT_GT(warm, 0u);
+    run_both();
+    run_both();
+    EXPECT_EQ(grid.workspace().reallocations(), warm)
+        << "steady-state BFS levels must reuse workspace buffers";
+  });
+}
+
+TEST(Workspace, RouteBuffersKeepCapacityAcrossCheckouts) {
+  DistWorkspace ws;
+  auto& route = ws.entry_route(4);
+  route[2].assign(100, VecEntry{0, 0});
+  const auto cap = route[2].capacity();
+  auto& again = ws.entry_route(4);
+  EXPECT_EQ(&again, &route);
+  EXPECT_TRUE(again[2].empty());
+  EXPECT_EQ(again[2].capacity(), cap);
+}
+
+TEST(Workspace, ReallocationCounterSettles) {
+  DistWorkspace ws;
+  for (int i = 0; i < 3; ++i) {
+    auto& s = ws.frontier_scratch();
+    s.assign(64, VecEntry{1, 1});
+    ws.index_scratch(128);
+    ws.spa(256);
+  }
+  const u64 settled = ws.reallocations();
+  for (int i = 0; i < 5; ++i) {
+    auto& s = ws.frontier_scratch();
+    s.assign(64, VecEntry{1, 1});
+    ws.index_scratch(128);
+    ws.spa(256);
+  }
+  EXPECT_EQ(ws.reallocations(), settled);
+}
+
+}  // namespace
+}  // namespace drcm::dist
