@@ -1,0 +1,114 @@
+#include "dist/level_kernel.hpp"
+
+#include "dist/primitives.hpp"
+
+namespace drcm::dist {
+
+LevelStepResult bfs_level_step(const DistSpMat& a, const DistSpVec& frontier,
+                               const DistDenseVec& dense,
+                               index_t keep_sentinel, ProcGrid2D& grid,
+                               mps::Phase spmspv_phase, mps::Phase other_phase,
+                               SpmspvAccumulator acc, DistWorkspace* ws) {
+  DRCM_CHECK(frontier.dist() == a.vec_dist(),
+             "frontier distribution does not match the matrix");
+  DRCM_CHECK(dense.dist() == a.vec_dist(),
+             "dense vector distribution does not match the matrix");
+  auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
+  const auto& dist = a.vec_dist();
+  const int p = world.size();
+
+  LevelStepResult res;
+  mps::PhaseScope scope(world, spmspv_phase);
+
+  // SET fused into publish-buffer construction: the outgoing frontier
+  // carries dense[idx] as its value (the parent's level/label). The buffer
+  // stays untouched through the whole collective — peers read it until the
+  // second crossing.
+  auto& outgoing = w.frontier_scratch();
+  {
+    const auto prev = world.set_phase(other_phase);
+    for (const auto& e : frontier.entries()) {
+      outgoing.push_back(VecEntry{e.idx, dense.get(e.idx)});
+    }
+    world.charge_compute(static_cast<double>(outgoing.size()));
+    world.set_phase(prev);
+  }
+
+  std::vector<VecEntry> kept;
+  res.global_nnz = static_cast<index_t>(world.fused_gather_route_count(
+      grid.col_world_ranks(), std::span<const VecEntry>(outgoing),
+      w.gather_scratch(), w.fused_route(static_cast<std::size_t>(p)),
+      w.recv_scratch(),
+      [&](const std::vector<VecEntry>& gathered,
+          std::vector<std::vector<VecEntry>>& route) {
+        // Stage 2: local block multiply into per-row partial minima, then
+        // route each partial straight to the owner of its element — the
+        // step that replaces the row-merge alltoallv + transpose pairwise
+        // exchange of the unfused kernel.
+        double work = 0;
+        const auto& partial =
+            spmspv_local_multiply(a, gathered, acc, w, &work, &res.used);
+        for (const auto& e : partial) {
+          route[static_cast<std::size_t>(dist.owner_rank(e.idx))].push_back(e);
+        }
+        world.charge_compute(work + static_cast<double>(partial.size()));
+      },
+      [&](const std::vector<VecEntry>& received) -> std::int64_t {
+        // Owner merge: min-combine the ≤ q partial lists over my owned
+        // range with the stamped slot array...
+        const index_t lo = dense.lo();
+        const index_t hi = dense.hi();
+        auto& slots = w.merge_slots(static_cast<std::size_t>(hi - lo));
+        for (const auto& e : received) {
+          DRCM_DCHECK(e.idx >= lo && e.idx < hi,
+                      "partial routed to non-owner");
+          slots.put_min(static_cast<std::size_t>(e.idx - lo), e.val);
+        }
+        world.charge_compute(static_cast<double>(received.size()));
+        // ...then SELECT right here, where the dense vector lives: emit
+        // (ascending by construction) only the still-unvisited elements.
+        const auto prev = world.set_phase(other_phase);
+        for (index_t g = lo; g < hi; ++g) {
+          const auto s = static_cast<std::size_t>(g - lo);
+          if (slots.live(s) && dense.get(g) == keep_sentinel) {
+            kept.push_back(VecEntry{g, slots.val[s]});
+          }
+        }
+        world.charge_compute(kScanUnit * static_cast<double>(hi - lo) +
+                             static_cast<double>(kept.size()));
+        world.set_phase(prev);
+        return static_cast<std::int64_t>(kept.size());
+      }));
+
+  res.next = frontier.sibling(std::move(kept));
+  return res;
+}
+
+LevelStepResult bfs_level_step_unfused(
+    const DistSpMat& a, const DistSpVec& frontier, const DistDenseVec& dense,
+    index_t keep_sentinel, ProcGrid2D& grid, mps::Phase spmspv_phase,
+    mps::Phase other_phase, SpmspvAccumulator acc, DistWorkspace* ws) {
+  auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
+
+  LevelStepResult res;
+  DistSpVec cur = frontier;
+  {
+    mps::PhaseScope scope(world, other_phase);
+    gather_from_dense(cur, dense, world);
+  }
+  DistSpVec expanded;
+  {
+    mps::PhaseScope scope(world, spmspv_phase);
+    expanded = spmspv_select2nd_min(a, cur, grid, acc, &w, &res.used);
+  }
+  {
+    mps::PhaseScope scope(world, other_phase);
+    res.next = select_where_equals(expanded, dense, keep_sentinel, world);
+    res.global_nnz = res.next.global_nnz(world);
+  }
+  return res;
+}
+
+}  // namespace drcm::dist

@@ -1,0 +1,69 @@
+// The fused per-level BFS kernel: SET (refresh frontier values from the
+// dense level/label vector), the (select2nd, min) SpMSpV expansion, SELECT
+// (keep unvisited) and the emptiness/count reduction of one BFS level, as
+// ONE phase-scoped collective.
+//
+// The unfused chain (gather_from_dense + spmspv_select2nd_min +
+// select_where_equals + global_nnz) enters four collectives per level —
+// eight barrier crossings, each a full latency term at scale. Fusing
+// changes two things:
+//
+//   * the per-level chain runs through Comm::fused_gather_route_count,
+//     whose three BSP supersteps share crossings: 3 crossings per level
+//     instead of 8;
+//   * stage-3 partials are routed DIRECTLY to the owner of each output
+//     element (the paper's sub-chunk owner), which subsumes the row-merge
+//     alltoallv + transpose pairwise exchange of the unfused kernel and
+//     lets SELECT run where the dense vector already lives.
+//
+// Both paths are bit-identical by construction — min over parents,
+// emission in ascending index order — which
+// tests/test_dist_level_kernel_equivalence.cpp enforces on randomized
+// graphs, rank counts and both accumulator arms.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "dist/dist_vector.hpp"
+#include "dist/spmspv.hpp"
+#include "dist/workspace.hpp"
+#include "mpsim/stats.hpp"
+
+namespace drcm::dist {
+
+/// Result of one fused (or reference-unfused) BFS level.
+struct LevelStepResult {
+  /// The post-SELECT next frontier: entries whose dense value equals the
+  /// keep sentinel, values = minimum parent value (ascending by index).
+  DistSpVec next;
+  /// Exact global nnz of `next` (the emptiness test), identical on every
+  /// rank.
+  index_t global_nnz = 0;
+  /// The accumulator arm stage 2 actually ran after kAuto resolution.
+  SpmspvAccumulator used = SpmspvAccumulator::kSpa;
+};
+
+/// One fused BFS level: y = SELECT(SPMSPV(A, SET(x, dense)), dense ==
+/// keep_sentinel), plus its global count, in three barrier crossings.
+/// Comm/multiply costs are attributed to `spmspv_phase`, the SET/SELECT
+/// scans to `other_phase` (the Figure-4 split). Collective; must not be
+/// called under an open PhaseScope. Scratch comes from `ws`, or the grid's
+/// per-rank workspace when null.
+LevelStepResult bfs_level_step(const DistSpMat& a, const DistSpVec& frontier,
+                               const DistDenseVec& dense,
+                               index_t keep_sentinel, ProcGrid2D& grid,
+                               mps::Phase spmspv_phase, mps::Phase other_phase,
+                               SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
+                               DistWorkspace* ws = nullptr);
+
+/// The reference chain: the same level computed with the four unfused
+/// primitives (gather_from_dense, spmspv_select2nd_min,
+/// select_where_equals, global_nnz) — eight barrier crossings. Kept
+/// callable so the equivalence suite and the crossing-count benches can
+/// compare against the fused path on identical inputs.
+LevelStepResult bfs_level_step_unfused(
+    const DistSpMat& a, const DistSpVec& frontier, const DistDenseVec& dense,
+    index_t keep_sentinel, ProcGrid2D& grid, mps::Phase spmspv_phase,
+    mps::Phase other_phase, SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
+    DistWorkspace* ws = nullptr);
+
+}  // namespace drcm::dist

@@ -82,6 +82,7 @@ class CommContext {
         cnt_(static_cast<std::size_t>(size), 0),
         ptr_arr_(static_cast<std::size_t>(size), nullptr),
         cnt_arr_(static_cast<std::size_t>(size), nullptr),
+        i64_(static_cast<std::size_t>(size), 0),
         split_color_(static_cast<std::size_t>(size), 0),
         split_key_(static_cast<std::size_t>(size), 0),
         split_ctx_(static_cast<std::size_t>(size)),
@@ -98,6 +99,7 @@ class CommContext {
   std::vector<std::uint64_t>& cnt() { return cnt_; }
   std::vector<const void* const*>& ptr_arr() { return ptr_arr_; }
   std::vector<const std::uint64_t*>& cnt_arr() { return cnt_arr_; }
+  std::vector<std::int64_t>& i64() { return i64_; }
   std::vector<int>& split_color() { return split_color_; }
   std::vector<int>& split_key() { return split_key_; }
   std::vector<std::shared_ptr<CommContext>>& split_ctx() { return split_ctx_; }
@@ -111,6 +113,7 @@ class CommContext {
   std::vector<std::uint64_t> cnt_;
   std::vector<const void* const*> ptr_arr_;
   std::vector<const std::uint64_t*> cnt_arr_;
+  std::vector<std::int64_t> i64_;
   std::vector<int> split_color_;
   std::vector<int> split_key_;
   std::vector<std::shared_ptr<CommContext>> split_ctx_;
@@ -171,7 +174,18 @@ const std::uint64_t* Comm::peer_count_array(int r) const {
   return ctx_->cnt_arr()[static_cast<std::size_t>(r)];
 }
 
-void Comm::cross_barrier() { ctx_->cross(); }
+void Comm::cross_barrier() {
+  state_->stats.add_crossing(state_->phase);
+  ctx_->cross();
+}
+
+void Comm::publish_i64(std::int64_t v) {
+  ctx_->i64()[static_cast<std::size_t>(rank_)] = v;
+}
+
+std::int64_t Comm::peer_i64(int r) const {
+  return ctx_->i64()[static_cast<std::size_t>(r)];
+}
 
 void Comm::charge(const CommCost& cost) {
   state_->stats.add_comm(state_->phase, cost);

@@ -123,6 +123,40 @@ class Comm {
   template <class T>
   std::vector<T> pairwise_exchange(int partner, std::span<const T> send);
 
+  /// Fused three-superstep collective for the BFS level kernel
+  /// (dist::bfs_level_step): a sub-group allgatherv, an alltoallv of what
+  /// `route` makes of the gathered data, and an allreduce-sum of what
+  /// `count` makes of the routed data — in THREE barrier crossings, where
+  /// the unfused chain of four collectives pays eight. The supersteps use
+  /// three distinct publication boards, so the read of one round and the
+  /// publish of the next share a single crossing (classic BSP):
+  ///
+  ///   publish my `local` span                         [scalar board]
+  ///   ---- crossing 1 ----
+  ///   gather_buf <- concatenation of `gather_peers`' spans (given order);
+  ///   route(gather_buf, route_buf); publish route_buf  [array board]
+  ///   ---- crossing 2 ----
+  ///   recv_buf <- what every rank routed to me (source-rank order);
+  ///   publish count(recv_buf)                          [int64 board]
+  ///   ---- crossing 3 ----
+  ///   return the sum of all ranks' counts.
+  ///
+  /// `route` must size route_buf to exactly size() buffers; both buffer
+  /// arguments are caller-owned so steady-state loops reuse capacity.
+  /// The callbacks run BETWEEN crossings: they may charge compute but must
+  /// not invoke any collective on any communicator, and `route` must not
+  /// mutate `local`'s backing store (peers are still reading it).
+  /// Charged as its component collectives, with the alltoallv latency
+  /// priced by the actual destination fan-out (the level kernel routes to
+  /// at most sqrt(p) owners, not to all p ranks).
+  template <class T, class RouteFn, class CountFn>
+  std::int64_t fused_gather_route_count(std::span<const int> gather_peers,
+                                        std::span<const T> local,
+                                        std::vector<T>& gather_buf,
+                                        std::vector<std::vector<T>>& route_buf,
+                                        std::vector<T>& recv_buf,
+                                        RouteFn&& route, CountFn&& count);
+
   /// MPI_Comm_split: members with the same `color` form a new communicator,
   /// ranked by (key, old rank).
   Comm split(int color, int key);
@@ -146,7 +180,12 @@ class Comm {
   void publish_arrays(const void* const* ptrs, const std::uint64_t* counts);
   const void* const* peer_ptr_array(int r) const;
   const std::uint64_t* peer_count_array(int r) const;
-  void cross_barrier();  // raw barrier crossing, no cost charging
+  void publish_i64(std::int64_t v);
+  std::int64_t peer_i64(int r) const;
+  /// Raw barrier crossing: no modeled seconds charged, but every crossing
+  /// is recorded in the per-phase barrier_crossings ledger (the quantity
+  /// the fused level kernel's 3-vs-8 contract is asserted on).
+  void cross_barrier();
 
   void charge(const CommCost& cost);
 
@@ -155,6 +194,12 @@ class Comm {
   int size_;
   RankState* state_;
   const CostModel* model_;
+  /// fused_gather_route_count's published pointer tables, kept on the
+  /// Comm (one per rank) so steady-state level loops allocate nothing
+  /// per call. Reuse is safe: the previous call's peers are all past its
+  /// final crossing before this rank can re-enter the collective.
+  std::vector<const void*> fused_ptrs_;
+  std::vector<std::uint64_t> fused_counts_;
 };
 
 /// RAII phase setter that also attributes measured wall time to the phase.
@@ -370,6 +415,70 @@ std::vector<T> Comm::pairwise_exchange(int partner, std::span<const T> send) {
     charge(model_->pairwise(count * words_of<T>()));
   }
   return out;
+}
+
+template <class T, class RouteFn, class CountFn>
+std::int64_t Comm::fused_gather_route_count(
+    std::span<const int> gather_peers, std::span<const T> local,
+    std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
+    std::vector<T>& recv_buf, RouteFn&& route, CountFn&& count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+  // Superstep 1: publish my span on the scalar board...
+  publish(local.data(), local.size());
+  cross_barrier();
+  // ...and read my gather group. Peers read MY span until crossing 2, so
+  // `local` must not alias any buffer mutated below (gather_buf is fine:
+  // it is this rank's private landing area).
+  gather_buf.clear();
+  for (const int r : gather_peers) {
+    DRCM_CHECK(r >= 0 && r < size_, "gather peer out of range");
+    const T* src = static_cast<const T*>(peer_ptr(r));
+    gather_buf.insert(gather_buf.end(), src, src + peer_count(r));
+  }
+  std::uint64_t gathered_words = gather_buf.size() * words_of<T>();
+
+  // Superstep 2: route locally, publish per-destination buffers on the
+  // array board (the scalar board is still being read — boards are
+  // distinct, so this costs no extra crossing).
+  route(static_cast<const std::vector<T>&>(gather_buf), route_buf);
+  DRCM_CHECK(static_cast<int>(route_buf.size()) == size_,
+             "route must produce one buffer per destination rank");
+  fused_ptrs_.resize(static_cast<std::size_t>(size_));
+  fused_counts_.resize(static_cast<std::size_t>(size_));
+  std::uint64_t send_words = 0;
+  int fan_out = 0;
+  for (int d = 0; d < size_; ++d) {
+    const auto& buf = route_buf[static_cast<std::size_t>(d)];
+    fused_ptrs_[static_cast<std::size_t>(d)] = buf.data();
+    fused_counts_[static_cast<std::size_t>(d)] = buf.size();
+    send_words += buf.size() * words_of<T>();
+    fan_out += !buf.empty() && d != rank_;
+  }
+  publish_arrays(fused_ptrs_.data(), fused_counts_.data());
+  cross_barrier();
+  recv_buf.clear();
+  std::uint64_t recv_words = 0;
+  for (int s = 0; s < size_; ++s) {
+    const std::uint64_t c = peer_count_array(s)[rank_];
+    const T* src = static_cast<const T*>(peer_ptr_array(s)[rank_]);
+    recv_buf.insert(recv_buf.end(), src, src + c);
+    recv_words += c * words_of<T>();
+  }
+
+  // Superstep 3: publish my contribution on the int64 board (the array
+  // board is still being read), fold everyone's after the last crossing.
+  publish_i64(count(static_cast<const std::vector<T>&>(recv_buf)));
+  cross_barrier();
+  std::int64_t total = 0;
+  for (int r = 0; r < size_; ++r) total += peer_i64(r);
+
+  CommCost cost =
+      model_->allgatherv(static_cast<int>(gather_peers.size()), gathered_words);
+  cost += model_->alltoallv(fan_out + 1, send_words, recv_words);
+  cost += model_->allreduce(size_, 1);
+  charge(cost);
+  return total;
 }
 
 }  // namespace drcm::mps

@@ -21,15 +21,19 @@ PhaseAggregate SpmdReport::aggregate(Phase phase) const {
     agg.max.compute_units = std::max(agg.max.compute_units, t.compute_units);
     agg.max.messages = std::max(agg.max.messages, t.messages);
     agg.max.words = std::max(agg.max.words, t.words);
+    agg.max.barrier_crossings =
+        std::max(agg.max.barrier_crossings, t.barrier_crossings);
     agg.mean.wall_seconds += t.wall_seconds / n;
     agg.mean.model_compute_seconds += t.model_compute_seconds / n;
     agg.mean.model_comm_seconds += t.model_comm_seconds / n;
     agg.mean.compute_units += t.compute_units / n;
     agg.mean.messages += t.messages;
     agg.mean.words += t.words;
+    agg.mean.barrier_crossings += t.barrier_crossings;
   }
   agg.mean.messages /= ranks.size();
   agg.mean.words /= ranks.size();
+  agg.mean.barrier_crossings /= ranks.size();
   return agg;
 }
 

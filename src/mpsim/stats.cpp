@@ -29,6 +29,7 @@ PhaseTotals& PhaseTotals::operator+=(const PhaseTotals& o) {
   compute_units += o.compute_units;
   messages += o.messages;
   words += o.words;
+  barrier_crossings += o.barrier_crossings;
   return *this;
 }
 
@@ -48,6 +49,10 @@ void StatsRecorder::add_compute(Phase phase, double units,
 
 void StatsRecorder::add_wall(Phase phase, double seconds) {
   totals_[static_cast<int>(phase)].wall_seconds += seconds;
+}
+
+void StatsRecorder::add_crossing(Phase phase) {
+  ++totals_[static_cast<int>(phase)].barrier_crossings;
 }
 
 PhaseTotals StatsRecorder::total() const {

@@ -40,6 +40,11 @@ struct PhaseTotals {
   double compute_units = 0.0;       ///< raw work units charged
   std::uint64_t messages = 0;
   std::uint64_t words = 0;
+  /// Barrier synchronizations entered (every collective is two crossings
+  /// of the publication-board barrier; the fused level collective is
+  /// three for its whole gather-route-count chain). The latency budget
+  /// the fused kernel exists to shrink.
+  std::uint64_t barrier_crossings = 0;
 
   double model_total() const { return model_compute_seconds + model_comm_seconds; }
 
@@ -52,6 +57,7 @@ class StatsRecorder {
   void add_comm(Phase phase, const CommCost& cost);
   void add_compute(Phase phase, double units, double modeled_seconds);
   void add_wall(Phase phase, double seconds);
+  void add_crossing(Phase phase);
 
   const PhaseTotals& phase(Phase p) const {
     return totals_[static_cast<int>(p)];

@@ -1,7 +1,7 @@
 #include "rcm/dist_bfs.hpp"
 
+#include "dist/level_kernel.hpp"
 #include "dist/primitives.hpp"
-#include "dist/spmspv.hpp"
 
 namespace drcm::rcm {
 
@@ -10,7 +10,8 @@ using dist::VecEntry;
 
 DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
                        dist::DistDenseVec& levels, dist::ProcGrid2D& grid,
-                       mps::Phase spmspv_phase, mps::Phase other_phase) {
+                       mps::Phase spmspv_phase, mps::Phase other_phase,
+                       dist::SpmspvAccumulator acc) {
   DRCM_CHECK(root >= 0 && root < a.n(), "BFS root out of range");
   auto& world = grid.world();
 
@@ -33,39 +34,26 @@ DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
 
   index_t depth = 0;
   while (true) {
-    // SET: frontier values <- levels (Algorithm 4 line 8; values carry the
-    // parent's level through the semiring).
-    {
-      mps::PhaseScope scope(world, other_phase);
-      dist::gather_from_dense(frontier, levels, world);
-    }
-    DistSpVec next;
-    {
-      mps::PhaseScope scope(world, spmspv_phase);
-      next = dist::spmspv_select2nd_min(a, frontier, grid);
-    }
-    index_t next_nnz = 0;
-    {
-      mps::PhaseScope scope(world, other_phase);
-      next = dist::select_where_equals(next, levels, kNoVertex, world);
-      next_nnz = next.global_nnz(world);
-    }
-    if (next_nnz == 0) break;
+    // One fused level: SET (values <- levels, Algorithm 4 line 8) ->
+    // SPMSPV -> SELECT (keep unvisited) -> count, three barrier crossings.
+    auto step = dist::bfs_level_step(a, frontier, levels, kNoVertex, grid,
+                                     spmspv_phase, other_phase, acc);
+    if (step.global_nnz == 0) break;
 
     {
       mps::PhaseScope scope(world, other_phase);
       ++depth;
       // Record true levels (clearer than the paper's parent-level values;
       // SELECT only ever tests for the kNoVertex sentinel).
-      std::vector<VecEntry> leveled(next.entries().begin(),
-                                    next.entries().end());
+      std::vector<VecEntry> leveled(step.next.entries().begin(),
+                                    step.next.entries().end());
       for (auto& e : leveled) e.val = depth;
-      next.assign(std::move(leveled));
-      dist::scatter_into_dense(levels, next, world);
+      step.next.assign(std::move(leveled));
+      dist::scatter_into_dense(levels, step.next, world);
     }
-    res.reached += next_nnz;
-    frontier = next;
-    res.last_frontier = next;
+    res.reached += step.global_nnz;
+    frontier = step.next;
+    res.last_frontier = step.next;
   }
   res.eccentricity = depth;
   return res;

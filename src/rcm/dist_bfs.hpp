@@ -1,12 +1,13 @@
 // Distributed level-synchronous BFS: the inner do-while shared by the
 // paper's Algorithm 3 (ordering) and Algorithm 4 (pseudo-peripheral
-// search). One iteration = SET (refresh frontier values) -> SPMSPV
-// ((select2nd, min) neighbor expansion) -> SELECT (keep unvisited) ->
-// SET (record levels) -> emptiness test (AllReduce).
+// search). One iteration = the fused level kernel (SET -> SPMSPV ->
+// SELECT -> count in three barrier crossings; dist/level_kernel.hpp)
+// followed by the SET that records the new level.
 #pragma once
 
 #include "dist/dist_matrix.hpp"
 #include "dist/dist_vector.hpp"
+#include "dist/spmspv.hpp"
 #include "mpsim/stats.hpp"
 
 namespace drcm::rcm {
@@ -19,10 +20,13 @@ struct DistBfsResult {
 
 /// Runs a full BFS from `root`, writing levels into the dense vector
 /// `levels` (reset to kNoVertex first). `spmspv_phase` / `other_phase`
-/// control the Figure-4 cost attribution (peripheral vs ordering).
+/// control the Figure-4 cost attribution (peripheral vs ordering); `acc`
+/// selects the SpMSpV accumulator arm (default: degree-aware auto-select).
 /// Collective.
 DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
                        dist::DistDenseVec& levels, dist::ProcGrid2D& grid,
-                       mps::Phase spmspv_phase, mps::Phase other_phase);
+                       mps::Phase spmspv_phase, mps::Phase other_phase,
+                       dist::SpmspvAccumulator acc =
+                           dist::SpmspvAccumulator::kAuto);
 
 }  // namespace drcm::rcm

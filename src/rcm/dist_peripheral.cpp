@@ -8,7 +8,8 @@ namespace drcm::rcm {
 DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
                                             const dist::DistDenseVec& degrees,
                                             index_t start,
-                                            dist::ProcGrid2D& grid) {
+                                            dist::ProcGrid2D& grid,
+                                            dist::SpmspvAccumulator acc) {
   DRCM_CHECK(start >= 0 && start < a.n(), "start vertex out of range");
   auto& world = grid.world();
 
@@ -18,7 +19,7 @@ DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
   dist::DistDenseVec levels(a.vec_dist(), grid, kNoVertex);
   auto bfs = dist_bfs(a, res.vertex, levels, grid,
                       mps::Phase::kPeripheralSpmspv,
-                      mps::Phase::kPeripheralOther);
+                      mps::Phase::kPeripheralOther, acc);
   ++res.bfs_sweeps;
   res.eccentricity = bfs.eccentricity;
   index_t nlvl = res.eccentricity - 1;
@@ -35,7 +36,7 @@ DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
     DRCM_CHECK(candidate != kNoVertex, "last BFS level cannot be empty");
     if (candidate == res.vertex) break;  // isolated vertex or fixpoint
     bfs = dist_bfs(a, candidate, levels, grid, mps::Phase::kPeripheralSpmspv,
-                   mps::Phase::kPeripheralOther);
+                   mps::Phase::kPeripheralOther, acc);
     ++res.bfs_sweeps;
     res.vertex = candidate;
     res.eccentricity = bfs.eccentricity;

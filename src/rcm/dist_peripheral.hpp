@@ -9,6 +9,7 @@
 
 #include "dist/dist_matrix.hpp"
 #include "dist/dist_vector.hpp"
+#include "dist/spmspv.hpp"
 
 namespace drcm::rcm {
 
@@ -19,10 +20,13 @@ struct DistPeripheralResult {
 };
 
 /// Collective. `degrees` is the matrix's distributed degree vector;
-/// `start` is the arbitrary starting vertex (Algorithm 4 line 1).
+/// `start` is the arbitrary starting vertex (Algorithm 4 line 1); `acc`
+/// selects the SpMSpV accumulator arm of every sweep.
 DistPeripheralResult dist_pseudo_peripheral(const dist::DistSpMat& a,
                                             const dist::DistDenseVec& degrees,
                                             index_t start,
-                                            dist::ProcGrid2D& grid);
+                                            dist::ProcGrid2D& grid,
+                                            dist::SpmspvAccumulator acc =
+                                                dist::SpmspvAccumulator::kAuto);
 
 }  // namespace drcm::rcm

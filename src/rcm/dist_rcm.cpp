@@ -1,8 +1,8 @@
 #include "rcm/dist_rcm.hpp"
 
+#include "dist/level_kernel.hpp"
 #include "dist/primitives.hpp"
 #include "dist/sortperm.hpp"
-#include "dist/spmspv.hpp"
 
 namespace drcm::rcm {
 
@@ -13,7 +13,7 @@ index_t dist_cm_component(const dist::DistSpMat& a,
                           const dist::DistDenseVec& degrees,
                           dist::DistDenseVec& labels, index_t root,
                           index_t next_label, dist::ProcGrid2D& grid,
-                          SortKind sort) {
+                          SortKind sort, dist::SpmspvAccumulator acc) {
   DRCM_CHECK(root >= 0 && root < a.n(), "root out of range");
   auto& world = grid.world();
 
@@ -39,23 +39,13 @@ index_t dist_cm_component(const dist::DistSpMat& a,
     const index_t label_lo = next_label - frontier_nnz;
     const index_t label_hi = next_label;
 
-    // Lcur <- SET(Lcur, R): refresh frontier values to their labels.
-    {
-      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
-      dist::gather_from_dense(frontier, labels, world);
-    }
-    // Lnext <- SPMSPV(A, Lcur, (select2nd, min)).
-    DistSpVec next;
-    {
-      mps::PhaseScope scope(world, mps::Phase::kOrderingSpmspv);
-      next = dist::spmspv_select2nd_min(a, frontier, grid);
-    }
-    // Lnext <- SELECT(Lnext, R = -1): keep unvisited.
-    {
-      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
-      next = dist::select_where_equals(next, labels, kNoVertex, world);
-      frontier_nnz = next.global_nnz(world);
-    }
+    // One fused level: Lcur <- SET(Lcur, R); Lnext <- SPMSPV(A, Lcur,
+    // (select2nd, min)); Lnext <- SELECT(Lnext, R = -1); |Lnext| — three
+    // barrier crossings instead of the unfused chain's eight.
+    auto step = dist::bfs_level_step(a, frontier, labels, kNoVertex, grid,
+                                     mps::Phase::kOrderingSpmspv,
+                                     mps::Phase::kOrderingOther, acc);
+    frontier_nnz = step.global_nnz;
     if (frontier_nnz == 0) break;
 
     // Rnext <- SORTPERM(Lnext, D) + nv.
@@ -63,8 +53,9 @@ index_t dist_cm_component(const dist::DistSpMat& a,
     {
       mps::PhaseScope scope(world, mps::Phase::kOrderingSort);
       ranks = sort == SortKind::kBucket
-                  ? dist::sortperm_bucket(next, degrees, label_lo, label_hi, grid)
-                  : dist::sortperm_sample(next, degrees, grid);
+                  ? dist::sortperm_bucket(step.next, degrees, label_lo,
+                                          label_hi, grid)
+                  : dist::sortperm_sample(step.next, degrees, grid);
       dist::add_scalar(ranks, next_label, world);
     }
     // R <- SET(R, Rnext); advance nv; Lcur <- Lnext.
@@ -73,7 +64,7 @@ index_t dist_cm_component(const dist::DistSpMat& a,
       dist::scatter_into_dense(labels, ranks, world);
     }
     next_label += frontier_nnz;
-    frontier = next;
+    frontier = step.next;
   }
   return next_label;
 }

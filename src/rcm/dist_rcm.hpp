@@ -11,6 +11,7 @@
 
 #include "dist/dist_matrix.hpp"
 #include "dist/dist_vector.hpp"
+#include "dist/spmspv.hpp"
 
 namespace drcm::rcm {
 
@@ -27,6 +28,8 @@ index_t dist_cm_component(const dist::DistSpMat& a,
                           const dist::DistDenseVec& degrees,
                           dist::DistDenseVec& labels, index_t root,
                           index_t next_label, dist::ProcGrid2D& grid,
-                          SortKind sort = SortKind::kBucket);
+                          SortKind sort = SortKind::kBucket,
+                          dist::SpmspvAccumulator acc =
+                              dist::SpmspvAccumulator::kAuto);
 
 }  // namespace drcm::rcm

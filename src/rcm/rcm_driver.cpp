@@ -41,11 +41,13 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
       seed = dist::argmin_unvisited(labels, degrees, world).second;
     }
     DRCM_CHECK(seed != kNoVertex, "unlabeled vertices must exist");
-    const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid);
+    const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid,
+                                                   options.accumulator);
     local_stats.components += 1;
     local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
     next_label = dist_cm_component(mat, degrees, labels, peripheral.vertex,
-                                   next_label, grid, options.sort);
+                                   next_label, grid, options.sort,
+                                   options.accumulator);
   }
 
   // Reverse (RCM = reversed CM) and replicate.

@@ -141,18 +141,22 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
     const double frontier = static_cast<double>(l.frontier);
     const double expansion = static_cast<double>(l.expansion);
     const double next = static_cast<double>(l.next);
-    // Local multiply + SPA merge, multithreaded across all cores.
+    // Local multiply + accumulator merge, multithreaded across all cores.
     spmspv.compute += gamma * (expansion + 2.0 * next) / total_cores;
     if (P > 1) {
-      // allgatherv along the processor column; alltoallv along the row;
-      // transpose pairwise exchange.
+      // The fused level kernel (dist::bfs_level_step): allgatherv along
+      // the processor column, the owner-direct alltoallv (fan-out q,
+      // subsuming the old row alltoallv + transpose pairwise exchange),
+      // and the folded emptiness/count reduction — three barrier
+      // crossings where the unfused chain paid eight.
       spmspv.comm += alpha * (q - 1) + beta * kEntryWords * frontier / q;
-      spmspv.comm += alpha * (q - 1) + beta * kEntryWords * expansion / P;
-      spmspv.comm += alpha + beta * kEntryWords * next / P;
+      spmspv.comm += alpha * q + beta * kEntryWords * expansion / P;
+      spmspv.comm += 2.0 * alpha * logP;
     }
-    // SET + SELECT are local scans; the emptiness test is an allreduce.
+    // SET + SELECT are local scans fused into the kernel; their work stays
+    // attributed to Other, while the count reduction's latency moved into
+    // the fused SpMSpV collective above.
     other.compute += gamma * (frontier + 2.0 * next) / total_cores;
-    if (P > 1) other.comm += 2.0 * alpha * logP;
   };
 
   for (const auto& l : trace.peripheral_levels) {

@@ -1,7 +1,13 @@
-// Unit tests for the alpha-beta-gamma cost model formulas.
+// Unit tests for the alpha-beta-gamma cost model formulas, plus the
+// barrier-crossing ledger that pins the fused level kernel's synchrony
+// budget (3 crossings per BFS level) against the unfused chain's (~8).
 #include "mpsim/cost_model.hpp"
 
 #include <gtest/gtest.h>
+
+#include "dist/level_kernel.hpp"
+#include "mpsim/runtime.hpp"
+#include "sparse/generators.hpp"
 
 namespace drcm::mps {
 namespace {
@@ -80,6 +86,53 @@ TEST(CostModel, CommCostAccumulates) {
   EXPECT_DOUBLE_EQ(a.seconds, 1.5);
   EXPECT_EQ(a.messages, 3u);
   EXPECT_EQ(a.words, 10u);
+}
+
+TEST(CrossingLedger, EveryCollectiveIsTwoCrossingsBarrierIsOne) {
+  const auto report = Runtime::run(4, [](Comm& world) {
+    {
+      PhaseScope scope(world, Phase::kSolver);
+      world.barrier();  // 1 crossing
+    }
+    {
+      PhaseScope scope(world, Phase::kOther);
+      world.allreduce(1, [](int a, int b) { return a + b; });  // 2 crossings
+      world.allgatherv(std::span<const int>{});                // 2 crossings
+    }
+  });
+  EXPECT_EQ(report.aggregate(Phase::kSolver).max.barrier_crossings, 1u);
+  EXPECT_EQ(report.aggregate(Phase::kOther).max.barrier_crossings, 4u);
+}
+
+TEST(CrossingLedger, FusedLevelKernelChargesAtMostThreeCrossingsPerLevel) {
+  // The tentpole claim: one BFS level through dist::bfs_level_step costs
+  // THREE barrier crossings; the unfused primitive chain (gather ->
+  // SpMSpV's allgatherv + alltoallv + pairwise -> SELECT -> emptiness
+  // allreduce) costs eight. Distinct phases isolate each path's ledger.
+  const auto a = sparse::gen::grid2d(8, 8);
+  const auto report = Runtime::run(4, [&](Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::DistSpMat mat(grid, a);
+    dist::DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
+    if (levels.owns(27)) levels.set(27, 0);
+    dist::DistSpVec frontier(mat.vec_dist(), grid);
+    if (frontier.lo() <= 27 && 27 < frontier.hi()) {
+      frontier.assign({dist::VecEntry{27, 0}});
+    }
+    dist::bfs_level_step(mat, frontier, levels, kNoVertex, grid,
+                         Phase::kOrderingSpmspv, Phase::kOrderingOther);
+    dist::bfs_level_step_unfused(mat, frontier, levels, kNoVertex, grid,
+                                 Phase::kPeripheralSpmspv,
+                                 Phase::kPeripheralOther);
+  });
+  const auto fused =
+      report.aggregate(Phase::kOrderingSpmspv).max.barrier_crossings +
+      report.aggregate(Phase::kOrderingOther).max.barrier_crossings;
+  const auto unfused =
+      report.aggregate(Phase::kPeripheralSpmspv).max.barrier_crossings +
+      report.aggregate(Phase::kPeripheralOther).max.barrier_crossings;
+  EXPECT_EQ(fused, 3u) << "the fused kernel's synchrony budget";
+  EXPECT_EQ(unfused, 8u) << "the unfused chain's per-level baseline";
 }
 
 TEST(CostModel, DefaultParametersAreSane) {
