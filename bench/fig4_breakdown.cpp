@@ -16,6 +16,9 @@
 #include <cstdio>
 
 #include "bench/suite.hpp"
+#include "dist/level_kernel.hpp"
+#include "mpsim/runtime.hpp"
+#include "rcm/dist_bfs.hpp"
 #include "rcm/rcm_driver.hpp"
 #include "rcm/trace_model.hpp"
 
@@ -74,7 +77,55 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   std::printf("\n");
+
+  // Synchrony budget: the barrier-crossing ledger of one real p=4 run.
+  // The fused level kernel (dist::bfs_level_step) spends 3 crossings per
+  // BFS level; the unfused primitive chain (SET -> SpMSpV's three
+  // collectives -> SELECT -> emptiness AllReduce) spends 8. Measured, not
+  // asserted: the phases isolate each path's ledger.
+  {
+    std::uint64_t fused_one = 0, unfused_one = 0;
+    double fused_avg = 0;
+    const auto a = small[0].pattern;
+    const auto report = mps::Runtime::run(4, [&](mps::Comm& world) {
+      dist::ProcGrid2D grid(world);
+      dist::DistSpMat mat(grid, a);
+      dist::DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
+      if (levels.owns(0)) levels.set(0, 0);
+      dist::DistSpVec frontier(mat.vec_dist(), grid);
+      if (frontier.lo() <= 0 && 0 < frontier.hi()) {
+        frontier.assign({dist::VecEntry{0, 0}});
+      }
+      dist::bfs_level_step(mat, frontier, levels, kNoVertex, grid,
+                           mps::Phase::kOrderingSpmspv,
+                           mps::Phase::kOrderingOther);
+      dist::bfs_level_step_unfused(mat, frontier, levels, kNoVertex, grid,
+                                   mps::Phase::kPeripheralSpmspv,
+                                   mps::Phase::kPeripheralOther);
+      // A whole fused BFS: eccentricity+1 level steps, 3 crossings each.
+      const auto bfs = rcm::dist_bfs(mat, 0, levels, grid,
+                                     mps::Phase::kSolver, mps::Phase::kSolver);
+      if (world.rank() == 0) {
+        fused_avg = static_cast<double>(
+                        world.stats().phase(mps::Phase::kSolver).barrier_crossings) /
+                    static_cast<double>(bfs.eccentricity + 1);
+      }
+    });
+    fused_one =
+        report.aggregate(mps::Phase::kOrderingSpmspv).max.barrier_crossings +
+        report.aggregate(mps::Phase::kOrderingOther).max.barrier_crossings;
+    unfused_one =
+        report.aggregate(mps::Phase::kPeripheralSpmspv).max.barrier_crossings +
+        report.aggregate(mps::Phase::kPeripheralOther).max.barrier_crossings;
+    std::printf("collective crossings per BFS level (real p=4 run of %s):\n"
+                "  fused level kernel %llu, unfused primitive chain %llu; "
+                "full fused BFS averages %.2f/level\n\n",
+                small[0].name.c_str(),
+                static_cast<unsigned long long>(fused_one),
+                static_cast<unsigned long long>(unfused_one), fused_avg);
+  }
   std::printf("shape check: Ord:Sort share rises with cores; "
-              "low-diameter matrices keep scaling past 1K cores.\n");
+              "low-diameter matrices keep scaling past 1K cores; fused "
+              "level kernel holds at <=3 crossings/level vs ~8 unfused.\n");
   return 0;
 }
