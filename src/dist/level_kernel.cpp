@@ -1,8 +1,76 @@
 #include "dist/level_kernel.hpp"
 
 #include "dist/primitives.hpp"
+#include "dist/sortperm.hpp"
 
 namespace drcm::dist {
+
+namespace {
+
+/// SET fused into publish-buffer construction: the outgoing frontier
+/// carries dense[idx] as its value (the parent's level/label). The buffer
+/// stays untouched through the whole collective — peers read it until the
+/// second crossing. Shared by the BFS and ordering level kernels.
+std::vector<VecEntry>& publish_set(const DistSpVec& frontier,
+                                   const DistDenseVec& dense,
+                                   mps::Comm& world, mps::Phase other_phase,
+                                   DistWorkspace& w) {
+  auto& outgoing = w.frontier_scratch();
+  const auto prev = world.set_phase(other_phase);
+  for (const auto& e : frontier.entries()) {
+    outgoing.push_back(VecEntry{e.idx, dense.get(e.idx)});
+  }
+  world.charge_compute(static_cast<double>(outgoing.size()));
+  world.set_phase(prev);
+  return outgoing;
+}
+
+/// Stage 2: local block multiply into per-row partial minima, then route
+/// each partial straight to the owner of its element — the step that
+/// replaces the row-merge alltoallv + transpose pairwise exchange of the
+/// unfused kernel.
+void route_partials(const DistSpMat& a, const std::vector<VecEntry>& gathered,
+                    std::vector<std::vector<VecEntry>>& route,
+                    SpmspvAccumulator acc, mps::Comm& world, DistWorkspace& w,
+                    SpmspvAccumulator* used) {
+  double work = 0;
+  const auto& partial = spmspv_local_multiply(a, gathered, acc, w, &work, used);
+  const auto& dist = a.vec_dist();
+  for (const auto& e : partial) {
+    route[static_cast<std::size_t>(dist.owner_rank(e.idx))].push_back(e);
+  }
+  world.charge_compute(work + static_cast<double>(partial.size()));
+}
+
+/// Owner merge: min-combine the ≤ q partial lists over my owned range with
+/// the stamped slot array, then SELECT right here, where the dense vector
+/// lives: append (ascending by construction) only the elements whose dense
+/// value equals `keep_sentinel` to `kept`.
+void merge_and_select(const std::vector<VecEntry>& received,
+                      const DistDenseVec& dense, index_t keep_sentinel,
+                      mps::Comm& world, mps::Phase other_phase,
+                      DistWorkspace& w, std::vector<VecEntry>& kept) {
+  const index_t lo = dense.lo();
+  const index_t hi = dense.hi();
+  auto& slots = w.merge_slots(static_cast<std::size_t>(hi - lo));
+  for (const auto& e : received) {
+    DRCM_DCHECK(e.idx >= lo && e.idx < hi, "partial routed to non-owner");
+    slots.put_min(static_cast<std::size_t>(e.idx - lo), e.val);
+  }
+  world.charge_compute(static_cast<double>(received.size()));
+  const auto prev = world.set_phase(other_phase);
+  for (index_t g = lo; g < hi; ++g) {
+    const auto s = static_cast<std::size_t>(g - lo);
+    if (slots.live(s) && dense.get(g) == keep_sentinel) {
+      kept.push_back(VecEntry{g, slots.val[s]});
+    }
+  }
+  world.charge_compute(kScanUnit * static_cast<double>(hi - lo) +
+                       static_cast<double>(kept.size()));
+  world.set_phase(prev);
+}
+
+}  // namespace
 
 LevelStepResult bfs_level_step(const DistSpMat& a, const DistSpVec& frontier,
                                const DistDenseVec& dense,
@@ -15,25 +83,12 @@ LevelStepResult bfs_level_step(const DistSpMat& a, const DistSpVec& frontier,
              "dense vector distribution does not match the matrix");
   auto& world = grid.world();
   DistWorkspace& w = ws ? *ws : grid.workspace();
-  const auto& dist = a.vec_dist();
   const int p = world.size();
 
   LevelStepResult res;
   mps::PhaseScope scope(world, spmspv_phase);
 
-  // SET fused into publish-buffer construction: the outgoing frontier
-  // carries dense[idx] as its value (the parent's level/label). The buffer
-  // stays untouched through the whole collective — peers read it until the
-  // second crossing.
-  auto& outgoing = w.frontier_scratch();
-  {
-    const auto prev = world.set_phase(other_phase);
-    for (const auto& e : frontier.entries()) {
-      outgoing.push_back(VecEntry{e.idx, dense.get(e.idx)});
-    }
-    world.charge_compute(static_cast<double>(outgoing.size()));
-    world.set_phase(prev);
-  }
+  auto& outgoing = publish_set(frontier, dense, world, other_phase, w);
 
   std::vector<VecEntry> kept;
   res.global_nnz = static_cast<index_t>(world.fused_gather_route_count(
@@ -42,42 +97,11 @@ LevelStepResult bfs_level_step(const DistSpMat& a, const DistSpVec& frontier,
       w.recv_scratch(),
       [&](const std::vector<VecEntry>& gathered,
           std::vector<std::vector<VecEntry>>& route) {
-        // Stage 2: local block multiply into per-row partial minima, then
-        // route each partial straight to the owner of its element — the
-        // step that replaces the row-merge alltoallv + transpose pairwise
-        // exchange of the unfused kernel.
-        double work = 0;
-        const auto& partial =
-            spmspv_local_multiply(a, gathered, acc, w, &work, &res.used);
-        for (const auto& e : partial) {
-          route[static_cast<std::size_t>(dist.owner_rank(e.idx))].push_back(e);
-        }
-        world.charge_compute(work + static_cast<double>(partial.size()));
+        route_partials(a, gathered, route, acc, world, w, &res.used);
       },
       [&](const std::vector<VecEntry>& received) -> std::int64_t {
-        // Owner merge: min-combine the ≤ q partial lists over my owned
-        // range with the stamped slot array...
-        const index_t lo = dense.lo();
-        const index_t hi = dense.hi();
-        auto& slots = w.merge_slots(static_cast<std::size_t>(hi - lo));
-        for (const auto& e : received) {
-          DRCM_DCHECK(e.idx >= lo && e.idx < hi,
-                      "partial routed to non-owner");
-          slots.put_min(static_cast<std::size_t>(e.idx - lo), e.val);
-        }
-        world.charge_compute(static_cast<double>(received.size()));
-        // ...then SELECT right here, where the dense vector lives: emit
-        // (ascending by construction) only the still-unvisited elements.
-        const auto prev = world.set_phase(other_phase);
-        for (index_t g = lo; g < hi; ++g) {
-          const auto s = static_cast<std::size_t>(g - lo);
-          if (slots.live(s) && dense.get(g) == keep_sentinel) {
-            kept.push_back(VecEntry{g, slots.val[s]});
-          }
-        }
-        world.charge_compute(kScanUnit * static_cast<double>(hi - lo) +
-                             static_cast<double>(kept.size()));
-        world.set_phase(prev);
+        merge_and_select(received, dense, keep_sentinel, world, other_phase,
+                         w, kept);
         return static_cast<std::int64_t>(kept.size());
       }));
 
@@ -107,6 +131,159 @@ LevelStepResult bfs_level_step_unfused(
     mps::PhaseScope scope(world, other_phase);
     res.next = select_where_equals(expanded, dense, keep_sentinel, world);
     res.global_nnz = res.next.global_nnz(world);
+  }
+  return res;
+}
+
+CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
+                            DistDenseVec& labels, const DistDenseVec& degrees,
+                            index_t label_lo, index_t label_hi,
+                            index_t next_label, ProcGrid2D& grid,
+                            mps::Phase spmspv_phase, mps::Phase sort_phase,
+                            mps::Phase other_phase, SpmspvAccumulator acc,
+                            DistWorkspace* ws) {
+  DRCM_CHECK(frontier.dist() == a.vec_dist(),
+             "frontier distribution does not match the matrix");
+  DRCM_CHECK(labels.dist() == a.vec_dist(),
+             "label vector distribution does not match the matrix");
+  DRCM_CHECK(degrees.dist() == a.vec_dist(),
+             "degree vector distribution does not match the matrix");
+  DRCM_CHECK(label_hi > label_lo, "empty parent label range");
+  auto& world = grid.world();
+  DistWorkspace& w = ws ? *ws : grid.workspace();
+  const auto& dist = a.vec_dist();
+  const int p = world.size();
+  const int q = grid.q();
+  const index_t nb = label_hi - label_lo;
+  const index_t my_block = block_index(grid.row(), grid.col(), q);
+
+  CmLevelResult res;
+  mps::PhaseScope scope(world, spmspv_phase);
+
+  // SET fused into publish-buffer construction, exactly as in
+  // bfs_level_step: the outgoing frontier carries labels[idx] (the parent's
+  // Cuthill-McKee label) as its value.
+  auto& outgoing = publish_set(frontier, labels, world, other_phase, w);
+
+  std::vector<VecEntry> kept;
+  auto& entry_cell = w.entry_cell();
+  SortPlan plan;
+  std::size_t my_cells = 0;
+  res.global_nnz = static_cast<index_t>(
+      world.fused_order_level<VecEntry, SortRec, SortHistCell>(
+          grid.col_world_ranks(), std::span<const VecEntry>(outgoing),
+          w.gather_scratch(), w.fused_route(static_cast<std::size_t>(p)),
+          w.recv_scratch(), w.hist_cells(), w.hist_all(),
+          w.sort_route(static_cast<std::size_t>(p)), w.sort_recv_scratch(),
+          w.entry_route(static_cast<std::size_t>(p)), w.rank_recv_scratch(),
+          [&](const std::vector<VecEntry>& gathered,
+              std::vector<std::vector<VecEntry>>& route) {
+            route_partials(a, gathered, route, acc, world, w, &res.used);
+          },
+          [&](const std::vector<VecEntry>& received,
+              std::vector<SortHistCell>& carry) -> std::int64_t {
+            merge_and_select(received, labels, kNoVertex, world, other_phase,
+                             w, kept);
+            // The SORTPERM bucket histogram of the kept level rides the
+            // count superstep as the carried payload.
+            const auto prev = world.set_phase(sort_phase);
+            sortperm_local_hist(std::span<const VecEntry>(kept), degrees,
+                                label_lo, label_hi, my_block, w, carry,
+                                entry_cell);
+            my_cells = carry.size();
+            world.charge_compute(static_cast<double>(2 * kept.size()));
+            world.set_phase(prev);
+            return static_cast<std::int64_t>(kept.size());
+          },
+          [&](std::int64_t total, const std::vector<SortHistCell>& cells,
+              std::vector<std::vector<SortRec>>& deal) {
+            // Crossings 4-5 and the sort-side volume belong to the
+            // Ordering:Sort ledger from here on. Deal every kept element
+            // to its own position's worker: the cursor in `mine` hands out
+            // cell start + within-cell ordinal (exact final positions), so
+            // the worker stripes are the balanced partition of [0, total).
+            world.set_phase(sort_phase);
+            plan = sortperm_plan(std::span<const SortHistCell>(cells), p, nb,
+                                 w);
+            DRCM_CHECK(plan.total == static_cast<index_t>(total),
+                       "histogram total disagrees with the level count");
+            auto& mine = w.my_starts();
+            sortperm_my_starts(plan, my_block, mine);
+            DRCM_DCHECK(mine.size() == my_cells, "plan misses local cells");
+            sortperm_deal(std::span<const VecEntry>(kept), degrees, label_lo,
+                          std::span<const index_t>(entry_cell), mine,
+                          plan.total, p, deal);
+            world.charge_compute(static_cast<double>(4 * cells.size()) +
+                                 static_cast<double>(kept.size() + nb));
+          },
+          [&](const std::vector<SortRec>& dealt,
+              std::span<const std::uint64_t> counts,
+              std::vector<std::vector<VecEntry>>& back) {
+            // Worker side: the shared sort tail brings the dealt elements
+            // to (bucket, degree, idx) — position — order, so my t-th
+            // element's label is next_label + stripe_lo + t.
+            index_t stripe_lo = 0;
+            auto& arr = sortperm_worker_sort(std::span<const SortRec>(dealt),
+                                             counts, q, plan.total, world, w,
+                                             &stripe_lo);
+            for (std::size_t t = 0; t < arr.size(); ++t) {
+              back[static_cast<std::size_t>(dist.owner_rank(arr[t].idx))]
+                  .push_back(VecEntry{
+                      arr[t].idx,
+                      next_label + stripe_lo + static_cast<index_t>(t)});
+            }
+            world.charge_compute(static_cast<double>(arr.size()));
+          },
+          [&](const std::vector<VecEntry>& ranked) {
+            // SET(R, Rnext): every kept element receives exactly one label.
+            DRCM_CHECK(ranked.size() == kept.size(),
+                       "every level element must receive exactly one label");
+            const auto prev = world.set_phase(other_phase);
+            for (const auto& e : ranked) {
+              DRCM_DCHECK(labels.owns(e.idx), "label routed to non-owner");
+              labels.set(e.idx, e.val);
+            }
+            world.charge_compute(static_cast<double>(ranked.size()));
+            world.set_phase(prev);
+          }));
+
+  // Callbacks may have left the phase on the sort bucket; the scope's wall
+  // time is attributed to the SpMSpV phase (the modeled split stays exact).
+  world.set_phase(spmspv_phase);
+  res.next = frontier.sibling(std::move(kept));
+  return res;
+}
+
+CmLevelResult cm_level_step_unfused(
+    const DistSpMat& a, const DistSpVec& frontier, DistDenseVec& labels,
+    const DistDenseVec& degrees, index_t label_lo, index_t label_hi,
+    index_t next_label, ProcGrid2D& grid, mps::Phase spmspv_phase,
+    mps::Phase sort_phase, mps::Phase other_phase, bool sample_sort,
+    SpmspvAccumulator acc, DistWorkspace* ws) {
+  auto& world = grid.world();
+
+  CmLevelResult res;
+  auto step = bfs_level_step(a, frontier, labels, kNoVertex, grid,
+                             spmspv_phase, other_phase, acc, ws);
+  res.next = std::move(step.next);
+  res.global_nnz = step.global_nnz;
+  res.used = step.used;
+  if (res.global_nnz == 0) return res;
+
+  // Rnext <- SORTPERM(Lnext, D) + next_label.
+  DistSpVec ranks;
+  {
+    mps::PhaseScope scope(world, sort_phase);
+    ranks = sample_sort
+                ? sortperm_sample(res.next, degrees, grid, ws)
+                : sortperm_bucket(res.next, degrees, label_lo, label_hi,
+                                  grid, ws);
+    add_scalar(ranks, next_label, world);
+  }
+  // R <- SET(R, Rnext).
+  {
+    mps::PhaseScope scope(world, other_phase);
+    scatter_into_dense(labels, ranks, world);
   }
   return res;
 }

@@ -66,4 +66,59 @@ LevelStepResult bfs_level_step_unfused(
     mps::Phase other_phase, SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
     DistWorkspace* ws = nullptr);
 
+/// Result of one fused (or reference-unfused) ORDERING level: the BFS level
+/// step above plus SORTPERM plus the label scatter of Algorithm 3.
+struct CmLevelResult {
+  /// The next frontier (post-SELECT), values = minimum parent label.
+  DistSpVec next;
+  /// Exact global nnz of `next`, identical on every rank.
+  index_t global_nnz = 0;
+  /// The accumulator arm the expansion actually ran.
+  SpmspvAccumulator used = SpmspvAccumulator::kSpa;
+};
+
+/// One fused Cuthill-McKee ordering level in FIVE barrier crossings
+/// (Comm::fused_order_level), three when the level comes back empty:
+///
+///   Lnext <- SELECT(SPMSPV(A, SET(Lcur, R)), R = kNoVertex)   [3 crossings]
+///   R     <- SET(R, SORTPERM(Lnext, D) + next_label)          [+2 crossings]
+///
+/// The SORTPERM bucket histogram rides the count superstep's freed frontier
+/// board, the element deal reuses the freed partial-routing board, and the
+/// position scatter rides the auxiliary payload board — so the whole
+/// ordering level needs no collective beyond the level kernel's own. The
+/// unfused reference (cm_level_step_unfused below) pays 3 + SORTPERM's 6 =
+/// 9 crossings for the identical result; both paths are bit-identical by
+/// construction, enforced by tests/test_dist_cm_level_equivalence.cpp.
+///
+/// `labels` must hold the parent labels of `frontier`'s entries inside
+/// [label_lo, label_hi) (the contiguous range of the previous level);
+/// the discovered level is written into `labels` as consecutive labels
+/// starting at `next_label`, ranked by (parent label, degree, index).
+/// Costs split across `spmspv_phase` (crossings 1-3, expansion volume),
+/// `sort_phase` (crossings 4-5, histogram + deal + scatter volume) and
+/// `other_phase` (SET/SELECT scans); wall time lands on `spmspv_phase`.
+/// Collective; must not be called under an open PhaseScope.
+CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
+                            DistDenseVec& labels, const DistDenseVec& degrees,
+                            index_t label_lo, index_t label_hi,
+                            index_t next_label, ProcGrid2D& grid,
+                            mps::Phase spmspv_phase, mps::Phase sort_phase,
+                            mps::Phase other_phase,
+                            SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
+                            DistWorkspace* ws = nullptr);
+
+/// The reference ordering level: the fused BFS level step followed by the
+/// standalone SORTPERM chain (sortperm_bucket or, when `sample_sort`, the
+/// sample-sort baseline) and the label scatter — 3 + 6 = 9 barrier
+/// crossings. Kept callable for the equivalence suite, the crossing-ledger
+/// tests and the fig4 bench.
+CmLevelResult cm_level_step_unfused(
+    const DistSpMat& a, const DistSpVec& frontier, DistDenseVec& labels,
+    const DistDenseVec& degrees, index_t label_lo, index_t label_hi,
+    index_t next_label, ProcGrid2D& grid, mps::Phase spmspv_phase,
+    mps::Phase sort_phase, mps::Phase other_phase, bool sample_sort = false,
+    SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
+    DistWorkspace* ws = nullptr);
+
 }  // namespace drcm::dist

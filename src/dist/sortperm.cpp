@@ -23,38 +23,6 @@ DistSpVec emit_from_slots(const DistSpVec& x, const std::vector<index_t>& slot) 
   return x.sibling(std::move(out_entries));
 }
 
-/// Two stable counting passes (degree, then bucket) over triples already
-/// in ascending-index order; returns the triples in final
-/// (bucket, degree, idx) order. Zero comparison sorts. The shadow array
-/// of the first pass comes from the workspace.
-void lsd_counting_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
-                       index_t b_hi, DistWorkspace& ws) {
-  std::vector<index_t> cnt(static_cast<std::size_t>(dmax) + 1, 0);
-  for (const auto& rec : arr) ++cnt[static_cast<std::size_t>(rec.degree)];
-  index_t run = 0;
-  for (auto& c : cnt) {
-    const index_t c0 = c;
-    c = run;
-    run += c0;
-  }
-  auto& tmp = ws.sort_tmp();
-  tmp.resize(arr.size());
-  for (const auto& rec : arr) {
-    tmp[static_cast<std::size_t>(cnt[static_cast<std::size_t>(rec.degree)]++)] = rec;
-  }
-  std::vector<index_t> bcnt(static_cast<std::size_t>(b_hi - b_lo), 0);
-  for (const auto& rec : tmp) ++bcnt[static_cast<std::size_t>(rec.bucket - b_lo)];
-  run = 0;
-  for (auto& c : bcnt) {
-    const index_t c0 = c;
-    c = run;
-    run += c0;
-  }
-  for (const auto& rec : tmp) {
-    arr[static_cast<std::size_t>(bcnt[static_cast<std::size_t>(rec.bucket - b_lo)]++)] = rec;
-  }
-}
-
 /// Routes (idx, rank) pairs to the index owners and emits the result on
 /// the support of `x`, sorted by construction via dense local slots.
 DistSpVec scatter_ranks_back(const DistSpVec& x,
@@ -72,11 +40,225 @@ DistSpVec scatter_ranks_back(const DistSpVec& x,
   return emit_from_slots(x, slot);
 }
 
+/// One stable counting pass of histogram cells from `src` to `dst` keyed by
+/// `key` (values in [0, bins)); counters come from the workspace so the
+/// steady-state level loop allocates nothing per pass.
+template <class KeyFn>
+void cell_counting_pass(const std::vector<SortHistCell>& src,
+                        std::vector<SortHistCell>& dst, std::size_t bins,
+                        DistWorkspace& ws, KeyFn key) {
+  auto& cnt = ws.counters(bins);
+  for (const auto& c : src) ++cnt[static_cast<std::size_t>(key(c))];
+  index_t run = 0;
+  for (auto& v : cnt) {
+    const index_t v0 = v;
+    v = run;
+    run += v0;
+  }
+  for (const auto& c : src) {
+    dst[static_cast<std::size_t>(cnt[static_cast<std::size_t>(key(c))]++)] = c;
+  }
+}
+
 }  // namespace
+
+void sortperm_lsd_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
+                       index_t b_hi, DistWorkspace& ws) {
+  // Degree bins can reach O(n) on degree-skewed levels, so the counter
+  // storage comes from the workspace (one buffer serves both passes: the
+  // degree counters are dead before the bucket checkout re-zeroes it).
+  auto& cnt = ws.counters(static_cast<std::size_t>(dmax) + 1);
+  for (const auto& rec : arr) ++cnt[static_cast<std::size_t>(rec.degree)];
+  index_t run = 0;
+  for (auto& c : cnt) {
+    const index_t c0 = c;
+    c = run;
+    run += c0;
+  }
+  auto& tmp = ws.sort_tmp();
+  tmp.resize(arr.size());
+  for (const auto& rec : arr) {
+    tmp[static_cast<std::size_t>(cnt[static_cast<std::size_t>(rec.degree)]++)] = rec;
+  }
+  auto& bcnt = ws.counters(static_cast<std::size_t>(b_hi - b_lo));
+  for (const auto& rec : tmp) ++bcnt[static_cast<std::size_t>(rec.bucket - b_lo)];
+  run = 0;
+  for (auto& c : bcnt) {
+    const index_t c0 = c;
+    c = run;
+    run += c0;
+  }
+  for (const auto& rec : tmp) {
+    arr[static_cast<std::size_t>(bcnt[static_cast<std::size_t>(rec.bucket - b_lo)]++)] = rec;
+  }
+}
+
+void sortperm_local_hist(std::span<const VecEntry> entries,
+                         const DistDenseVec& degrees, index_t label_lo,
+                         index_t label_hi, index_t block, DistWorkspace& ws,
+                         std::vector<SortHistCell>& hist,
+                         std::vector<index_t>& entry_cell) {
+  entry_cell.resize(entries.size());
+  if (entries.empty()) return;
+  // (bucket, degree, entry ordinal) triples, then the two counting passes
+  // shared with the element sort: recs end up (bucket, degree)-grouped.
+  auto& recs = ws.hist_recs();
+  recs.reserve(entries.size());
+  index_t dmax = 0;
+  index_t b_min = label_hi - label_lo;
+  index_t b_max = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    DRCM_CHECK(e.val >= label_lo && e.val < label_hi,
+               "parent label outside the frontier's label range");
+    const index_t b = e.val - label_lo;
+    const index_t d = degrees.get(e.idx);
+    dmax = std::max(dmax, d);
+    b_min = std::min(b_min, b);
+    b_max = std::max(b_max, b);
+    recs.push_back(SortRec{b, d, static_cast<index_t>(i)});
+  }
+  sortperm_lsd_sort(recs, dmax, b_min, b_max + 1, ws);
+  for (const auto& rec : recs) {
+    if (hist.empty() || hist.back().bucket != rec.bucket ||
+        hist.back().degree != rec.degree) {
+      hist.push_back(SortHistCell{rec.bucket, rec.degree, block, 0});
+    }
+    hist.back().count += 1;
+    entry_cell[static_cast<std::size_t>(rec.idx)] =
+        static_cast<index_t>(hist.size()) - 1;
+  }
+}
+
+SortPlan sortperm_plan(std::span<const SortHistCell> cells, int p, index_t nb,
+                       DistWorkspace& ws) {
+  auto& table = ws.hist_table();
+  auto& shadow = ws.hist_shadow();
+  shadow.assign(cells.begin(), cells.end());
+  table.resize(cells.size());
+  index_t dmax = 0;
+  for (const auto& c : cells) dmax = std::max(dmax, c.degree);
+  // Stable LSD to (bucket, degree, block) order: least-significant key
+  // first. Input cells arrive rank-concatenated (each rank's sub-table
+  // already (bucket, degree)-sorted), but the passes assume nothing.
+  cell_counting_pass(shadow, table, static_cast<std::size_t>(p), ws,
+                     [](const SortHistCell& c) { return c.block; });
+  cell_counting_pass(table, shadow, static_cast<std::size_t>(dmax) + 1, ws,
+                     [](const SortHistCell& c) { return c.degree; });
+  cell_counting_pass(shadow, table, static_cast<std::size_t>(nb), ws,
+                     [](const SortHistCell& c) { return c.bucket; });
+  auto& start = ws.hist_start();
+  start.reserve(table.size());
+  index_t run = 0;
+  for (const auto& c : table) {
+    start.push_back(run);
+    run += c.count;
+  }
+  return SortPlan{std::span<const SortHistCell>(table),
+                  std::span<const index_t>(start), run};
+}
+
+void sortperm_my_starts(const SortPlan& plan, index_t block,
+                        std::vector<index_t>& out) {
+  // Filtering the (bucket, degree, block)-sorted table to one block yields
+  // that rank's cells in (bucket, degree) order — the local hist order.
+  for (std::size_t t = 0; t < plan.table.size(); ++t) {
+    if (plan.table[t].block == block) out.push_back(plan.start[t]);
+  }
+}
+
+template <class CountT>
+std::vector<SortRec>& sortperm_replay(std::span<const SortRec> recv,
+                                      std::span<const CountT> counts, int q,
+                                      DistWorkspace& ws, index_t* dmax,
+                                      index_t* b_min, index_t* b_max) {
+  const int p = q * q;
+  DRCM_CHECK(static_cast<int>(counts.size()) == p,
+             "replay needs one count per source rank");
+  // Per-source offsets from the workspace counter buffer (dead before any
+  // later checkout) — the per-level hot path allocates nothing here.
+  auto& offset = ws.counters(static_cast<std::size_t>(p) + 1);
+  for (int s = 0; s < p; ++s) {
+    offset[static_cast<std::size_t>(s) + 1] =
+        offset[static_cast<std::size_t>(s)] +
+        static_cast<index_t>(counts[static_cast<std::size_t>(s)]);
+  }
+  auto& arr = ws.sort_scratch();
+  arr.reserve(recv.size());
+  *dmax = 0;
+  *b_min = 0;
+  *b_max = -1;
+  for (int c = 0; c < q; ++c) {
+    for (int r = 0; r < q; ++r) {
+      const auto s = static_cast<std::size_t>(r * q + c);
+      for (auto i = offset[s]; i < offset[s + 1]; ++i) {
+        const auto& rec = recv[static_cast<std::size_t>(i)];
+        if (arr.empty()) {
+          *b_min = rec.bucket;
+          *b_max = rec.bucket;
+        } else {
+          *b_min = std::min(*b_min, rec.bucket);
+          *b_max = std::max(*b_max, rec.bucket);
+        }
+        *dmax = std::max(*dmax, rec.degree);
+        arr.push_back(rec);
+      }
+    }
+  }
+  return arr;
+}
+
+template std::vector<SortRec>& sortperm_replay<std::int64_t>(
+    std::span<const SortRec>, std::span<const std::int64_t>, int,
+    DistWorkspace&, index_t*, index_t*, index_t*);
+template std::vector<SortRec>& sortperm_replay<std::uint64_t>(
+    std::span<const SortRec>, std::span<const std::uint64_t>, int,
+    DistWorkspace&, index_t*, index_t*, index_t*);
+
+void sortperm_deal(std::span<const VecEntry> entries,
+                   const DistDenseVec& degrees, index_t label_lo,
+                   std::span<const index_t> entry_cell,
+                   std::vector<index_t>& mine, index_t total, int p,
+                   std::vector<std::vector<SortRec>>& route) {
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const index_t at = mine[static_cast<std::size_t>(entry_cell[i])]++;
+    route[static_cast<std::size_t>(sortperm_worker_of(at, total, p))]
+        .push_back(SortRec{e.val - label_lo, degrees.get(e.idx), e.idx});
+  }
+}
+
+template <class CountT>
+std::vector<SortRec>& sortperm_worker_sort(std::span<const SortRec> dealt,
+                                           std::span<const CountT> counts,
+                                           int q, index_t total,
+                                           mps::Comm& world, DistWorkspace& ws,
+                                           index_t* stripe_lo) {
+  const int p = q * q;
+  index_t dmax = 0, b_min = 0, b_max = -1;
+  auto& arr = sortperm_replay(dealt, counts, q, ws, &dmax, &b_min, &b_max);
+  if (!arr.empty()) sortperm_lsd_sort(arr, dmax, b_min, b_max + 1, ws);
+  *stripe_lo = sortperm_stripe_lo(world.rank(), total, p);
+  DRCM_CHECK(static_cast<index_t>(arr.size()) ==
+                 sortperm_stripe_lo(world.rank() + 1, total, p) - *stripe_lo,
+             "worker stripe does not match the dealt position range");
+  world.charge_compute(
+      static_cast<double>(4 * arr.size()) +
+      static_cast<double>((arr.empty() ? 0 : b_max - b_min + 1) + dmax + 1));
+  return arr;
+}
+
+template std::vector<SortRec>& sortperm_worker_sort<std::int64_t>(
+    std::span<const SortRec>, std::span<const std::int64_t>, int, index_t,
+    mps::Comm&, DistWorkspace&, index_t*);
+template std::vector<SortRec>& sortperm_worker_sort<std::uint64_t>(
+    std::span<const SortRec>, std::span<const std::uint64_t>, int, index_t,
+    mps::Comm&, DistWorkspace&, index_t*);
 
 DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
                           index_t label_lo, index_t label_hi,
-                          ProcGrid2D& grid, DistWorkspace* ws) {
+                          ProcGrid2D& grid, DistWorkspace* ws,
+                          index_t* stripe_out) {
   DRCM_CHECK(x.dist() == degrees.dist(),
              "frontier and degree vector must share one distribution");
   DRCM_CHECK(label_hi > label_lo, "empty parent label range");
@@ -86,6 +268,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
   const int q = grid.q();
   const auto& dist = x.dist();
   const index_t nb = label_hi - label_lo;
+  if (stripe_out) *stripe_out = 0;
 
   if (p == 1) {
     // Degenerate single-rank grid: the entries are already the whole
@@ -101,7 +284,8 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
       dmax = std::max(dmax, d);
       arr.push_back(SortRec{e.val - label_lo, d, e.idx});
     }
-    lsd_counting_sort(arr, dmax, 0, nb, w);
+    sortperm_lsd_sort(arr, dmax, 0, nb, w);
+    if (stripe_out) *stripe_out = static_cast<index_t>(arr.size());
     auto& slot = w.index_scratch(static_cast<std::size_t>(x.hi() - x.lo()));
     for (std::size_t t = 0; t < arr.size(); ++t) {
       slot[static_cast<std::size_t>(arr[t].idx - x.lo())] =
@@ -112,105 +296,53 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
     return emit_from_slots(x, slot);
   }
 
-  // Local bucket histogram (validates the contiguous-range precondition),
-  // exchanged sparsely: (bucket, count) pairs in first-touch order — the
-  // accumulation below is order-blind, so no emission scan over nb.
-  std::vector<index_t> hist(static_cast<std::size_t>(nb), 0);
-  std::vector<index_t> touched;
-  touched.reserve(x.entries().size());
-  for (const auto& e : x.entries()) {
-    DRCM_CHECK(e.val >= label_lo && e.val < label_hi,
-               "parent label outside the frontier's label range");
-    if (hist[static_cast<std::size_t>(e.val - label_lo)]++ == 0) {
-      touched.push_back(e.val - label_lo);
-    }
-  }
-  std::vector<VecEntry> sparse_hist;
-  sparse_hist.reserve(touched.size());
-  for (const index_t b : touched) {
-    sparse_hist.push_back(VecEntry{b, hist[static_cast<std::size_t>(b)]});
-  }
-  const auto all_hist =
-      world.allgatherv(std::span<const VecEntry>(sparse_hist));
+  // Local (bucket, degree) histogram stamped with my owned-range block
+  // index (validates the contiguous-range precondition).
+  const index_t my_block = block_index(grid.row(), grid.col(), q);
+  auto& hist = w.hist_cells();
+  auto& entry_cell = w.entry_cell();
+  sortperm_local_hist(x.entries(), degrees, label_lo, label_hi, my_block, w,
+                      hist, entry_cell);
 
-  // Global start position of every bucket (exclusive prefix, built in
-  // place), and the worker that owns it: buckets are dealt to workers in
-  // contiguous, load-balanced stripes.
-  std::vector<index_t> g_start(static_cast<std::size_t>(nb) + 1, 0);
-  index_t m = 0;
-  for (const auto& h : all_hist) {
-    g_start[static_cast<std::size_t>(h.idx) + 1] += h.val;
-    m += h.val;
-  }
-  world.charge_compute(static_cast<double>(x.entries().size() + nb) +
-                       static_cast<double>(all_hist.size()));
-  if (m == 0) {
+  // Exchange the cells; every rank derives the identical global plan —
+  // exact start positions for every (bucket, degree, block) cell.
+  const auto all = world.allgatherv(std::span<const SortHistCell>(hist));
+  const SortPlan plan = sortperm_plan(all, p, nb, w);
+  world.charge_compute(static_cast<double>(2 * x.entries().size()) +
+                       static_cast<double>(4 * all.size()) +
+                       static_cast<double>(nb));
+  if (plan.total == 0) {
     return x.sibling({});
   }
-  for (index_t b = 0; b < nb; ++b) {
-    g_start[static_cast<std::size_t>(b) + 1] += g_start[static_cast<std::size_t>(b)];
-  }
-  const auto worker_of = [&](index_t b) {
-    const auto w_of = static_cast<int>((g_start[static_cast<std::size_t>(b)] * p) / m);
-    return w_of < p ? w_of : p - 1;
-  };
 
-  // Route every element (bucket, degree, idx) to its bucket's worker.
+  // Deal every element to its own position's worker: my j-th element of a
+  // cell (consumed in index order) sits at exactly cell start + j, so the
+  // cursor in `mine` hands out final positions element by element. Stripes
+  // are the balanced partition of [0, total) — a whole level concentrated
+  // in one cell still spreads evenly (the ROADMAP worker-stripe fix).
+  auto& mine = w.my_starts();
+  sortperm_my_starts(plan, my_block, mine);
+  DRCM_DCHECK(mine.size() == hist.size(), "plan misses local cells");
   auto& send = w.sort_route(static_cast<std::size_t>(p));
-  for (const auto& e : x.entries()) {
-    const index_t b = e.val - label_lo;
-    send[static_cast<std::size_t>(worker_of(b))].push_back(
-        SortRec{b, degrees.get(e.idx), e.idx});
-  }
+  sortperm_deal(std::span<const VecEntry>(x.entries()), degrees, label_lo,
+                std::span<const index_t>(entry_cell), mine, plan.total, p,
+                send);
   std::vector<std::int64_t> recv_counts;
   const auto recv = world.alltoallv(send, &recv_counts);
 
-  // Replay received blocks in (col, row) source order: owned ranges ascend
-  // in that order, so the concatenation is globally index-sorted — the
-  // stability baseline both counting passes preserve. The degree maximum
-  // and my stripe's bucket range fall out of the same pass.
-  std::vector<std::size_t> offset(static_cast<std::size_t>(p) + 1, 0);
-  for (int s = 0; s < p; ++s) {
-    offset[static_cast<std::size_t>(s) + 1] =
-        offset[static_cast<std::size_t>(s)] +
-        static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(s)]);
-  }
-  auto& arr = w.sort_scratch();
-  arr.reserve(recv.size());
-  index_t dmax = 0;
-  index_t b_min = nb;
-  index_t b_max = 0;
-  for (int c = 0; c < q; ++c) {
-    for (int r = 0; r < q; ++r) {
-      const auto s = static_cast<std::size_t>(r * q + c);
-      for (auto i = offset[s]; i < offset[s + 1]; ++i) {
-        const auto& rec = recv[i];
-        arr.push_back(rec);
-        dmax = std::max(dmax, rec.degree);
-        b_min = std::min(b_min, rec.bucket);
-        b_max = std::max(b_max, rec.bucket);
-      }
-    }
-  }
-
-  // The two stable counting passes (degree, then parent bucket, counters
-  // restricted to my stripe's bucket range) — the final
-  // (bucket, degree, idx) order.
-  const index_t width = arr.empty() ? 0 : b_max - b_min + 1;
-  lsd_counting_sort(arr, dmax, b_min, b_min + width, w);
-
-  // My worker stripe starts after every bucket dealt to earlier workers:
-  // any nonempty bucket below b_min belongs to an earlier worker (the
-  // assignment is monotone), so the prefix sum already holds the answer.
-  const index_t base = arr.empty() ? 0 : g_start[static_cast<std::size_t>(b_min)];
-  world.charge_compute(static_cast<double>(3 * arr.size()) +
-                       static_cast<double>(width + dmax + 1));
+  // Sort my stripe to (bucket, degree, idx) order — which IS global
+  // position order, so my t-th element sits at stripe start + t.
+  index_t stripe_lo = 0;
+  auto& arr = sortperm_worker_sort(std::span<const SortRec>(recv),
+                                   std::span<const std::int64_t>(recv_counts),
+                                   q, plan.total, world, w, &stripe_lo);
+  if (stripe_out) *stripe_out = static_cast<index_t>(arr.size());
 
   // Hand each element its global position and route it home.
   auto& back = w.entry_route(static_cast<std::size_t>(p));
   for (std::size_t t = 0; t < arr.size(); ++t) {
     back[static_cast<std::size_t>(dist.owner_rank(arr[t].idx))].push_back(
-        VecEntry{arr[t].idx, base + static_cast<index_t>(t)});
+        VecEntry{arr[t].idx, stripe_lo + static_cast<index_t>(t)});
   }
   return scatter_ranks_back(x, back, world, w);
 }

@@ -64,6 +64,46 @@ std::vector<std::vector<SortRec>>& DistWorkspace::sort_route(
   return checkout_route(sort_route_, ranks, sort_route_cap_);
 }
 
+std::vector<SortHistCell>& DistWorkspace::hist_cells() {
+  return checkout_cleared(hist_cells_, hist_cells_cap_);
+}
+
+std::vector<SortHistCell>& DistWorkspace::hist_all() {
+  return checkout_cleared(hist_all_, hist_all_cap_);
+}
+
+std::vector<SortHistCell>& DistWorkspace::hist_table() {
+  return checkout_cleared(hist_table_, hist_table_cap_);
+}
+
+std::vector<SortHistCell>& DistWorkspace::hist_shadow() {
+  return checkout_cleared(hist_shadow_, hist_shadow_cap_);
+}
+
+std::vector<SortRec>& DistWorkspace::hist_recs() {
+  return checkout_cleared(hist_recs_, hist_recs_cap_);
+}
+
+std::vector<index_t>& DistWorkspace::hist_start() {
+  return checkout_cleared(hist_start_, hist_start_cap_);
+}
+
+std::vector<index_t>& DistWorkspace::entry_cell() {
+  return checkout_cleared(entry_cell_, entry_cell_cap_);
+}
+
+std::vector<index_t>& DistWorkspace::my_starts() {
+  return checkout_cleared(my_starts_, my_starts_cap_);
+}
+
+std::vector<SortRec>& DistWorkspace::sort_recv_scratch() {
+  return checkout_cleared(sort_recv_, sort_recv_cap_);
+}
+
+std::vector<VecEntry>& DistWorkspace::rank_recv_scratch() {
+  return checkout_cleared(rank_recv_, rank_recv_cap_);
+}
+
 std::vector<index_t>& DistWorkspace::index_scratch(std::size_t n) {
   if (index_.capacity() != index_cap_) {
     ++reallocations_;
@@ -75,6 +115,19 @@ std::vector<index_t>& DistWorkspace::index_scratch(std::size_t n) {
     index_cap_ = index_.capacity();
   }
   return index_;
+}
+
+std::vector<index_t>& DistWorkspace::counters(std::size_t bins) {
+  if (counters_.capacity() != counters_cap_) {
+    ++reallocations_;
+    counters_cap_ = counters_.capacity();
+  }
+  counters_.assign(bins, 0);
+  if (counters_.capacity() != counters_cap_) {
+    ++reallocations_;
+    counters_cap_ = counters_.capacity();
+  }
+  return counters_;
 }
 
 }  // namespace drcm::dist

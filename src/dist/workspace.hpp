@@ -78,6 +78,21 @@ struct SortRec {
   index_t idx;
 };
 
+/// One cell of the sparse SORTPERM histogram: how many elements with parent
+/// bucket `bucket` and degree `degree` live on the rank whose owned index
+/// range sits at position `block` in global index order (block = col * q +
+/// row). Because (bucket, degree, block) is a prefix-compatible refinement
+/// of the final (bucket, degree, index) sort key, the exchanged cells let
+/// every rank compute the EXACT global start position of every cell — which
+/// is what splits oversized buckets across sort workers with no extra
+/// offset-exchange round (the ROADMAP worker-stripe fix).
+struct SortHistCell {
+  index_t bucket;
+  index_t degree;
+  index_t block;
+  index_t count;
+};
+
 class DistWorkspace {
  public:
   /// The SpMSpV stage-2 accumulator (kSpa arm), epoch opened over `rows`.
@@ -118,9 +133,37 @@ class DistWorkspace {
   std::vector<SortRec>& sort_tmp();
   std::vector<std::vector<SortRec>>& sort_route(std::size_t ranks);
 
+  /// SORTPERM histogram-cell scratch, cleared: the local (bucket, degree)
+  /// cells (doubles as the fused collective's carry payload), the gathered
+  /// global table landing buffer, and the two ping-pong arrays of the
+  /// table's counting passes.
+  std::vector<SortHistCell>& hist_cells();
+  std::vector<SortHistCell>& hist_all();
+  std::vector<SortHistCell>& hist_table();
+  std::vector<SortHistCell>& hist_shadow();
+  /// Local-histogram construction triples ((bucket, degree, entry ordinal)).
+  std::vector<SortRec>& hist_recs();
+  /// Per-cell global start positions of the sorted table, per-entry cell
+  /// ordinals, and this rank's cell-start cursors (advanced by the deal
+  /// loop as positions are handed out).
+  std::vector<index_t>& hist_start();
+  std::vector<index_t>& entry_cell();
+  std::vector<index_t>& my_starts();
+  /// Fused ordering-level landing buffers: dealt SortRec elements and the
+  /// scattered (index, label) positions.
+  std::vector<SortRec>& sort_recv_scratch();
+  std::vector<VecEntry>& rank_recv_scratch();
+
   /// Plain index scratch of exactly `n` elements, contents unspecified
   /// (callers overwrite every slot they read).
   std::vector<index_t>& index_scratch(std::size_t n);
+
+  /// Zero-filled counter array of exactly `bins` slots for the counting
+  /// passes (degree/bucket/block bins can reach O(n) on degree-skewed
+  /// levels, so the storage must be reused across levels, not allocated
+  /// per pass). Each checkout re-zeroes, so sequential passes may share it
+  /// — but a second checkout invalidates the first's contents.
+  std::vector<index_t>& counters(std::size_t bins);
 
   /// Number of capacity growths observed across all buffers — the warm-up
   /// metric: steady-state reuse must leave this constant. Growth performed
@@ -169,11 +212,27 @@ class DistWorkspace {
   std::vector<SortRec> sort_tmp_;
   std::vector<std::vector<SortRec>> sort_route_;
   std::vector<index_t> index_;
+  std::vector<index_t> counters_;
+  std::vector<SortHistCell> hist_cells_;
+  std::vector<SortHistCell> hist_all_;
+  std::vector<SortHistCell> hist_table_;
+  std::vector<SortHistCell> hist_shadow_;
+  std::vector<SortRec> hist_recs_;
+  std::vector<index_t> hist_start_;
+  std::vector<index_t> entry_cell_;
+  std::vector<index_t> my_starts_;
+  std::vector<SortRec> sort_recv_;
+  std::vector<VecEntry> rank_recv_;
   std::size_t cursors_cap_ = 0, heap_cap_ = 0, frontier_cap_ = 0,
               partial_cap_ = 0, gather_cap_ = 0, recv_cap_ = 0,
               merge_route_cap_ = 0, entry_route_cap_ = 0,
               fused_route_cap_ = 0, sort_cap_ = 0, sort_tmp_cap_ = 0,
-              sort_route_cap_ = 0, index_cap_ = 0;
+              sort_route_cap_ = 0, index_cap_ = 0, counters_cap_ = 0,
+              hist_cells_cap_ = 0,
+              hist_all_cap_ = 0, hist_table_cap_ = 0, hist_shadow_cap_ = 0,
+              hist_recs_cap_ = 0, hist_start_cap_ = 0, entry_cell_cap_ = 0,
+              my_starts_cap_ = 0, sort_recv_cap_ = 0,
+              rank_recv_cap_ = 0;
   u64 reallocations_ = 0;
 };
 

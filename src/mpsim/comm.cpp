@@ -82,6 +82,8 @@ class CommContext {
         cnt_(static_cast<std::size_t>(size), 0),
         ptr_arr_(static_cast<std::size_t>(size), nullptr),
         cnt_arr_(static_cast<std::size_t>(size), nullptr),
+        ptr_arr_aux_(static_cast<std::size_t>(size), nullptr),
+        cnt_arr_aux_(static_cast<std::size_t>(size), nullptr),
         i64_(static_cast<std::size_t>(size), 0),
         split_color_(static_cast<std::size_t>(size), 0),
         split_key_(static_cast<std::size_t>(size), 0),
@@ -99,6 +101,8 @@ class CommContext {
   std::vector<std::uint64_t>& cnt() { return cnt_; }
   std::vector<const void* const*>& ptr_arr() { return ptr_arr_; }
   std::vector<const std::uint64_t*>& cnt_arr() { return cnt_arr_; }
+  std::vector<const void* const*>& ptr_arr_aux() { return ptr_arr_aux_; }
+  std::vector<const std::uint64_t*>& cnt_arr_aux() { return cnt_arr_aux_; }
   std::vector<std::int64_t>& i64() { return i64_; }
   std::vector<int>& split_color() { return split_color_; }
   std::vector<int>& split_key() { return split_key_; }
@@ -113,6 +117,8 @@ class CommContext {
   std::vector<std::uint64_t> cnt_;
   std::vector<const void* const*> ptr_arr_;
   std::vector<const std::uint64_t*> cnt_arr_;
+  std::vector<const void* const*> ptr_arr_aux_;
+  std::vector<const std::uint64_t*> cnt_arr_aux_;
   std::vector<std::int64_t> i64_;
   std::vector<int> split_color_;
   std::vector<int> split_key_;
@@ -172,6 +178,20 @@ const void* const* Comm::peer_ptr_array(int r) const {
 
 const std::uint64_t* Comm::peer_count_array(int r) const {
   return ctx_->cnt_arr()[static_cast<std::size_t>(r)];
+}
+
+void Comm::publish_arrays_aux(const void* const* ptrs,
+                              const std::uint64_t* counts) {
+  ctx_->ptr_arr_aux()[static_cast<std::size_t>(rank_)] = ptrs;
+  ctx_->cnt_arr_aux()[static_cast<std::size_t>(rank_)] = counts;
+}
+
+const void* const* Comm::peer_ptr_array_aux(int r) const {
+  return ctx_->ptr_arr_aux()[static_cast<std::size_t>(r)];
+}
+
+const std::uint64_t* Comm::peer_count_array_aux(int r) const {
+  return ctx_->cnt_arr_aux()[static_cast<std::size_t>(r)];
 }
 
 void Comm::cross_barrier() {

@@ -157,6 +157,60 @@ class Comm {
                                         std::vector<T>& recv_buf,
                                         RouteFn&& route, CountFn&& count);
 
+  /// Fused five-superstep collective for the ordering-level kernel
+  /// (dist::cm_level_step): extends fused_gather_route_count with a carried
+  /// payload on the count superstep and TWO further routed supersteps, so a
+  /// whole Cuthill-McKee ordering level (SET + SpMSpV + SELECT + count +
+  /// SORTPERM + label scatter) costs FIVE barrier crossings — where the
+  /// reference chain pays 3 (fused BFS level) + 6 (SORTPERM's three
+  /// collectives) = 9. Board schedule (each board is free one crossing
+  /// after its readers finish, classic BSP):
+  ///
+  ///   publish my `local` span                           [scalar board]
+  ///   ---- crossing 1 ----
+  ///   gather_buf <- gather_peers' spans; route(); publish [array board]
+  ///   ---- crossing 2 ----
+  ///   recv_buf <- routed data; n = count_carry(recv_buf, carry_buf);
+  ///   publish n [int64 board] and carry_buf [scalar board, free again]
+  ///   ---- crossing 3 ----
+  ///   total = sum of counts; if total == 0 RETURN (3 crossings: the
+  ///   termination level skips the sort tail on every rank uniformly);
+  ///   carry_all <- all ranks' carries (rank order);
+  ///   sort_route(total, carry_all, sort_route_buf); publish [array board]
+  ///   ---- crossing 4 ----
+  ///   sort_recv_buf <- routed U data (+ per-source counts);
+  ///   rank_route(sort_recv_buf, counts, rank_route_buf); publish
+  ///                                             [auxiliary payload board]
+  ///   ---- crossing 5 ----
+  ///   rank_recv_buf <- routed positions; finish(rank_recv_buf); return.
+  ///
+  /// Callbacks run BETWEEN crossings: they may charge compute and flip the
+  /// phase (dist::cm_level_step flips to the sort phase at sort_route, so
+  /// crossings 4-5 and the sort-side volume land in the Ordering:Sort
+  /// ledger) but must not invoke any collective. Published backing stores
+  /// must stay untouched while peers read them: `local` until crossing 2,
+  /// route_buf until crossing 3, carry_buf until crossing 4, sort_route_buf
+  /// until crossing 5, and rank_route_buf until this rank's next collective
+  /// (whose first crossing proves every peer finished reading; size-only
+  /// mutations such as a workspace checkout's clear() are harmless).
+  /// Charged as its component collectives: the head exactly like
+  /// fused_gather_route_count, the tail as an allgatherv of the carry plus
+  /// two FULL-communicator alltoallvs — the paper prices SORTPERM as an
+  /// all-process AlltoAll (the T_SortPerm alpha*p term), and the standalone
+  /// sortperm_bucket exchange this replaces is charged the same way.
+  template <class T, class U, class H, class RouteFn, class CountCarryFn,
+            class SortRouteFn, class RankRouteFn, class FinishFn>
+  std::int64_t fused_order_level(
+      std::span<const int> gather_peers, std::span<const T> local,
+      std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
+      std::vector<T>& recv_buf, std::vector<H>& carry_buf,
+      std::vector<H>& carry_all, std::vector<std::vector<U>>& sort_route_buf,
+      std::vector<U>& sort_recv_buf,
+      std::vector<std::vector<T>>& rank_route_buf,
+      std::vector<T>& rank_recv_buf, RouteFn&& route,
+      CountCarryFn&& count_carry, SortRouteFn&& sort_route,
+      RankRouteFn&& rank_route, FinishFn&& finish);
+
   /// MPI_Comm_split: members with the same `color` form a new communicator,
   /// ranked by (key, old rank).
   Comm split(int color, int key);
@@ -173,6 +227,18 @@ class Comm {
   const CostModel& cost_model() const { return *model_; }
 
  private:
+  /// The shared three-superstep head of the fused collectives: publish +
+  /// gather, route + exchange, count + allreduce — three crossings, charged
+  /// as its component collectives. `count_publish(recv_buf)` runs between
+  /// crossings 2 and 3 and may publish additional boards (the ordering
+  /// level rides its histogram carry on the freed scalar board there).
+  template <class T, class RouteFn, class CountPublishFn>
+  std::int64_t fused_head(std::span<const int> gather_peers,
+                          std::span<const T> local, std::vector<T>& gather_buf,
+                          std::vector<std::vector<T>>& route_buf,
+                          std::vector<T>& recv_buf, RouteFn&& route,
+                          CountPublishFn&& count_publish);
+
   // Type-erased building blocks implemented in comm.cpp.
   void publish(const void* ptr, std::uint64_t count);
   const void* peer_ptr(int r) const;
@@ -180,6 +246,13 @@ class Comm {
   void publish_arrays(const void* const* ptrs, const std::uint64_t* counts);
   const void* const* peer_ptr_array(int r) const;
   const std::uint64_t* peer_count_array(int r) const;
+  /// The auxiliary payload board: a second per-destination array board, so
+  /// a fused collective can run two routed supersteps back to back (the
+  /// primary array board is still being read when the second superstep
+  /// publishes).
+  void publish_arrays_aux(const void* const* ptrs, const std::uint64_t* counts);
+  const void* const* peer_ptr_array_aux(int r) const;
+  const std::uint64_t* peer_count_array_aux(int r) const;
   void publish_i64(std::int64_t v);
   std::int64_t peer_i64(int r) const;
   /// Raw barrier crossing: no modeled seconds charged, but every crossing
@@ -200,6 +273,13 @@ class Comm {
   /// final crossing before this rank can re-enter the collective.
   std::vector<const void*> fused_ptrs_;
   std::vector<std::uint64_t> fused_counts_;
+  /// Second pointer-table pair for fused_order_level's position-scatter
+  /// superstep (the primary tables are still being read by peers of the
+  /// element-deal superstep), plus the per-source count scratch handed to
+  /// its rank_route callback.
+  std::vector<const void*> fused_ptrs_aux_;
+  std::vector<std::uint64_t> fused_counts_aux_;
+  std::vector<std::uint64_t> fused_src_counts_;
 };
 
 /// RAII phase setter that also attributes measured wall time to the phase.
@@ -417,11 +497,13 @@ std::vector<T> Comm::pairwise_exchange(int partner, std::span<const T> send) {
   return out;
 }
 
-template <class T, class RouteFn, class CountFn>
-std::int64_t Comm::fused_gather_route_count(
-    std::span<const int> gather_peers, std::span<const T> local,
-    std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
-    std::vector<T>& recv_buf, RouteFn&& route, CountFn&& count) {
+template <class T, class RouteFn, class CountPublishFn>
+std::int64_t Comm::fused_head(std::span<const int> gather_peers,
+                              std::span<const T> local,
+                              std::vector<T>& gather_buf,
+                              std::vector<std::vector<T>>& route_buf,
+                              std::vector<T>& recv_buf, RouteFn&& route,
+                              CountPublishFn&& count_publish) {
   static_assert(std::is_trivially_copyable_v<T>);
 
   // Superstep 1: publish my span on the scalar board...
@@ -436,7 +518,7 @@ std::int64_t Comm::fused_gather_route_count(
     const T* src = static_cast<const T*>(peer_ptr(r));
     gather_buf.insert(gather_buf.end(), src, src + peer_count(r));
   }
-  std::uint64_t gathered_words = gather_buf.size() * words_of<T>();
+  const std::uint64_t gathered_words = gather_buf.size() * words_of<T>();
 
   // Superstep 2: route locally, publish per-destination buffers on the
   // array board (the scalar board is still being read — boards are
@@ -467,8 +549,9 @@ std::int64_t Comm::fused_gather_route_count(
   }
 
   // Superstep 3: publish my contribution on the int64 board (the array
-  // board is still being read), fold everyone's after the last crossing.
-  publish_i64(count(static_cast<const std::vector<T>&>(recv_buf)));
+  // board is still being read; count_publish may ride additional boards),
+  // fold everyone's after the last crossing.
+  publish_i64(count_publish(static_cast<const std::vector<T>&>(recv_buf)));
   cross_barrier();
   std::int64_t total = 0;
   for (int r = 0; r < size_; ++r) total += peer_i64(r);
@@ -478,6 +561,112 @@ std::int64_t Comm::fused_gather_route_count(
   cost += model_->alltoallv(fan_out + 1, send_words, recv_words);
   cost += model_->allreduce(size_, 1);
   charge(cost);
+  return total;
+}
+
+template <class T, class RouteFn, class CountFn>
+std::int64_t Comm::fused_gather_route_count(
+    std::span<const int> gather_peers, std::span<const T> local,
+    std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
+    std::vector<T>& recv_buf, RouteFn&& route, CountFn&& count) {
+  return fused_head(gather_peers, local, gather_buf, route_buf, recv_buf,
+                    std::forward<RouteFn>(route),
+                    [&](const std::vector<T>& received) -> std::int64_t {
+                      return count(received);
+                    });
+}
+
+template <class T, class U, class H, class RouteFn, class CountCarryFn,
+          class SortRouteFn, class RankRouteFn, class FinishFn>
+std::int64_t Comm::fused_order_level(
+    std::span<const int> gather_peers, std::span<const T> local,
+    std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
+    std::vector<T>& recv_buf, std::vector<H>& carry_buf,
+    std::vector<H>& carry_all, std::vector<std::vector<U>>& sort_route_buf,
+    std::vector<U>& sort_recv_buf, std::vector<std::vector<T>>& rank_route_buf,
+    std::vector<T>& rank_recv_buf, RouteFn&& route, CountCarryFn&& count_carry,
+    SortRouteFn&& sort_route, RankRouteFn&& rank_route, FinishFn&& finish) {
+  static_assert(std::is_trivially_copyable_v<U>);
+  static_assert(std::is_trivially_copyable_v<H>);
+
+  // Supersteps 1-3: the shared head, with the carry payload riding the
+  // scalar board (free since crossing 2) next to the int64 count.
+  const std::int64_t total = fused_head(
+      gather_peers, local, gather_buf, route_buf, recv_buf,
+      std::forward<RouteFn>(route),
+      [&](const std::vector<T>& received) -> std::int64_t {
+        carry_buf.clear();
+        const std::int64_t n = count_carry(received, carry_buf);
+        publish(carry_buf.data(), carry_buf.size());
+        return n;
+      });
+  if (total == 0) return 0;  // identical on every rank: uniform early exit
+
+  // Superstep 4: read the carry allgather, deal the U elements (the array
+  // board is free since crossing 3).
+  carry_all.clear();
+  std::uint64_t carry_words = 0;
+  for (int r = 0; r < size_; ++r) {
+    const H* src = static_cast<const H*>(peer_ptr(r));
+    carry_all.insert(carry_all.end(), src, src + peer_count(r));
+    carry_words += peer_count(r) * words_of<H>();
+  }
+  sort_route(total, static_cast<const std::vector<H>&>(carry_all),
+             sort_route_buf);
+  charge(model_->allgatherv(size_, carry_words));
+  DRCM_CHECK(static_cast<int>(sort_route_buf.size()) == size_,
+             "sort_route must produce one buffer per destination rank");
+  std::uint64_t sort_send_words = 0;
+  for (int d = 0; d < size_; ++d) {
+    const auto& buf = sort_route_buf[static_cast<std::size_t>(d)];
+    fused_ptrs_[static_cast<std::size_t>(d)] = buf.data();
+    fused_counts_[static_cast<std::size_t>(d)] = buf.size();
+    sort_send_words += buf.size() * words_of<U>();
+  }
+  publish_arrays(fused_ptrs_.data(), fused_counts_.data());
+  cross_barrier();
+  sort_recv_buf.clear();
+  fused_src_counts_.assign(static_cast<std::size_t>(size_), 0);
+  std::uint64_t sort_recv_words = 0;
+  for (int s = 0; s < size_; ++s) {
+    const std::uint64_t c = peer_count_array(s)[rank_];
+    const U* src = static_cast<const U*>(peer_ptr_array(s)[rank_]);
+    sort_recv_buf.insert(sort_recv_buf.end(), src, src + c);
+    fused_src_counts_[static_cast<std::size_t>(s)] = c;
+    sort_recv_words += c * words_of<U>();
+  }
+  // Priced as the paper's all-process AlltoAll (T_SortPerm's alpha*p term),
+  // matching the standalone sortperm_bucket exchange it replaces.
+  charge(model_->alltoallv(size_, sort_send_words, sort_recv_words));
+
+  // Superstep 5: scatter the computed positions home on the auxiliary
+  // payload board (the primary array board is still being read).
+  rank_route(static_cast<const std::vector<U>&>(sort_recv_buf),
+             std::span<const std::uint64_t>(fused_src_counts_),
+             rank_route_buf);
+  DRCM_CHECK(static_cast<int>(rank_route_buf.size()) == size_,
+             "rank_route must produce one buffer per destination rank");
+  fused_ptrs_aux_.resize(static_cast<std::size_t>(size_));
+  fused_counts_aux_.resize(static_cast<std::size_t>(size_));
+  std::uint64_t rank_send_words = 0;
+  for (int d = 0; d < size_; ++d) {
+    const auto& buf = rank_route_buf[static_cast<std::size_t>(d)];
+    fused_ptrs_aux_[static_cast<std::size_t>(d)] = buf.data();
+    fused_counts_aux_[static_cast<std::size_t>(d)] = buf.size();
+    rank_send_words += buf.size() * words_of<T>();
+  }
+  publish_arrays_aux(fused_ptrs_aux_.data(), fused_counts_aux_.data());
+  cross_barrier();
+  rank_recv_buf.clear();
+  std::uint64_t rank_recv_words = 0;
+  for (int s = 0; s < size_; ++s) {
+    const std::uint64_t c = peer_count_array_aux(s)[rank_];
+    const T* src = static_cast<const T*>(peer_ptr_array_aux(s)[rank_]);
+    rank_recv_buf.insert(rank_recv_buf.end(), src, src + c);
+    rank_recv_words += c * words_of<T>();
+  }
+  charge(model_->alltoallv(size_, rank_send_words, rank_recv_words));
+  finish(static_cast<const std::vector<T>&>(rank_recv_buf));
   return total;
 }
 

@@ -42,8 +42,9 @@ struct PhaseTotals {
   std::uint64_t words = 0;
   /// Barrier synchronizations entered (every collective is two crossings
   /// of the publication-board barrier; the fused level collective is
-  /// three for its whole gather-route-count chain). The latency budget
-  /// the fused kernel exists to shrink.
+  /// three for its whole gather-route-count chain, and the fused ordering
+  /// level five for BFS level + SORTPERM + label scatter together). The
+  /// latency budget the fused kernels exist to shrink.
   std::uint64_t barrier_crossings = 0;
 
   double model_total() const { return model_compute_seconds + model_comm_seconds; }

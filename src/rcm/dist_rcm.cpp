@@ -1,8 +1,6 @@
 #include "rcm/dist_rcm.hpp"
 
 #include "dist/level_kernel.hpp"
-#include "dist/primitives.hpp"
-#include "dist/sortperm.hpp"
 
 namespace drcm::rcm {
 
@@ -13,9 +11,14 @@ index_t dist_cm_component(const dist::DistSpMat& a,
                           const dist::DistDenseVec& degrees,
                           dist::DistDenseVec& labels, index_t root,
                           index_t next_label, dist::ProcGrid2D& grid,
-                          SortKind sort, dist::SpmspvAccumulator acc) {
+                          SortKind sort, dist::SpmspvAccumulator acc,
+                          bool fuse_ordering) {
   DRCM_CHECK(root >= 0 && root < a.n(), "root out of range");
   auto& world = grid.world();
+  // The sample-sort baseline cannot ride the level collective (a comparison
+  // sort has no histogram to piggyback), so it always takes the reference
+  // chain.
+  const bool fused = fuse_ordering && sort == SortKind::kBucket;
 
   // R[r] <- nv (Algorithm 3 line 3).
   {
@@ -39,30 +42,22 @@ index_t dist_cm_component(const dist::DistSpMat& a,
     const index_t label_lo = next_label - frontier_nnz;
     const index_t label_hi = next_label;
 
-    // One fused level: Lcur <- SET(Lcur, R); Lnext <- SPMSPV(A, Lcur,
-    // (select2nd, min)); Lnext <- SELECT(Lnext, R = -1); |Lnext| — three
-    // barrier crossings instead of the unfused chain's eight.
-    auto step = dist::bfs_level_step(a, frontier, labels, kNoVertex, grid,
-                                     mps::Phase::kOrderingSpmspv,
-                                     mps::Phase::kOrderingOther, acc);
+    // One ordering level: Lnext <- SELECT(SPMSPV(A, SET(Lcur, R)), R = -1);
+    // R <- SET(R, SORTPERM(Lnext, D) + nv). Fused: five barrier crossings
+    // (three on the terminal level). Reference: 3 + SORTPERM's 6 = 9.
+    const auto step =
+        fused ? dist::cm_level_step(a, frontier, labels, degrees, label_lo,
+                                    label_hi, next_label, grid,
+                                    mps::Phase::kOrderingSpmspv,
+                                    mps::Phase::kOrderingSort,
+                                    mps::Phase::kOrderingOther, acc)
+              : dist::cm_level_step_unfused(
+                    a, frontier, labels, degrees, label_lo, label_hi,
+                    next_label, grid, mps::Phase::kOrderingSpmspv,
+                    mps::Phase::kOrderingSort, mps::Phase::kOrderingOther,
+                    sort == SortKind::kSampleSort, acc);
     frontier_nnz = step.global_nnz;
     if (frontier_nnz == 0) break;
-
-    // Rnext <- SORTPERM(Lnext, D) + nv.
-    DistSpVec ranks;
-    {
-      mps::PhaseScope scope(world, mps::Phase::kOrderingSort);
-      ranks = sort == SortKind::kBucket
-                  ? dist::sortperm_bucket(step.next, degrees, label_lo,
-                                          label_hi, grid)
-                  : dist::sortperm_sample(step.next, degrees, grid);
-      dist::add_scalar(ranks, next_label, world);
-    }
-    // R <- SET(R, Rnext); advance nv; Lcur <- Lnext.
-    {
-      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
-      dist::scatter_into_dense(labels, ranks, world);
-    }
     next_label += frontier_nnz;
     frontier = step.next;
   }

@@ -5,7 +5,10 @@
 // the (select2nd, min) SpMSpV (children attach to minimum-label parents),
 // filtered to unvisited vertices (SELECT), ranked by the distributed bucket
 // SORTPERM on the (parent label, degree, id) key, shifted by the running
-// label counter, and written into the dense label vector R (SET). Costs are
+// label counter, and written into the dense label vector R (SET). By
+// default the whole ordering level runs through the fused
+// dist::cm_level_step collective — five barrier crossings per level (three
+// on the terminal level) instead of the reference chain's nine. Costs are
 // charged to the Ordering:* phases of the Figure-4 breakdown.
 #pragma once
 
@@ -23,13 +26,16 @@ enum class SortKind { kBucket, kSampleSort };
 /// Labels the component containing `root` (which must itself be unlabeled)
 /// with consecutive CM labels starting at `next_label`; returns the first
 /// unused label. `labels` is the paper's dense vector R (kNoVertex =
-/// unvisited). Collective.
+/// unvisited). `fuse_ordering` selects the fused five-crossing ordering
+/// level (bucket sort only; the sample-sort baseline always runs the
+/// reference chain) — both arms are bit-identical. Collective.
 index_t dist_cm_component(const dist::DistSpMat& a,
                           const dist::DistDenseVec& degrees,
                           dist::DistDenseVec& labels, index_t root,
                           index_t next_label, dist::ProcGrid2D& grid,
                           SortKind sort = SortKind::kBucket,
                           dist::SpmspvAccumulator acc =
-                              dist::SpmspvAccumulator::kAuto);
+                              dist::SpmspvAccumulator::kAuto,
+                          bool fuse_ordering = true);
 
 }  // namespace drcm::rcm

@@ -47,7 +47,8 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
     local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
     next_label = dist_cm_component(mat, degrees, labels, peripheral.vertex,
                                    next_label, grid, options.sort,
-                                   options.accumulator);
+                                   options.accumulator,
+                                   options.fuse_ordering);
   }
 
   // Reverse (RCM = reversed CM) and replicate.

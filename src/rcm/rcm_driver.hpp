@@ -36,6 +36,12 @@ struct DistRcmOptions {
   /// selection per level; DRCM_SPMSPV_ACC overrides). All arms produce
   /// bit-identical orderings — this is a performance knob.
   dist::SpmspvAccumulator accumulator = dist::SpmspvAccumulator::kAuto;
+  /// Run each ordering level through the fused dist::cm_level_step
+  /// collective (five barrier crossings per level) instead of the reference
+  /// bfs_level_step + sortperm chain (nine). Bucket sort only; both arms
+  /// are bit-identical — this is a synchrony knob kept for the equivalence
+  /// suite and the crossing-ledger benches.
+  bool fuse_ordering = true;
 };
 
 struct DistRcmStats {

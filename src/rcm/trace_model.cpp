@@ -81,6 +81,8 @@ ExecutionTrace ExecutionTrace::collect(const CsrMatrix& a) {
     index_t nlvl = ecc - 1;
     while (ecc > nlvl) {
       nlvl = ecc;
+      // Candidate selection: one distributed REDUCE argmin per round.
+      tr.peripheral_argmin_rounds += 1;
       index_t candidate = kNoVertex;
       for (const index_t v : bfs.last_level) {
         if (candidate == kNoVertex || a.degree(v) < a.degree(candidate) ||
@@ -133,6 +135,7 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
   const double logP = P > 1 ? std::log2(P) : 0.0;
   constexpr double kEntryWords = 2.0;  // VecEntry {idx, val}
   constexpr double kTupleWords = 3.0;  // (parent, degree, id)
+  constexpr double kCellWords = 4.0;   // (bucket, degree, block, count)
 
   CostBreakdown out;
 
@@ -153,6 +156,7 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
       spmspv.comm += alpha * q + beta * kEntryWords * expansion / P;
       spmspv.comm += 2.0 * alpha * logP;
     }
+    spmspv.crossings += 3;
     // SET + SELECT are local scans fused into the kernel; their work stays
     // attributed to Other, while the count reduction's latency moved into
     // the fused SpMSpV collective above.
@@ -164,34 +168,46 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
   }
   for (const auto& l : trace.ordering_levels) {
     add_spmspv_level(l, out.ordering_spmspv, out.ordering_other);
-    // SORTPERM on this level: tuples to buckets, local sort, exscan,
-    // positions back to owners (paper Sec. IV-B).
+    // SORTPERM fused into the ordering level (dist::cm_level_step): the
+    // (bucket, degree, block) histogram rides the count superstep as an
+    // all-rank exchange, then the element deal and the position scatter
+    // are the two sort-side supersteps — crossings 4 and 5 of the level
+    // collective; the terminal level (next == 0) skips the sort tail.
     const double next = static_cast<double>(l.next);
     out.ordering_sort.compute +=
         gamma * next * (1.0 + std::log2(next + 1.0)) / total_cores;
-    if (P > 1 && l.next > 0) {
-      out.ordering_sort.comm +=
-          2.0 * alpha * (P - 1) +                       // two alltoallv rounds
-          beta * (kTupleWords + kEntryWords) * next / P +  // tuples out, ranks back
-          alpha * logP;                                  // exscan
+    if (l.next > 0) {
+      out.ordering_sort.crossings += 2;
+      if (P > 1) {
+        out.ordering_sort.comm +=
+            alpha * (P - 1) + beta * kCellWords * next +     // histogram carry
+            alpha * (P - 1) + beta * kTupleWords * next / P + // element deal
+            alpha * (P - 1) + beta * kEntryWords * next / P;  // positions home
+      }
     }
   }
 
-  // Per peripheral sweep: the REDUCE argmin over the last level.
+  // Per George-Liu candidate selection: the REDUCE argmin over the last
+  // level (an allreduce: two crossings).
   out.peripheral_other.comm +=
-      (P > 1 ? 2.0 * alpha * logP : 0.0) * trace.peripheral_sweeps;
-  // Per component: the unvisited-argmin seed scan.
+      (P > 1 ? 2.0 * alpha * logP : 0.0) * trace.peripheral_argmin_rounds;
+  // Per component: the unvisited-argmin seed scan (another allreduce).
   out.peripheral_other.compute +=
       gamma * static_cast<double>(trace.n) * trace.components / total_cores;
   out.peripheral_other.comm +=
       (P > 1 ? 2.0 * alpha * logP : 0.0) * trace.components;
+  out.peripheral_other.crossings +=
+      2 * static_cast<std::uint64_t>(trace.peripheral_argmin_rounds) +
+      2 * static_cast<std::uint64_t>(trace.components);
 
-  // Setup (degree computation) and the final reversal.
+  // Setup (degree computation) and the final reversal + label replication
+  // (one allgatherv: two crossings).
   const double n = static_cast<double>(trace.n);
   out.ordering_other.compute += gamma * 3.0 * n / total_cores;
   if (P > 1) {
     out.ordering_other.comm += alpha * (q - 1) + beta * n / q;
   }
+  out.ordering_other.crossings += 2;
   return out;
 }
 

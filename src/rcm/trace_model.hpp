@@ -44,6 +44,9 @@ struct ExecutionTrace {
   nnz_t nnz = 0;
   int components = 0;
   int peripheral_sweeps = 0;
+  /// George-Liu candidate selections (one REDUCE argmin each in the
+  /// distributed run; the loop may select once more than it sweeps).
+  int peripheral_argmin_rounds = 0;
   index_t pseudo_diameter = 0;  ///< eccentricity of the chosen start vertex
   std::vector<LevelTrace> peripheral_levels;  ///< all sweeps, all components
   std::vector<LevelTrace> ordering_levels;    ///< final BFS per component
@@ -53,14 +56,20 @@ struct ExecutionTrace {
   static ExecutionTrace collect(const sparse::CsrMatrix& a);
 };
 
-/// Modeled compute/communication seconds of one Figure-4 component.
+/// Modeled compute/communication seconds of one Figure-4 component, plus
+/// the predicted barrier-crossing count — the synchrony ledger the mpsim
+/// runtime records per phase, reproduced analytically so a real run's
+/// ledger can be asserted against the model (crossings are counted even at
+/// P = 1: the runtime crosses its single-rank barriers all the same).
 struct PhaseTime {
   double compute = 0.0;
   double comm = 0.0;
+  std::uint64_t crossings = 0;
   double total() const { return compute + comm; }
   PhaseTime& operator+=(const PhaseTime& o) {
     compute += o.compute;
     comm += o.comm;
+    crossings += o.crossings;
     return *this;
   }
 };
@@ -78,6 +87,16 @@ struct CostBreakdown {
     PhaseTime t = peripheral_spmspv;
     t += ordering_spmspv;
     return t;
+  }
+  /// Predicted barrier crossings of the Peripheral:* / Ordering:* phases —
+  /// the quantities test_mpsim_cost_model.cpp pins against a real run's
+  /// mpsim ledger.
+  std::uint64_t peripheral_crossings() const {
+    return peripheral_spmspv.crossings + peripheral_other.crossings;
+  }
+  std::uint64_t ordering_crossings() const {
+    return ordering_spmspv.crossings + ordering_sort.crossings +
+           ordering_other.crossings;
   }
   double total() const {
     return peripheral_spmspv.total() + peripheral_other.total() +

@@ -1,0 +1,24 @@
+// The simulated-rank sweep shared by the rank-parameterized distributed
+// equivalence suites: DRCM_TEST_RANKS (a single positive rank count, the
+// knob the CI matrix sets to 1/4/9) pins the sweep to one configuration;
+// unset, the full {1, 4, 9} grid sweep runs. One copy of the contract so
+// every suite honors the environment variable identically.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+namespace drcm::dist::testing {
+
+inline std::vector<int> rank_counts() {
+  if (const char* env = std::getenv("DRCM_TEST_RANKS")) {
+    const int p = std::atoi(env);
+    EXPECT_GT(p, 0) << "DRCM_TEST_RANKS must be a positive rank count";
+    return {p > 0 ? p : 1};
+  }
+  return {1, 4, 9};
+}
+
+}  // namespace drcm::dist::testing

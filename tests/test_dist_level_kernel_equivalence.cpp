@@ -10,10 +10,10 @@
 
 #include <gtest/gtest.h>
 
-#include <cstdlib>
 #include <queue>
 
 #include "common/rng.hpp"
+#include "dist_rank_matrix.hpp"
 #include "dist/primitives.hpp"
 #include "mpsim/runtime.hpp"
 #include "order/rcm_serial.hpp"
@@ -28,14 +28,7 @@ using mps::Runtime;
 using sparse::CsrMatrix;
 namespace gen = sparse::gen;
 
-std::vector<int> rank_counts() {
-  if (const char* env = std::getenv("DRCM_TEST_RANKS")) {
-    const int p = std::atoi(env);
-    EXPECT_GT(p, 0) << "DRCM_TEST_RANKS must be a positive rank count";
-    return {p > 0 ? p : 1};
-  }
-  return {1, 4, 9};
-}
+using drcm::dist::testing::rank_counts;
 
 /// Plain serial BFS distances: the oracle for the level loop.
 std::vector<index_t> serial_levels(const CsrMatrix& a, index_t root) {

@@ -1,12 +1,16 @@
 // Unit tests for the alpha-beta-gamma cost model formulas, plus the
-// barrier-crossing ledger that pins the fused level kernel's synchrony
-// budget (3 crossings per BFS level) against the unfused chain's (~8).
+// barrier-crossing ledger that pins the fused kernels' synchrony budgets:
+// 3 crossings per BFS level (vs the unfused chain's 8) and 5 per whole
+// ordering level (vs 3 + SORTPERM's 6 = 9) — and the trace model's
+// analytic crossing prediction against a real p=4 run's ledger.
 #include "mpsim/cost_model.hpp"
 
 #include <gtest/gtest.h>
 
 #include "dist/level_kernel.hpp"
 #include "mpsim/runtime.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "rcm/trace_model.hpp"
 #include "sparse/generators.hpp"
 
 namespace drcm::mps {
@@ -133,6 +137,106 @@ TEST(CrossingLedger, FusedLevelKernelChargesAtMostThreeCrossingsPerLevel) {
       report.aggregate(Phase::kPeripheralOther).max.barrier_crossings;
   EXPECT_EQ(fused, 3u) << "the fused kernel's synchrony budget";
   EXPECT_EQ(unfused, 8u) << "the unfused chain's per-level baseline";
+}
+
+TEST(CrossingLedger, FusedOrderingLevelIsAtMostFiveCrossings) {
+  // The ordering-level tentpole: one WHOLE Cuthill-McKee ordering level
+  // (BFS level + SORTPERM + label scatter) through dist::cm_level_step
+  // costs FIVE barrier crossings — three for the level kernel head, two
+  // for the fused sort tail — while the unfused reference pays the level
+  // kernel's 3 plus the standalone SORTPERM's 6 (allgatherv + two
+  // alltoallvs) = 9. Distinct phases isolate each path's ledger; the
+  // unfused arm parks its sort crossings on kSolver.
+  const auto a = sparse::gen::grid2d(8, 8);
+  const auto report = Runtime::run(4, [&](Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::DistSpMat mat(grid, a);
+    const auto degrees = mat.degrees(grid);
+    dist::DistSpVec frontier(mat.vec_dist(), grid);
+    if (frontier.lo() <= 27 && 27 < frontier.hi()) {
+      frontier.assign({dist::VecEntry{27, 0}});
+    }
+    dist::DistDenseVec labels_f(mat.vec_dist(), grid, kNoVertex);
+    if (labels_f.owns(27)) labels_f.set(27, 0);
+    dist::cm_level_step(mat, frontier, labels_f, degrees, /*label_lo=*/0,
+                        /*label_hi=*/1, /*next_label=*/1, grid,
+                        Phase::kOrderingSpmspv, Phase::kOrderingSort,
+                        Phase::kOrderingOther);
+    dist::DistDenseVec labels_u(mat.vec_dist(), grid, kNoVertex);
+    if (labels_u.owns(27)) labels_u.set(27, 0);
+    dist::cm_level_step_unfused(mat, frontier, labels_u, degrees, 0, 1, 1,
+                                grid, Phase::kPeripheralSpmspv,
+                                Phase::kSolver, Phase::kPeripheralOther);
+  });
+  const auto fused =
+      report.aggregate(Phase::kOrderingSpmspv).max.barrier_crossings +
+      report.aggregate(Phase::kOrderingSort).max.barrier_crossings +
+      report.aggregate(Phase::kOrderingOther).max.barrier_crossings;
+  const auto unfused_sort =
+      report.aggregate(Phase::kSolver).max.barrier_crossings;
+  const auto unfused =
+      report.aggregate(Phase::kPeripheralSpmspv).max.barrier_crossings +
+      report.aggregate(Phase::kPeripheralOther).max.barrier_crossings +
+      unfused_sort;
+  EXPECT_LE(fused, 5u) << "the fused ordering level's synchrony contract";
+  EXPECT_EQ(fused, 5u) << "3 level-kernel crossings + 2 sort crossings";
+  EXPECT_EQ(report.aggregate(Phase::kOrderingSort).max.barrier_crossings, 2u);
+  EXPECT_EQ(unfused_sort, 6u) << "the standalone SORTPERM's three collectives";
+  EXPECT_EQ(unfused, 9u) << "the unfused ordering level's baseline";
+}
+
+TEST(CrossingLedger, TerminalOrderingLevelSkipsTheSortTail) {
+  // When the count superstep reports an empty next level, every rank skips
+  // supersteps 4-5 uniformly: the termination level costs the plain level
+  // kernel's 3 crossings and touches neither the sort ledger nor labels.
+  const auto a = sparse::gen::path(2);
+  const auto report = Runtime::run(4, [&](Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::DistSpMat mat(grid, a);
+    const auto degrees = mat.degrees(grid);
+    dist::DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+    if (labels.owns(0)) labels.set(0, 0);
+    if (labels.owns(1)) labels.set(1, 1);
+    dist::DistSpVec frontier(mat.vec_dist(), grid);
+    if (frontier.lo() <= 1 && 1 < frontier.hi()) {
+      frontier.assign({dist::VecEntry{1, 1}});
+    }
+    const auto step = dist::cm_level_step(
+        mat, frontier, labels, degrees, /*label_lo=*/1, /*label_hi=*/2,
+        /*next_label=*/2, grid, Phase::kOrderingSpmspv, Phase::kOrderingSort,
+        Phase::kOrderingOther);
+    EXPECT_EQ(step.global_nnz, 0);
+  });
+  EXPECT_EQ(report.aggregate(Phase::kOrderingSpmspv).max.barrier_crossings,
+            3u);
+  EXPECT_EQ(report.aggregate(Phase::kOrderingSort).max.barrier_crossings, 0u);
+}
+
+TEST(CrossingLedger, TraceModelPredictsTheRealLedger) {
+  // The trace model prices the fused kernels per level; its predicted
+  // Peripheral:* and Ordering:* crossing counts must match the mpsim
+  // ledger of a real p=4 run EXACTLY — every collective of the algorithm
+  // is accounted for analytically.
+  const sparse::CsrMatrix graphs[] = {
+      sparse::gen::grid2d(8, 8),
+      sparse::gen::erdos_renyi(120, 4.0, 7),  // possibly multi-component
+      sparse::gen::star(17),
+  };
+  for (const auto& a : graphs) {
+    const auto run = rcm::run_dist_rcm(4, a);
+    std::uint64_t ordering = 0, peripheral = 0;
+    for (const auto phase : {Phase::kOrderingSpmspv, Phase::kOrderingSort,
+                             Phase::kOrderingOther}) {
+      ordering += run.report.aggregate(phase).max.barrier_crossings;
+    }
+    for (const auto phase : {Phase::kPeripheralSpmspv, Phase::kPeripheralOther}) {
+      peripheral += run.report.aggregate(phase).max.barrier_crossings;
+    }
+    const auto trace = rcm::ExecutionTrace::collect(a);
+    const auto c = rcm::project_cost(trace, 4, 1);
+    EXPECT_EQ(c.ordering_crossings(), ordering) << "n=" << a.n();
+    EXPECT_EQ(c.peripheral_crossings(), peripheral) << "n=" << a.n();
+  }
 }
 
 TEST(CostModel, DefaultParametersAreSane) {
