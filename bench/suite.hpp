@@ -104,6 +104,18 @@ inline std::vector<SuiteEntry> make_suite(double scale = 1.0) {
   return suite;
 }
 
+/// Suite entry lookup by stand-in name. Figure drivers that need one
+/// specific matrix must select it by name — positional indexing silently
+/// re-points a figure whenever the suite order changes.
+inline const SuiteEntry& entry_named(const std::vector<SuiteEntry>& suite,
+                                     const char* name) {
+  for (const auto& e : suite) {
+    if (e.name == name) return e;
+  }
+  std::fprintf(stderr, "suite entry '%s' not found\n", name);
+  std::abort();
+}
+
 /// `--scale S` command-line option (shared by all bench binaries).
 inline double scale_from_args(int argc, char** argv, double fallback = 1.0) {
   for (int i = 1; i + 1 < argc; ++i) {

@@ -34,7 +34,8 @@ void route_partials(const DistSpMat& a, const std::vector<VecEntry>& gathered,
                     SpmspvAccumulator acc, mps::Comm& world, DistWorkspace& w,
                     SpmspvAccumulator* used) {
   double work = 0;
-  const auto& partial = spmspv_local_multiply(a, gathered, acc, w, &work, used);
+  const auto& partial = spmspv_local_multiply(a, gathered, acc, w, &work, used,
+                                              world.threads());
   const auto& dist = a.vec_dist();
   for (const auto& e : partial) {
     route[static_cast<std::size_t>(dist.owner_rank(e.idx))].push_back(e);

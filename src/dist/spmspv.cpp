@@ -1,13 +1,30 @@
 #include "dist/spmspv.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
 
 namespace drcm::dist {
 
 namespace {
+
+/// Contiguous stripe [lo, hi) of [0, n) owned by team member `t` of
+/// `parts`. Pure arithmetic on (n, parts, t): the partition — and with it
+/// the hybrid output — does not depend on scheduling.
+struct Stripe {
+  std::size_t lo;
+  std::size_t hi;
+};
+
+Stripe stripe_of(std::size_t n, int parts, int t) {
+  const auto p = static_cast<std::size_t>(parts);
+  const auto i = static_cast<std::size_t>(t);
+  return Stripe{n * i / p, n * (i + 1) / p};
+}
 
 /// Stage 2, kSpa: accumulate minima in the workspace's dense stamped SPA,
 /// emit by dense scan (sorted by construction) into `out` (GLOBAL rows).
@@ -32,13 +49,16 @@ void multiply_spa(const DistSpMat& a, std::span<const VecEntry> frontier,
   *work = edges + kScanUnit * static_cast<double>(rows);
 }
 
-/// Stage 2, kSortMerge: k-way heap merge of the sorted column lists with
-/// min-combine on duplicate rows. No dense state; cursor and heap arrays
-/// come from the workspace.
-void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
-                         DistWorkspace& ws, std::vector<VecEntry>& out,
-                         double* work) {
-  auto& cursors = ws.cursors();
+/// The k-way heap merge of the sorted column lists of `frontier` with
+/// min-combine on duplicate rows, appended to `out` (GLOBAL rows,
+/// ascending). Shared by the serial kSortMerge arm (whole frontier, the
+/// workspace's cursor/heap arrays) and each hybrid stripe (its frontier
+/// slice, its own ThreadStripe arrays). Returns the edge count; the caller
+/// reads the heap width (`cursors.size()`) for the work formula.
+double sort_merge_into(const DistSpMat& a, std::span<const VecEntry> frontier,
+                       std::vector<MergeCursor>& cursors,
+                       std::vector<std::pair<index_t, std::size_t>>& heap,
+                       std::vector<VecEntry>& out) {
   double edges = 0;
   for (const auto& e : frontier) {
     const auto col = a.column(e.idx - a.col_lo());
@@ -49,7 +69,6 @@ void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
   const auto heap_greater = [](const HeapItem& x, const HeapItem& y) {
     return x > y;
   };
-  auto& heap = ws.heap_storage();
   for (std::size_t k = 0; k < cursors.size(); ++k) {
     heap.emplace_back(cursors[k].rows[0], k);
   }
@@ -69,8 +88,130 @@ void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
       std::push_heap(heap.begin(), heap.end(), heap_greater);
     }
   }
+  return edges;
+}
+
+/// Stage 2, kSortMerge: the heap merge over the whole frontier. No dense
+/// state; cursor and heap arrays come from the workspace.
+void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
+                         DistWorkspace& ws, std::vector<VecEntry>& out,
+                         double* work) {
+  auto& cursors = ws.cursors();
+  const double edges =
+      sort_merge_into(a, frontier, cursors, ws.heap_storage(), out);
   const double logk =
       cursors.empty() ? 1.0 : std::log2(static_cast<double>(cursors.size()) + 1);
+  *work = edges * (1.0 + logk);
+}
+
+/// Hybrid kSpa (paper Fig. 6, the node-level parallel SpMSpV): the frontier
+/// loop splits into contiguous stripes, one per OpenMP thread, each
+/// accumulating into its own stamped SPA; after the team barrier every
+/// thread emits a contiguous ROW stripe by min-merging all team SPAs, and
+/// the thread-order concatenation reproduces the serial arm's ascending
+/// dense scan bit for bit (min is associative and commutative, so the
+/// frontier partition is invisible in the output).
+void multiply_spa_hybrid(const DistSpMat& a, std::span<const VecEntry> frontier,
+                         int threads, DistWorkspace& ws,
+                         std::vector<VecEntry>& out, double* work) {
+  const auto rows = static_cast<std::size_t>(a.local_rows());
+  const auto spas = ws.thread_spas(static_cast<std::size_t>(threads), rows);
+  const auto stripes = ws.thread_stripes(static_cast<std::size_t>(threads));
+  double edges = 0;
+#pragma omp parallel num_threads(threads) reduction(+ : edges)
+  {
+    // The runtime may grant fewer threads than requested: partition by the
+    // actual team size (the result does not depend on it).
+    const int team = omp_get_num_threads();
+    const int t = omp_get_thread_num();
+    auto& spa = spas[static_cast<std::size_t>(t)];
+    const auto f = stripe_of(frontier.size(), team, t);
+    for (std::size_t i = f.lo; i < f.hi; ++i) {
+      const auto& e = frontier[i];
+      const auto col = a.column(e.idx - a.col_lo());
+      edges += static_cast<double>(col.size());
+      for (const index_t lr : col) {
+        spa.put_min(static_cast<std::size_t>(lr), e.val);
+      }
+    }
+#pragma omp barrier
+    auto& emit = stripes[static_cast<std::size_t>(t)].emit;
+    const auto r = stripe_of(rows, team, t);
+    for (std::size_t s = r.lo; s < r.hi; ++s) {
+      bool live = false;
+      index_t best = 0;
+      for (int m = 0; m < team; ++m) {
+        const auto& other = spas[static_cast<std::size_t>(m)];
+        if (!other.live(s)) continue;
+        best = live ? std::min(best, other.val[s]) : other.val[s];
+        live = true;
+      }
+      if (live) {
+        emit.push_back(VecEntry{a.row_lo() + static_cast<index_t>(s), best});
+      }
+    }
+  }
+  for (const auto& stripe : stripes) {
+    out.insert(out.end(), stripe.emit.begin(), stripe.emit.end());
+  }
+  // Charged as the serial loop's work: same edges, same emission scan. The
+  // (team - 1) extra SPA probes per emitted row are the price of the merge,
+  // paid in wall time only; the Comm divides these modeled units by the
+  // thread count.
+  *work = edges + kScanUnit * static_cast<double>(rows);
+}
+
+/// Hybrid kSortMerge: each thread heap-merges its contiguous frontier
+/// stripe into its own sorted emission, then the calling thread min-merges
+/// the (ascending, duplicate-free) per-stripe emissions in index order — a
+/// row's minimum over stripes equals the serial heap's minimum over all
+/// columns, so the output is bit-identical to the serial arm.
+void multiply_sort_merge_hybrid(const DistSpMat& a,
+                                std::span<const VecEntry> frontier,
+                                int threads, DistWorkspace& ws,
+                                std::vector<VecEntry>& out, double* work) {
+  const auto stripes = ws.thread_stripes(static_cast<std::size_t>(threads));
+  double edges = 0;
+  double heap_width = 0;
+#pragma omp parallel num_threads(threads) reduction(+ : edges, heap_width)
+  {
+    const int team = omp_get_num_threads();
+    const int t = omp_get_thread_num();
+    auto& mine = stripes[static_cast<std::size_t>(t)];
+    const auto f = stripe_of(frontier.size(), team, t);
+    edges += sort_merge_into(a, frontier.subspan(f.lo, f.hi - f.lo),
+                             mine.cursors, mine.heap, mine.emit);
+    heap_width += static_cast<double>(mine.cursors.size());
+  }
+  auto& pos = ws.counters(stripes.size());
+  while (true) {
+    index_t best = std::numeric_limits<index_t>::max();
+    bool any = false;
+    for (std::size_t t = 0; t < stripes.size(); ++t) {
+      const auto& emit = stripes[t].emit;
+      const auto at = static_cast<std::size_t>(pos[t]);
+      if (at < emit.size() && (!any || emit[at].idx < best)) {
+        best = emit[at].idx;
+        any = true;
+      }
+    }
+    if (!any) break;
+    bool first = true;
+    index_t val = 0;
+    for (std::size_t t = 0; t < stripes.size(); ++t) {
+      const auto& emit = stripes[t].emit;
+      const auto at = static_cast<std::size_t>(pos[t]);
+      if (at < emit.size() && emit[at].idx == best) {
+        val = first ? emit[at].val : std::min(val, emit[at].val);
+        first = false;
+        ++pos[t];
+      }
+    }
+    out.push_back(VecEntry{best, val});
+  }
+  // The serial formula over the partition-invariant totals: the number of
+  // nonempty frontier columns does not depend on how stripes cut them.
+  const double logk = heap_width == 0 ? 1.0 : std::log2(heap_width + 1.0);
   *work = edges * (1.0 + logk);
 }
 
@@ -110,7 +251,9 @@ std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
                                              std::span<const VecEntry> frontier,
                                              SpmspvAccumulator acc,
                                              DistWorkspace& ws, double* work,
-                                             SpmspvAccumulator* used) {
+                                             SpmspvAccumulator* used,
+                                             int threads) {
+  DRCM_CHECK(threads >= 1, "local multiply needs at least one thread");
   if (acc == SpmspvAccumulator::kAuto) {
     acc = env_accumulator();
   }
@@ -118,6 +261,7 @@ std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
     // Heuristic actually consulted: the crossover needs the frontier's
     // local edge volume, an O(|frontier|) col_ptr sweep (cheap next to
     // the O(edges) multiply, and skipped entirely when an arm is pinned).
+    // Thread-independent, so flat and hybrid runs pick the same arm.
     double edges = 0;
     for (const auto& e : frontier) {
       edges += static_cast<double>(a.column(e.idx - a.col_lo()).size());
@@ -127,9 +271,17 @@ std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
   if (used) *used = acc;
   auto& out = ws.partial_scratch();
   if (acc == SpmspvAccumulator::kSpa) {
-    multiply_spa(a, frontier, ws, out, work);
+    if (threads > 1) {
+      multiply_spa_hybrid(a, frontier, threads, ws, out, work);
+    } else {
+      multiply_spa(a, frontier, ws, out, work);
+    }
   } else {
-    multiply_sort_merge(a, frontier, ws, out, work);
+    if (threads > 1) {
+      multiply_sort_merge_hybrid(a, frontier, threads, ws, out, work);
+    } else {
+      multiply_sort_merge(a, frontier, ws, out, work);
+    }
   }
   return out;
 }
@@ -150,9 +302,12 @@ DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
   const auto frontier =
       grid.col_comm().allgatherv(std::span<const VecEntry>(x.entries()));
 
-  // Stage 2: local block multiply into per-row partial minima.
+  // Stage 2: local block multiply into per-row partial minima, split
+  // across the rank's hybrid OpenMP team (communication stays on this
+  // thread, as in the paper's one-communicating-thread design).
   double work = 0;
-  const auto& partial = spmspv_local_multiply(a, frontier, acc, w, &work, used);
+  const auto& partial = spmspv_local_multiply(a, frontier, acc, w, &work, used,
+                                              world.threads());
 
   // Stage 3a: my partial rows live in row chunk R = grid.row(); the rank
   // in my processor row at column s merges sub-chunk s of that chunk.

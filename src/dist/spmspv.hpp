@@ -65,16 +65,28 @@ SpmspvAccumulator resolve_accumulator(SpmspvAccumulator requested,
 /// `*work` receives the work units to charge. `used` (optional) reports the
 /// arm chosen after kAuto resolution. Shared by the unfused kernel below
 /// and the fused level kernel.
+///
+/// `threads` > 1 selects the hybrid node-level path (paper Fig. 6): the
+/// frontier loop OpenMP-splits into contiguous stripes over per-thread
+/// workspace arms — stamped SPAs for kSpa, cursor/heap stripes for
+/// kSortMerge — and the per-thread emissions are min-merged in a
+/// deterministic order, so the output is BIT-IDENTICAL to the serial loop
+/// at any thread count. The charged work units are the serial loop's
+/// (min-combines are partition-invariant); the caller's Comm divides
+/// modeled seconds by its thread count.
 std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
                                              std::span<const VecEntry> frontier,
                                              SpmspvAccumulator acc,
                                              DistWorkspace& ws, double* work,
-                                             SpmspvAccumulator* used = nullptr);
+                                             SpmspvAccumulator* used = nullptr,
+                                             int threads = 1);
 
 /// Collective. `x` must be distributed conformally with `a`
 /// (x.dist() == a.vec_dist(); throws CheckError otherwise). Scratch comes
 /// from `ws`, or from the grid's per-rank workspace when `ws` is null.
-/// `used` (optional) reports the arm chosen after kAuto resolution.
+/// `used` (optional) reports the arm chosen after kAuto resolution. The
+/// local multiply runs on grid.world().threads() OpenMP threads (the
+/// Runtime::run threads_per_rank of the hybrid configuration).
 DistSpVec spmspv_select2nd_min(
     const DistSpMat& a, const DistSpVec& x, ProcGrid2D& grid,
     SpmspvAccumulator acc = SpmspvAccumulator::kSpa,

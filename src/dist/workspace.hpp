@@ -78,6 +78,20 @@ struct SortRec {
   index_t idx;
 };
 
+/// Per-thread stage-2 stripe of the hybrid node-level SpMSpV: thread t of
+/// the OpenMP team owns a contiguous slice of the gathered frontier and
+/// merges it through its own cursor/heap arrays (kSortMerge) or emits its
+/// row-stripe of the merged SPA scan (kSpa) into `emit`, so no two threads
+/// ever share mutable state. The calling thread then concatenates /
+/// min-merges the emissions in thread order — a deterministic reduction
+/// that keeps the hybrid output bit-identical to the serial loop at any
+/// thread count.
+struct ThreadStripe {
+  std::vector<MergeCursor> cursors;
+  std::vector<std::pair<index_t, std::size_t>> heap;
+  std::vector<VecEntry> emit;
+};
+
 /// One cell of the sparse SORTPERM histogram: how many elements with parent
 /// bucket `bucket` and degree `degree` live on the rank whose owned index
 /// range sits at position `block` in global index order (block = col * q +
@@ -154,6 +168,20 @@ class DistWorkspace {
   std::vector<SortRec>& sort_recv_scratch();
   std::vector<VecEntry>& rank_recv_scratch();
 
+  /// Per-thread SPA arms of the hybrid local multiply: `threads` stamped
+  /// slot arrays, each epoch-opened over `rows` (so a thread cannot observe
+  /// another thread's — or a previous call's — values). Growth of the arm
+  /// count and of any arm's storage is realloc-counted; shrinking the
+  /// thread count between calls retains the extra arms' storage and counts
+  /// nothing, so a rank alternating hybrid and flat calls stays
+  /// allocation-free after warm-up.
+  std::span<StampedSlots> thread_spas(std::size_t threads, std::size_t rows);
+  /// Per-thread sort-merge stripes (cursors + heap + emission buffer),
+  /// each cleared with capacity retained; realloc accounting mirrors
+  /// thread_spas. The kSpa arm uses only the `emit` buffers (its row-stripe
+  /// emission); the kSortMerge arm uses all three.
+  std::span<ThreadStripe> thread_stripes(std::size_t threads);
+
   /// Plain index scratch of exactly `n` elements, contents unspecified
   /// (callers overwrite every slot they read).
   std::vector<index_t>& index_scratch(std::size_t n);
@@ -223,6 +251,12 @@ class DistWorkspace {
   std::vector<index_t> my_starts_;
   std::vector<SortRec> sort_recv_;
   std::vector<VecEntry> rank_recv_;
+  std::vector<StampedSlots> thread_spas_;
+  std::vector<ThreadStripe> thread_stripes_;
+  /// Per-arm capacity ledgers of the thread stripes (sum of the three
+  /// buffers), so shrinking and re-growing the thread count between calls
+  /// is not misread as a reallocation.
+  std::vector<std::size_t> thread_stripe_caps_;
   std::size_t cursors_cap_ = 0, heap_cap_ = 0, frontier_cap_ = 0,
               partial_cap_ = 0, gather_cap_ = 0, recv_cap_ = 0,
               merge_route_cap_ = 0, entry_route_cap_ = 0,

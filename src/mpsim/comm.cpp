@@ -247,7 +247,9 @@ Comm Comm::split(int color, int key) {
 }
 
 void Comm::charge_compute(double units) {
-  state_->stats.add_compute(state_->phase, units, model_->compute_seconds(units));
+  state_->stats.add_compute(
+      state_->phase, units,
+      model_->compute_seconds(units) / static_cast<double>(state_->threads));
 }
 
 Phase Comm::set_phase(Phase p) {

@@ -48,10 +48,16 @@ class PoisonedError : public std::runtime_error {
 };
 
 /// Per-rank mutable state shared by all communicators a rank holds
-/// (world and any splits): the stats recorder and the current phase.
+/// (world and any splits): the stats recorder, the current phase and the
+/// hybrid thread count.
 struct RankState {
   StatsRecorder stats;
   Phase phase = Phase::kOther;
+  /// OpenMP threads available to this rank's local kernels (the paper's
+  /// hybrid configuration: one communicating thread per process, the rest
+  /// doing local work). Modeled compute time divides by this; modeled
+  /// communication does not — collectives stay single-threaded per rank.
+  int threads = 1;
 };
 
 /// Number of 8-byte words occupied by one element of T (for cost charging).
@@ -71,6 +77,10 @@ class Comm {
 
   int rank() const { return rank_; }
   int size() const { return size_; }
+  /// OpenMP threads the hybrid configuration grants this rank's local
+  /// kernels (Runtime::run's threads_per_rank; 1 = flat MPI). Shared by all
+  /// communicators of the rank, so split row/column comms agree with world.
+  int threads() const { return state_->threads; }
 
   /// Synchronizes all members (and charges the modeled barrier cost).
   void barrier();
@@ -215,8 +225,15 @@ class Comm {
   /// ranked by (key, old rank).
   Comm split(int color, int key);
 
-  /// Charges `units` of scalar work to the modeled compute time of the
-  /// current phase.
+  /// Charges `units` of scalar work to the current phase. The raw unit
+  /// ledger records the algorithm's work independent of threading; the
+  /// modeled seconds divide by threads(). That is the paper's (and the
+  /// trace model's) hybrid pricing — ALL local computation assumed spread
+  /// over P * threads cores — applied uniformly so the two cost paths
+  /// agree exactly. Executed wall time honors it only where a kernel
+  /// actually splits (today the SpMSpV local multiply; serial scans keep
+  /// their measured time, the modeled/measured columns diverging there by
+  /// design).
   void charge_compute(double units);
 
   /// Sets the phase used for cost attribution; returns the previous phase.

@@ -54,13 +54,15 @@ double SpmdReport::measured_makespan() const {
 }
 
 SpmdReport Runtime::run(int nranks, const std::function<void(Comm&)>& body,
-                        const MachineParams& machine) {
+                        const MachineParams& machine, int threads_per_rank) {
   DRCM_CHECK(nranks >= 1, "need at least one rank");
+  DRCM_CHECK(threads_per_rank >= 1, "need at least one thread per rank");
   auto registry = make_barrier_registry();
   auto world_ctx = make_comm_context(nranks, registry);
   const CostModel model(machine);
 
   std::vector<RankState> states(static_cast<std::size_t>(nranks));
+  for (auto& s : states) s.threads = threads_per_rank;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   auto rank_main = [&](int r) {

@@ -38,12 +38,14 @@ struct SpmdReport {
 class Runtime {
  public:
   /// Runs `body` on `nranks` ranks and returns the cost report.
-  /// `threads_per_rank` models the hybrid OpenMP-MPI configuration: local
-  /// kernels may use that many OpenMP threads, and modeled compute time is
+  /// `threads_per_rank` is the hybrid OpenMP-MPI configuration: each rank's
+  /// Comm::threads() reports it, the node-level kernels split their local
+  /// loops across that many OpenMP threads, and modeled compute time is
   /// divided accordingly (communication is performed by one thread per
   /// rank, as in the paper's hybrid implementation).
   static SpmdReport run(int nranks, const std::function<void(Comm&)>& body,
-                        const MachineParams& machine = {});
+                        const MachineParams& machine = {},
+                        int threads_per_rank = 1);
 };
 
 }  // namespace drcm::mps

@@ -1,10 +1,22 @@
 #include "rcm/rcm_driver.hpp"
 
+#include <cstdlib>
+
 #include "dist/primitives.hpp"
 #include "rcm/dist_peripheral.hpp"
 #include "sparse/permute.hpp"
 
 namespace drcm::rcm {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("DRCM_THREADS")) {
+    const int t = std::atoi(env);
+    DRCM_CHECK(t >= 1, "DRCM_THREADS must be a positive thread count");
+    return t;
+  }
+  return 1;
+}
 
 std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                               const DistRcmOptions& options,
@@ -93,7 +105,7 @@ DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
           run.stats = stats;
         }
       },
-      machine);
+      machine, resolve_threads(options.threads));
   return run;
 }
 

@@ -42,7 +42,20 @@ struct DistRcmOptions {
   /// are bit-identical — this is a synchrony knob kept for the equivalence
   /// suite and the crossing-ledger benches.
   bool fuse_ordering = true;
+  /// OpenMP threads per rank of the hybrid configuration (paper Fig. 6:
+  /// one communicating thread per process, the others splitting the local
+  /// SpMSpV). 0 resolves through the DRCM_THREADS environment variable,
+  /// defaulting to 1 (flat MPI). Consumed by run_dist_rcm when launching
+  /// the runtime; a body already running on a Comm inherits the
+  /// Runtime::run threads_per_rank instead. Every thread count produces
+  /// bit-identical orderings — this is a performance knob.
+  int threads = 0;
 };
+
+/// Resolves DistRcmOptions::threads: a positive request passes through;
+/// 0 reads DRCM_THREADS (re-read per call, like DRCM_SPMSPV_ACC, so benches
+/// can flip configurations between runs), defaulting to 1.
+int resolve_threads(int requested);
 
 struct DistRcmStats {
   int components = 0;

@@ -107,6 +107,14 @@ struct CostBreakdown {
 
 /// Projects the trace onto `cores` total cores with `threads_per_process`
 /// OpenMP threads per MPI process (paper default: 6; flat MPI: 1).
+///
+/// The hybrid pricing — compute divided by ALL cores, communication priced
+/// per process with one communicating thread each, crossings independent of
+/// the thread count — is the same rule the executed runtime charges: a real
+/// mpsim run at P ranks with Runtime::run's threads_per_rank = t divides
+/// every charge_compute by t and leaves collectives untouched, so
+/// project_cost(trace, P * t, t) stays consistent with that run's ledger
+/// (asserted in test_mpsim_cost_model.cpp / test_model_runtime_consistency).
 CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
                            int threads_per_process,
                            const mps::MachineParams& machine = {});

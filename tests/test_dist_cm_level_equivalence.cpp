@@ -1,14 +1,14 @@
 // Equivalence wall for the fused ordering-level kernel: on Erdős–Rényi,
-// grid, star and path graphs, under 1/4/9 simulated ranks, the fused
-// dist::cm_level_step, the unfused reference chain (bfs_level_step +
-// sortperm_bucket + add_scalar + scatter_into_dense) and serial RCM must
-// produce bit-identical frontiers and labels — level by level and for the
-// complete ordering. Comparison-free label ranking is exactly what makes
-// the fusion legal; this suite is the proof that riding the level
-// collective changed the synchrony budget and nothing else.
+// grid, star and path graphs, under the {1,4,9} x {1,2,6} rank x thread
+// matrix, the fused dist::cm_level_step, the unfused reference chain
+// (bfs_level_step + sortperm_bucket + add_scalar + scatter_into_dense) and
+// serial RCM must produce bit-identical frontiers and labels — level by
+// level and for the complete ordering. Comparison-free label ranking is
+// exactly what makes the fusion legal; the thread axis additionally proves
+// the hybrid node-level SpMSpV changed the wall clock and nothing else.
 //
-// The sweep honors DRCM_TEST_RANKS (a single rank count) so CI can run the
-// same suite once per simulated-rank configuration.
+// The sweep honors DRCM_TEST_RANKS / DRCM_TEST_THREADS (a single rank or
+// thread count each) so CI can run the same suite once per configuration.
 #include "dist/level_kernel.hpp"
 
 #include <gtest/gtest.h>
@@ -29,6 +29,7 @@ using sparse::CsrMatrix;
 namespace gen = sparse::gen;
 
 using drcm::dist::testing::rank_counts;
+using drcm::dist::testing::thread_counts;
 
 /// The graph pool the ISSUE names: ER (degree diversity), grids (mass
 /// degree ties), star (one giant single-bucket level — the worker-stripe
@@ -51,19 +52,25 @@ TEST(CmLevelEquivalence, FullOrderingFusedUnfusedSerialBitIdentical) {
   for (const auto& a : graph_pool()) {
     const auto want = order::rcm_serial(a);
     for (const int p : rank_counts()) {
-      for (const bool fuse : {true, false}) {
+      for (const int t : thread_counts()) {
+        for (const bool fuse : {true, false}) {
+          rcm::DistRcmOptions opt;
+          opt.fuse_ordering = fuse;
+          opt.threads = t;
+          const auto run = rcm::run_dist_rcm(p, a, opt);
+          EXPECT_EQ(run.labels, want)
+              << "n=" << a.n() << " p=" << p << " t=" << t
+              << " fuse=" << fuse;
+        }
+        // The sample-sort baseline ignores the fuse knob (it cannot ride
+        // the collective) and must still agree.
         rcm::DistRcmOptions opt;
-        opt.fuse_ordering = fuse;
+        opt.sort = rcm::SortKind::kSampleSort;
+        opt.threads = t;
         const auto run = rcm::run_dist_rcm(p, a, opt);
         EXPECT_EQ(run.labels, want)
-            << "n=" << a.n() << " p=" << p << " fuse=" << fuse;
+            << "n=" << a.n() << " p=" << p << " t=" << t << " sample";
       }
-      // The sample-sort baseline ignores the fuse knob (it cannot ride the
-      // collective) and must still agree.
-      rcm::DistRcmOptions opt;
-      opt.sort = rcm::SortKind::kSampleSort;
-      const auto run = rcm::run_dist_rcm(p, a, opt);
-      EXPECT_EQ(run.labels, want) << "n=" << a.n() << " p=" << p << " sample";
     }
   }
 }
@@ -81,6 +88,7 @@ TEST(CmLevelEquivalence, LevelByLevelFusedVsUnfusedBitIdentical) {
     const auto root =
         static_cast<index_t>(splitmix64(seed) % static_cast<u64>(a.n()));
     for (const int p : rank_counts()) {
+      for (const int t : thread_counts()) {
       Runtime::run(p, [&](Comm& world) {
         ProcGrid2D grid(world);
         DistSpMat mat(grid, a);
@@ -120,7 +128,8 @@ TEST(CmLevelEquivalence, LevelByLevelFusedVsUnfusedBitIdentical) {
           frontier = fused.next;
           ++depth;
         }
-      });
+      }, {}, t);
+      }
     }
   }
 }
@@ -131,14 +140,17 @@ TEST(CmLevelEquivalence, AccumulatorArmsAgreeThroughTheFusedPath) {
   const auto a = gen::relabel_random(gen::grid2d(12, 11), 9);
   const auto want = order::rcm_serial(a);
   for (const int p : rank_counts()) {
-    for (const auto acc :
-         {SpmspvAccumulator::kAuto, SpmspvAccumulator::kSpa,
-          SpmspvAccumulator::kSortMerge}) {
-      rcm::DistRcmOptions opt;
-      opt.accumulator = acc;
-      const auto run = rcm::run_dist_rcm(p, a, opt);
-      EXPECT_EQ(run.labels, want)
-          << "p=" << p << " acc=" << static_cast<int>(acc);
+    for (const int t : thread_counts()) {
+      for (const auto acc :
+           {SpmspvAccumulator::kAuto, SpmspvAccumulator::kSpa,
+            SpmspvAccumulator::kSortMerge}) {
+        rcm::DistRcmOptions opt;
+        opt.accumulator = acc;
+        opt.threads = t;
+        const auto run = rcm::run_dist_rcm(p, a, opt);
+        EXPECT_EQ(run.labels, want)
+            << "p=" << p << " t=" << t << " acc=" << static_cast<int>(acc);
+      }
     }
   }
 }

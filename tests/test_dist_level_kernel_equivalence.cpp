@@ -1,11 +1,14 @@
 // Randomized equivalence suite for the fused BFS level kernel: on
-// Erdős–Rényi and grid graphs, under 1/4/9 simulated ranks, the fused
-// kernel, the unfused primitive chain, and both forced accumulator arms
-// must produce bit-identical frontiers, levels and labels — including the
-// degree-tie determinism the ordering quality contract rests on.
+// Erdős–Rényi and grid graphs, under the {1,4,9} x {1,2,6} rank x thread
+// matrix, the fused kernel, the unfused primitive chain, and both forced
+// accumulator arms must produce bit-identical frontiers, levels and labels
+// — including the degree-tie determinism the ordering quality contract
+// rests on. The thread axis drives the hybrid node-level SpMSpV (per-
+// thread SPAs / sort-merge stripes with a deterministic ordered merge), so
+// every point of the matrix is held to the same serial reference.
 //
-// The sweep honors DRCM_TEST_RANKS (a single rank count) so CI can run the
-// same suite once per simulated-rank configuration.
+// The sweep honors DRCM_TEST_RANKS / DRCM_TEST_THREADS (a single rank or
+// thread count each) so CI can run the same suite once per configuration.
 #include "dist/level_kernel.hpp"
 
 #include <gtest/gtest.h>
@@ -29,6 +32,7 @@ using sparse::CsrMatrix;
 namespace gen = sparse::gen;
 
 using drcm::dist::testing::rank_counts;
+using drcm::dist::testing::thread_counts;
 
 /// Plain serial BFS distances: the oracle for the level loop.
 std::vector<index_t> serial_levels(const CsrMatrix& a, index_t root) {
@@ -79,6 +83,7 @@ TEST(LevelKernelEquivalence, RandomizedBfsSweepAllPathsBitIdentical) {
         static_cast<index_t>(splitmix64(seed) % static_cast<u64>(a.n()));
     const auto want = serial_levels(a, root);
     for (const int p : rank_counts()) {
+      for (const int t : thread_counts()) {
       Runtime::run(p, [&](Comm& world) {
         ProcGrid2D grid(world);
         DistSpMat mat(grid, a);
@@ -126,9 +131,10 @@ TEST(LevelKernelEquivalence, RandomizedBfsSweepAllPathsBitIdentical) {
         const auto got = levels.to_global(world);
         if (world.rank() == 0) {
           EXPECT_EQ(got, want) << "levels vs serial BFS, p=" << p
-                               << " seed=" << seed;
+                               << " t=" << t << " seed=" << seed;
         }
-      });
+      }, {}, t);
+      }
     }
   }
 }
@@ -154,6 +160,7 @@ TEST(LevelKernelEquivalence, RandomFrontiersNotJustBfsFrontiers) {
       if (rng.next_below(4) == 0) mark[static_cast<std::size_t>(v)] = 7;
     }
     for (const int p : rank_counts()) {
+      for (const int t : thread_counts()) {
       Runtime::run(p, [&](Comm& world) {
         ProcGrid2D grid(world);
         DistSpMat mat(grid, a);
@@ -177,8 +184,9 @@ TEST(LevelKernelEquivalence, RandomFrontiersNotJustBfsFrontiers) {
             mat, x, dense, kNoVertex, grid, mps::Phase::kOrderingSpmspv,
             mps::Phase::kOrderingOther, SpmspvAccumulator::kSortMerge);
         expect_same_step(fused, unfused, "random frontier fused vs unfused",
-                         p, seed, 0);
-      });
+                         p, seed * 100 + static_cast<u64>(t), 0);
+      }, {}, t);
+      }
     }
   }
 }
@@ -198,14 +206,17 @@ TEST(LevelKernelEquivalence, FullOrderingDegreeTieDeterminism) {
   for (const auto& a : graphs) {
     const auto want = order::rcm_serial(a);
     for (const int p : rank_counts()) {
-      for (const auto acc :
-           {SpmspvAccumulator::kAuto, SpmspvAccumulator::kSpa,
-            SpmspvAccumulator::kSortMerge}) {
-        rcm::DistRcmOptions opt;
-        opt.accumulator = acc;
-        const auto run = rcm::run_dist_rcm(p, a, opt);
-        EXPECT_EQ(run.labels, want)
-            << "p=" << p << " acc=" << static_cast<int>(acc);
+      for (const int t : thread_counts()) {
+        for (const auto acc :
+             {SpmspvAccumulator::kAuto, SpmspvAccumulator::kSpa,
+              SpmspvAccumulator::kSortMerge}) {
+          rcm::DistRcmOptions opt;
+          opt.accumulator = acc;
+          opt.threads = t;
+          const auto run = rcm::run_dist_rcm(p, a, opt);
+          EXPECT_EQ(run.labels, want)
+              << "p=" << p << " t=" << t << " acc=" << static_cast<int>(acc);
+        }
       }
     }
   }
@@ -254,6 +265,18 @@ TEST(LevelKernelEquivalence, EnvOverridePinsTheArm) {
   ASSERT_EQ(setenv("DRCM_SPMSPV_ACC", "spa", 1), 0);
   EXPECT_EQ(run_used(), SpmspvAccumulator::kSpa);
   ASSERT_EQ(unsetenv("DRCM_SPMSPV_ACC"), 0);
+}
+
+TEST(LevelKernelEquivalence, ThreadsKnobResolvesThroughTheEnvironment) {
+  // DistRcmOptions::threads: positive requests pass through; 0 falls back
+  // to DRCM_THREADS, then to flat MPI.
+  EXPECT_EQ(rcm::resolve_threads(4), 4);
+  EXPECT_EQ(rcm::resolve_threads(0), 1);
+  ASSERT_EQ(setenv("DRCM_THREADS", "6", 1), 0);
+  EXPECT_EQ(rcm::resolve_threads(0), 6);
+  EXPECT_EQ(rcm::resolve_threads(2), 2);  // explicit request wins
+  ASSERT_EQ(unsetenv("DRCM_THREADS"), 0);
+  EXPECT_EQ(rcm::resolve_threads(0), 1);
 }
 
 }  // namespace

@@ -44,6 +44,72 @@ TEST(StampedSlots, GrowthReportsReallocation) {
   EXPECT_TRUE(s.begin(16));
 }
 
+TEST(ThreadArms, StampedSlotsAreIsolatedBetweenThreads) {
+  // Each hybrid thread accumulates into its own stamped SPA: a write
+  // through arm t must be invisible to every other arm, and each arm keeps
+  // its own min.
+  DistWorkspace ws;
+  auto spas = ws.thread_spas(3, 16);
+  ASSERT_EQ(spas.size(), 3u);
+  spas[0].put_min(5, 40);
+  spas[1].put_min(5, 7);
+  spas[1].put_min(5, 9);  // min-combine keeps 7
+  EXPECT_TRUE(spas[0].live(5));
+  EXPECT_TRUE(spas[1].live(5));
+  EXPECT_FALSE(spas[2].live(5));
+  EXPECT_EQ(spas[0].val[5], 40);
+  EXPECT_EQ(spas[1].val[5], 7);
+  EXPECT_FALSE(spas[0].live(6));
+}
+
+TEST(ThreadArms, CheckoutOpensAFreshEpochOnEveryArm) {
+  // No cross-call state leakage: values written in one hybrid multiply
+  // must be dead at the next checkout, including over a smaller row range
+  // (the shrinking-matrix hazard the per-rank workspace exists to kill).
+  DistWorkspace ws;
+  auto spas = ws.thread_spas(2, 32);
+  spas[0].put_min(3, 1);
+  spas[1].put_min(3, 2);
+  auto again = ws.thread_spas(2, 8);
+  EXPECT_FALSE(again[0].live(3));
+  EXPECT_FALSE(again[1].live(3));
+  auto stripes = ws.thread_stripes(2);
+  stripes[0].emit.push_back(VecEntry{1, 1});
+  stripes[1].cursors.push_back(MergeCursor{{}, 0, 0});
+  auto stripes_again = ws.thread_stripes(2);
+  EXPECT_TRUE(stripes_again[0].emit.empty());
+  EXPECT_TRUE(stripes_again[1].cursors.empty());
+}
+
+TEST(ThreadArms, ReallocAccountingAcrossThreadCountChanges) {
+  // Growing the thread count allocates (and is counted); shrinking
+  // retains the extra arms' storage and re-growing back must be free, so a
+  // rank alternating hybrid and flat calls settles like any other buffer.
+  DistWorkspace ws;
+  const auto warm = [&](std::size_t threads) {
+    auto spas = ws.thread_spas(threads, 64);
+    auto stripes = ws.thread_stripes(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      spas[t].put_min(t, 1);
+      stripes[t].emit.assign(16, VecEntry{0, 0});
+      stripes[t].heap.assign(8, {0, 0});
+    }
+  };
+  warm(6);
+  warm(6);  // capacities observed at the second checkout
+  const u64 settled = ws.reallocations();
+  warm(2);  // shrink: arms 2..5 untouched, nothing may be counted
+  EXPECT_EQ(ws.reallocations(), settled);
+  warm(6);  // re-grow to a warm size: still free
+  EXPECT_EQ(ws.reallocations(), settled);
+  warm(8);  // genuinely new arms must be counted
+  EXPECT_GT(ws.reallocations(), settled);
+  warm(8);
+  const u64 settled8 = ws.reallocations();
+  warm(8);
+  EXPECT_EQ(ws.reallocations(), settled8);
+}
+
 /// Frontier over every stride-th owned vertex, values distinct per vertex.
 std::vector<VecEntry> owned_frontier(const DistSpVec& shape, index_t n,
                                      index_t stride) {
@@ -66,56 +132,64 @@ TEST_P(WorkspaceGrids, TwoMatrixSizesAlternateWithoutCrossContamination) {
   const int p = GetParam();
   const auto big = gen::grid3d(6, 5, 5);   // n = 150
   const auto small = gen::path(37);        // n = 37
-  for (const auto acc :
-       {SpmspvAccumulator::kSpa, SpmspvAccumulator::kSortMerge}) {
-    Runtime::run(p, [&](Comm& world) {
-      ProcGrid2D grid(world);
-      DistSpMat mat_big(grid, big);
-      DistSpMat mat_small(grid, small);
-      DistSpVec x_big(mat_big.vec_dist(), grid);
-      DistSpVec x_small(mat_small.vec_dist(), grid);
-      DistWorkspace shared;
-      for (int round = 0; round < 4; ++round) {
-        x_big.assign(owned_frontier(x_big, big.n(), 2 + round));
-        x_small.assign(owned_frontier(x_small, small.n(), 1 + round));
-        for (bool use_big : {true, false, true}) {
-          const auto& mat = use_big ? mat_big : mat_small;
-          const auto& x = use_big ? x_big : x_small;
-          const auto got = spmspv_select2nd_min(mat, x, grid, acc, &shared);
-          DistWorkspace fresh;
-          const auto want = spmspv_select2nd_min(mat, x, grid, acc, &fresh);
-          ASSERT_EQ(got.entries(), want.entries())
-              << "p=" << p << " round=" << round << " big=" << use_big;
+  for (const int threads : {1, 3}) {  // flat and hybrid share the arms
+    for (const auto acc :
+         {SpmspvAccumulator::kSpa, SpmspvAccumulator::kSortMerge}) {
+      Runtime::run(p, [&](Comm& world) {
+        ProcGrid2D grid(world);
+        DistSpMat mat_big(grid, big);
+        DistSpMat mat_small(grid, small);
+        DistSpVec x_big(mat_big.vec_dist(), grid);
+        DistSpVec x_small(mat_small.vec_dist(), grid);
+        DistWorkspace shared;
+        for (int round = 0; round < 4; ++round) {
+          x_big.assign(owned_frontier(x_big, big.n(), 2 + round));
+          x_small.assign(owned_frontier(x_small, small.n(), 1 + round));
+          for (bool use_big : {true, false, true}) {
+            const auto& mat = use_big ? mat_big : mat_small;
+            const auto& x = use_big ? x_big : x_small;
+            const auto got = spmspv_select2nd_min(mat, x, grid, acc, &shared);
+            DistWorkspace fresh;
+            const auto want = spmspv_select2nd_min(mat, x, grid, acc, &fresh);
+            ASSERT_EQ(got.entries(), want.entries())
+                << "p=" << p << " threads=" << threads << " round=" << round
+                << " big=" << use_big;
+          }
         }
-      }
-    });
+      }, {}, threads);
+    }
   }
 }
 
 TEST_P(WorkspaceGrids, SteadyStateLevelsStopAllocatingAfterWarmup) {
   // One full BFS (every level shape the matrix can produce) warms every
-  // buffer; a second identical traversal must not grow anything.
+  // buffer; a second identical traversal must not grow anything. Run flat
+  // and hybrid: the per-thread arms must settle like every other buffer.
   const int p = GetParam();
   const auto a = gen::relabel_random(gen::grid2d(14, 14), 3);
-  Runtime::run(p, [&](Comm& world) {
-    ProcGrid2D grid(world);
-    DistSpMat mat(grid, a);
-    const auto degrees = mat.degrees(grid);
-    const auto run_both = [&] {
-      DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
-      rcm::dist_bfs(mat, 0, levels, grid, mps::Phase::kPeripheralSpmspv,
-                    mps::Phase::kPeripheralOther);
-      DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
-      rcm::dist_cm_component(mat, degrees, labels, 0, 0, grid);
-    };
-    run_both();
-    const u64 warm = grid.workspace().reallocations();
-    EXPECT_GT(warm, 0u);
-    run_both();
-    run_both();
-    EXPECT_EQ(grid.workspace().reallocations(), warm)
-        << "steady-state BFS levels must reuse workspace buffers";
-  });
+  for (const int threads : {1, 6}) {
+    Runtime::run(p, [&](Comm& world) {
+      ProcGrid2D grid(world);
+      DistSpMat mat(grid, a);
+      const auto degrees = mat.degrees(grid);
+      const auto run_both = [&] {
+        DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
+        rcm::dist_bfs(mat, 0, levels, grid, mps::Phase::kPeripheralSpmspv,
+                      mps::Phase::kPeripheralOther);
+        DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+        rcm::dist_cm_component(mat, degrees, labels, 0, 0, grid);
+      };
+      run_both();
+      run_both();  // hybrid emit capacities can still be observed growing
+      const u64 warm = grid.workspace().reallocations();
+      EXPECT_GT(warm, 0u);
+      run_both();
+      run_both();
+      EXPECT_EQ(grid.workspace().reallocations(), warm)
+          << "steady-state BFS levels must reuse workspace buffers"
+          << " (threads=" << threads << ")";
+    }, {}, threads);
+  }
 }
 
 TEST(Workspace, RouteBuffersKeepCapacityAcrossCheckouts) {

@@ -65,6 +65,56 @@ TEST_P(ModelConsistency, SortShareGrowsIdenticallyInBothViews) {
   EXPECT_GT(sort_share(4), sort_share(1) * 0.99);
 }
 
+TEST_P(ModelConsistency, HybridChargedComputeTracksModel) {
+  // The hybrid twin of SingleRankChargedComputeTracksModel: at p = 1 with
+  // 6 threads the runtime divides every modeled compute charge by 6, and
+  // the trace model projects the same trace onto 6 cores with 6 threads
+  // per process (P = 1: no communication either way). The two must stay
+  // inside the same factor-4 bookkeeping band.
+  const int which = GetParam();
+  const auto a = which == 0   ? gen::grid2d(20, 20)
+                 : which == 1 ? gen::erdos_renyi(300, 6.0, 5)
+                 : which == 2 ? gen::relabel_random(gen::grid3d(5, 5, 12), 2)
+                              : gen::kkt_system(gen::grid2d(10, 10), 50);
+  DistRcmOptions opt;
+  opt.threads = 6;
+  const auto run = run_dist_rcm(1, a, opt);
+  const double charged = charged_total(run.report);
+  const auto trace = ExecutionTrace::collect(a);
+  const double projected = project_cost(trace, 6, 6).total();
+  EXPECT_GT(charged, 0.0);
+  EXPECT_GT(projected, 0.0);
+  EXPECT_LT(projected, charged * 4.0) << "which=" << which;
+  EXPECT_GT(projected, charged / 4.0) << "which=" << which;
+}
+
+TEST(ModelConsistency, HybridDividesComputeAndKeepsCommunication) {
+  // The ledger rule the hybrid SpMSpV rides on: threads divide modeled
+  // compute seconds (the same work, split across the OpenMP team) and touch
+  // neither the communication charges nor the raw unit ledger.
+  const auto a = gen::relabel_random(gen::grid2d(16, 16), 3);
+  DistRcmOptions flat_opt;
+  flat_opt.threads = 1;  // pinned: DRCM_THREADS must not skew the baseline
+  const auto flat = run_dist_rcm(4, a, flat_opt);
+  DistRcmOptions opt;
+  opt.threads = 6;
+  const auto hybrid = run_dist_rcm(4, a, opt);
+  EXPECT_EQ(flat.labels, hybrid.labels);  // bit-identical ordering
+  double flat_compute = 0, hybrid_compute = 0;
+  for (std::size_t r = 0; r < flat.report.ranks.size(); ++r) {
+    const auto ft = flat.report.ranks[r].total();
+    const auto ht = hybrid.report.ranks[r].total();
+    EXPECT_DOUBLE_EQ(ht.model_comm_seconds, ft.model_comm_seconds);
+    EXPECT_EQ(ht.words, ft.words);
+    EXPECT_EQ(ht.messages, ft.messages);
+    EXPECT_EQ(ht.compute_units, ft.compute_units);
+    flat_compute += ft.model_compute_seconds;
+    hybrid_compute += ht.model_compute_seconds;
+  }
+  EXPECT_GT(hybrid_compute, 0.0);
+  EXPECT_NEAR(flat_compute / hybrid_compute, 6.0, 1e-9);
+}
+
 TEST(ModelConsistency, MessagesCountedOnlyWhenCommunicating) {
   const auto a = gen::grid2d(10, 10);
   const auto p1 = run_dist_rcm(1, a);

@@ -239,6 +239,64 @@ TEST(CrossingLedger, TraceModelPredictsTheRealLedger) {
   }
 }
 
+TEST(CrossingLedger, TraceModelPredictsTheHybridLedger) {
+  // The hybrid pin, mirroring TraceModelPredictsTheRealLedger: a real p=4
+  // run with 6 threads per rank (the paper's hybrid configuration) must
+  // match project_cost(trace, 4*6 cores, 6 threads/process) — same P, so
+  // the analytic crossing prediction is EXACTLY the hybrid run's ledger,
+  // and three invariants tie the two cost paths together per phase:
+  //   * crossings do not depend on the thread count (communication stays
+  //     on one thread per rank),
+  //   * modeled comm seconds are bitwise those of the flat run (identical
+  //     collectives, identical payloads),
+  //   * modeled compute seconds are the flat run's divided by 6 (the
+  //     ledger's hybrid rule; the trace model divides by total cores).
+  const sparse::CsrMatrix graphs[] = {
+      sparse::gen::grid2d(8, 8),
+      sparse::gen::erdos_renyi(120, 4.0, 7),  // possibly multi-component
+      sparse::gen::star(17),
+  };
+  for (const auto& a : graphs) {
+    rcm::DistRcmOptions flat_opt;
+    flat_opt.threads = 1;  // pinned: DRCM_THREADS must not skew the baseline
+    const auto flat = rcm::run_dist_rcm(4, a, flat_opt);
+    rcm::DistRcmOptions hybrid_opt;
+    hybrid_opt.threads = 6;
+    const auto hybrid = rcm::run_dist_rcm(4, a, hybrid_opt);
+
+    std::uint64_t ordering = 0, peripheral = 0;
+    for (const auto phase : {Phase::kOrderingSpmspv, Phase::kOrderingSort,
+                             Phase::kOrderingOther}) {
+      ordering += hybrid.report.aggregate(phase).max.barrier_crossings;
+    }
+    for (const auto phase :
+         {Phase::kPeripheralSpmspv, Phase::kPeripheralOther}) {
+      peripheral += hybrid.report.aggregate(phase).max.barrier_crossings;
+    }
+    const auto trace = rcm::ExecutionTrace::collect(a);
+    const auto c = rcm::project_cost(trace, 24, 6);
+    EXPECT_EQ(c.ordering_crossings(), ordering) << "n=" << a.n();
+    EXPECT_EQ(c.peripheral_crossings(), peripheral) << "n=" << a.n();
+
+    for (const auto phase :
+         {Phase::kPeripheralSpmspv, Phase::kPeripheralOther,
+          Phase::kOrderingSpmspv, Phase::kOrderingSort,
+          Phase::kOrderingOther}) {
+      const auto& f = flat.report.aggregate(phase).max;
+      const auto& h = hybrid.report.aggregate(phase).max;
+      EXPECT_EQ(h.barrier_crossings, f.barrier_crossings)
+          << "n=" << a.n() << " phase=" << static_cast<int>(phase);
+      EXPECT_DOUBLE_EQ(h.model_comm_seconds, f.model_comm_seconds)
+          << "n=" << a.n() << " phase=" << static_cast<int>(phase);
+      EXPECT_EQ(h.compute_units, f.compute_units)
+          << "the raw work ledger is threading-invariant, n=" << a.n();
+      EXPECT_NEAR(h.model_compute_seconds, f.model_compute_seconds / 6.0,
+                  1e-12 + f.model_compute_seconds * 1e-9)
+          << "n=" << a.n() << " phase=" << static_cast<int>(phase);
+    }
+  }
+}
+
 TEST(CostModel, DefaultParametersAreSane) {
   // Guards against accidental unit mix-ups in the calibrated constants:
   // latency must dominate per-word cost, which must dominate per-op cost.
