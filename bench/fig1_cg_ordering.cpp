@@ -14,6 +14,7 @@
 
 #include "bench/suite.hpp"
 #include "order/rcm_serial.hpp"
+#include "rcm/rcm_driver.hpp"
 #include "solver/block_jacobi.hpp"
 #include "solver/cg.hpp"
 #include "solver/dist_cg.hpp"
@@ -90,24 +91,52 @@ int main(int argc, char** argv) {
               "benefit increases with concurrency); final ratio %.2fx\n\n",
               prev_gap_ratio);
 
-  // Validation: the REAL distributed CG (1D row blocks + halo exchange on
-  // the thread-backed runtime) at small rank counts. The charged solver
-  // words show the communication the RCM ordering removes.
-  std::printf("validation, real distributed CG runs (p=4, rtol 1e-8):\n");
-  for (int which = 0; which < 2; ++which) {
-    const auto& pattern = which == 0 ? natural_pattern : rcm_pattern;
-    const auto m = sparse::gen::with_laplacian_values(pattern, 0.02);
-    const auto b = wavy_rhs(m.n());
-    solver::CgOptions opt;
-    opt.rtol = 1e-8;
-    const auto run = solver::run_dist_pcg(4, m, b, /*precondition=*/true, opt);
-    const auto agg = run.report.aggregate(mps::Phase::kSolver);
-    std::printf("  %-8s iters=%4d converged=%s words-moved(max rank)=%llu "
-                "modeled=%.4fs\n",
-                which == 0 ? "natural" : "RCM", run.result.iterations,
-                run.result.converged ? "yes" : "no",
-                static_cast<unsigned long long>(agg.max.words),
-                agg.max.model_total());
+  // Validation: REAL distributed runs at p = 4 (thread-backed ranks).
+  //   natural — the replicated-CSR dist_pcg baseline (every rank re-slices
+  //             the full matrix; its ledger records the gathered footprint);
+  //   RCM     — the fully distributed pipeline in ONE call: RCM on the 2D
+  //             grid, value-carrying redistribute, 2D->1D re-owning,
+  //             distributed-matrix CG. No replicated CSR between ordering
+  //             and solution; the mpsim ledger bounds every rank's peak.
+  std::printf("validation, real distributed runs (p=4, rtol 1e-8):\n");
+  const auto m_nat = sparse::gen::with_laplacian_values(natural_pattern, 0.02);
+  const auto b = wavy_rhs(m_nat.n());
+  solver::CgOptions opt;
+  opt.rtol = 1e-8;
+
+  const auto nat = solver::run_dist_pcg(4, m_nat, b, /*precondition=*/true, opt);
+  const auto nat_agg = nat.report.aggregate(mps::Phase::kSolver);
+  std::printf("  %-14s iters=%4d converged=%s words-moved(max rank)=%llu "
+              "modeled=%.4fs peak-resident=%llu\n",
+              "natural", nat.result.iterations,
+              nat.result.converged ? "yes" : "no",
+              static_cast<unsigned long long>(nat_agg.max.words),
+              nat_agg.max.model_total(),
+              static_cast<unsigned long long>(nat.report.max_peak_resident()));
+
+  const auto rcm = rcm::run_ordered_solve(4, m_nat, b, /*precondition=*/true,
+                                          {}, opt);
+  const auto rcm_agg = rcm.report.aggregate(mps::Phase::kSolver);
+  std::printf("  %-14s iters=%4d converged=%s words-moved(max rank)=%llu "
+              "modeled=%.4fs peak-resident=%llu BW=%lld\n",
+              "RCM(pipeline)", rcm.result.cg.iterations,
+              rcm.result.cg.converged ? "yes" : "no",
+              static_cast<unsigned long long>(rcm_agg.max.words),
+              rcm_agg.max.model_total(),
+              static_cast<unsigned long long>(rcm.report.max_peak_resident()),
+              static_cast<long long>(rcm.result.permuted_bandwidth));
+
+  // Failure propagation for the CI smoke run: the pipeline must converge
+  // and reproduce the serial RCM bandwidth.
+  if (!nat.result.converged || !rcm.result.cg.converged) {
+    std::printf("ERROR: a distributed solve did not converge\n");
+    return 1;
+  }
+  if (rcm.result.permuted_bandwidth != sparse::bandwidth(rcm_pattern)) {
+    std::printf("ERROR: pipeline bandwidth %lld != serial RCM bandwidth %lld\n",
+                static_cast<long long>(rcm.result.permuted_bandwidth),
+                static_cast<long long>(sparse::bandwidth(rcm_pattern)));
+    return 1;
   }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "dist/redistribute.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace drcm::dist {
 
@@ -12,33 +13,17 @@ struct MatEntry {
   index_t col;
 };
 
-}  // namespace
+/// Same, carrying its numerical value (the value rides the same alltoallv
+/// as its coordinates).
+struct MatEntryV {
+  index_t row;
+  index_t col;
+  double val;
+};
 
-DistSpMat redistribute_permuted(const DistSpMat& a,
-                                const std::vector<index_t>& labels,
-                                ProcGrid2D& grid) {
-  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
-             "labels must cover every vertex");
-  auto& world = grid.world();
-  const auto& dist = a.vec_dist();
-
-  // Relabel my entries and ship each to the rank owning its new block:
-  // grid position (row chunk of new row, column chunk of new column).
-  std::vector<std::vector<MatEntry>> send(
-      static_cast<std::size_t>(world.size()));
-  for (index_t lc = 0; lc < a.local_cols(); ++lc) {
-    const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
-    DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
-    const int cc = dist.owner_col(nc);
-    for (const index_t lr : a.column(lc)) {
-      const index_t nr = labels[static_cast<std::size_t>(lr + a.row_lo())];
-      const int dest = grid.world_rank_of(dist.owner_col(nr), cc);
-      send[static_cast<std::size_t>(dest)].push_back(MatEntry{nr, nc});
-    }
-  }
-  const auto recv = world.alltoallv(send);
-
-  // Rebuild my CSC block: count per column, prefix, fill, sort row lists.
+/// Pattern-only arm: count per column, prefix, fill, sort row lists.
+DistSpMat rebuild_pattern(const std::vector<MatEntry>& recv, index_t n,
+                          ProcGrid2D& grid, const VectorDist& dist) {
   const index_t row_lo = dist.chunk_lo(grid.row());
   const index_t col_lo = dist.chunk_lo(grid.col());
   const auto ncols = static_cast<std::size_t>(dist.chunk_size(grid.col()));
@@ -57,10 +42,165 @@ DistSpMat redistribute_permuted(const DistSpMat& a,
     std::sort(rows.begin() + static_cast<std::ptrdiff_t>(col_ptr[c]),
               rows.begin() + static_cast<std::ptrdiff_t>(col_ptr[c + 1]));
   }
-  world.charge_compute(static_cast<double>(a.local_nnz() + recv.size()) +
-                       static_cast<double>(ncols));
-  return DistSpMat::from_local_csc(grid, a.n(), std::move(col_ptr),
+  return DistSpMat::from_local_csc(grid, n, std::move(col_ptr),
                                    std::move(rows));
+}
+
+/// Value-carrying arm: one wholesale (col, row) sort keeps the values in
+/// lockstep with the pattern through the rebuild.
+DistSpMat rebuild_with_values(std::vector<MatEntryV> recv, index_t n,
+                              ProcGrid2D& grid, const VectorDist& dist) {
+  const index_t row_lo = dist.chunk_lo(grid.row());
+  const index_t col_lo = dist.chunk_lo(grid.col());
+  const auto ncols = static_cast<std::size_t>(dist.chunk_size(grid.col()));
+  std::sort(recv.begin(), recv.end(), [](const MatEntryV& a, const MatEntryV& b) {
+    return a.col != b.col ? a.col < b.col : a.row < b.row;
+  });
+  std::vector<nnz_t> col_ptr(ncols + 1, 0);
+  std::vector<index_t> rows(recv.size());
+  std::vector<double> vals(recv.size());
+  for (std::size_t k = 0; k < recv.size(); ++k) {
+    ++col_ptr[static_cast<std::size_t>(recv[k].col - col_lo) + 1];
+    rows[k] = recv[k].row - row_lo;
+    vals[k] = recv[k].val;
+  }
+  for (std::size_t c = 0; c < ncols; ++c) col_ptr[c + 1] += col_ptr[c];
+  return DistSpMat::from_local_csc(grid, n, std::move(col_ptr),
+                                   std::move(rows), std::move(vals),
+                                   /*with_values=*/true);
+}
+
+}  // namespace
+
+DistSpMat redistribute_permuted(const DistSpMat& a,
+                                const std::vector<index_t>& labels,
+                                ProcGrid2D& grid) {
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels must cover every vertex");
+  auto& world = grid.world();
+  const auto& dist = a.vec_dist();
+
+  // Relabel my entries and ship each to the rank owning its new block:
+  // grid position (row chunk of new row, column chunk of new column).
+  // The two arms duplicate the routing loop rather than branch per entry;
+  // values, when present, travel inside the same alltoallv.
+  if (a.has_values()) {
+    std::vector<std::vector<MatEntryV>> send(
+        static_cast<std::size_t>(world.size()));
+    for (index_t lc = 0; lc < a.local_cols(); ++lc) {
+      const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
+      DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
+      const int cc = dist.owner_col(nc);
+      const auto col = a.column(lc);
+      const auto col_vals = a.column_values(lc);
+      for (std::size_t k = 0; k < col.size(); ++k) {
+        const index_t nr = labels[static_cast<std::size_t>(col[k] + a.row_lo())];
+        const int dest = grid.world_rank_of(dist.owner_col(nr), cc);
+        send[static_cast<std::size_t>(dest)].push_back(
+            MatEntryV{nr, nc, col_vals[k]});
+      }
+    }
+    auto recv = world.alltoallv(send);
+    // During the exchange both sides exist; afterwards every peer is past
+    // the final crossing, so the send staging can be released before the
+    // rebuild (the transient the ledger would otherwise charge twice).
+    world.note_resident(a.resident_elements() +
+                        3 * static_cast<std::uint64_t>(a.local_nnz()) +
+                        3 * recv.size());
+    send.clear();
+    send.shrink_to_fit();
+    const auto recv_size = recv.size();
+    world.charge_compute(static_cast<double>(a.local_nnz()) +
+                         static_cast<double>(recv_size) *
+                             (1.0 + std::log2(static_cast<double>(recv_size) + 2.0)));
+    auto out = rebuild_with_values(std::move(recv), a.n(), grid, dist);
+    world.note_resident(a.resident_elements() + 3 * recv_size +
+                        out.resident_elements());
+    return out;
+  } else {
+    std::vector<std::vector<MatEntry>> send(
+        static_cast<std::size_t>(world.size()));
+    for (index_t lc = 0; lc < a.local_cols(); ++lc) {
+      const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
+      DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
+      const int cc = dist.owner_col(nc);
+      for (const index_t lr : a.column(lc)) {
+        const index_t nr = labels[static_cast<std::size_t>(lr + a.row_lo())];
+        const int dest = grid.world_rank_of(dist.owner_col(nr), cc);
+        send[static_cast<std::size_t>(dest)].push_back(MatEntry{nr, nc});
+      }
+    }
+    const auto recv = world.alltoallv(send);
+    world.note_resident(a.resident_elements() +
+                        2 * static_cast<std::uint64_t>(a.local_nnz()) +
+                        2 * recv.size());
+    send.clear();
+    send.shrink_to_fit();
+    world.charge_compute(static_cast<double>(a.local_nnz() + recv.size()) +
+                         static_cast<double>(dist.chunk_size(grid.col())));
+    auto out = rebuild_pattern(recv, a.n(), grid, dist);
+    world.note_resident(a.resident_elements() + 2 * recv.size() +
+                        out.resident_elements());
+    return out;
+  }
+}
+
+RowBlockCsr to_row_blocks(const DistSpMat& a, mps::Comm& world) {
+  DRCM_CHECK(a.has_values(), "to_row_blocks re-owns a solver matrix: "
+             "the 2D block must carry values");
+  const index_t n = a.n();
+  const int p = world.size();
+
+  // Ship every local entry to the 1D owner of its GLOBAL row. The 1D cut
+  // uses the replicated-CSR dist_pcg slicing rule, so the re-owned matrix
+  // lands on bit-identical blocks (same preconditioner blocks, same halo).
+  std::vector<std::vector<MatEntryV>> send(static_cast<std::size_t>(p));
+  for (index_t lc = 0; lc < a.local_cols(); ++lc) {
+    const index_t gc = lc + a.col_lo();
+    const auto col = a.column(lc);
+    const auto col_vals = a.column_values(lc);
+    for (std::size_t k = 0; k < col.size(); ++k) {
+      const index_t gr = col[k] + a.row_lo();
+      const int dest = row_block_owner(n, p, gr);
+      send[static_cast<std::size_t>(dest)].push_back(
+          MatEntryV{gr, gc, col_vals[k]});
+    }
+  }
+  auto recv = world.alltoallv(send);
+  world.note_resident(a.resident_elements() +
+                      3 * static_cast<std::uint64_t>(a.local_nnz()) +
+                      3 * recv.size());
+  send.clear();
+  send.shrink_to_fit();
+
+  // Local CSR rebuild of my contiguous row slab: one wholesale (row, col)
+  // sort, then offsets.
+  RowBlockCsr out;
+  out.n = n;
+  out.lo = row_block_lo(n, p, world.rank());
+  out.hi = row_block_lo(n, p, world.rank() + 1);
+  std::sort(recv.begin(), recv.end(), [](const MatEntryV& x, const MatEntryV& y) {
+    return x.row != y.row ? x.row < y.row : x.col < y.col;
+  });
+  const auto nloc = static_cast<std::size_t>(out.local_rows());
+  out.row_ptr.assign(nloc + 1, 0);
+  out.cols.resize(recv.size());
+  out.vals.resize(recv.size());
+  for (std::size_t k = 0; k < recv.size(); ++k) {
+    DRCM_DCHECK(recv[k].row >= out.lo && recv[k].row < out.hi,
+                "entry routed to the wrong row block");
+    ++out.row_ptr[static_cast<std::size_t>(recv[k].row - out.lo) + 1];
+    out.cols[k] = recv[k].col;
+    out.vals[k] = recv[k].val;
+  }
+  for (std::size_t r = 0; r < nloc; ++r) out.row_ptr[r + 1] += out.row_ptr[r];
+  world.charge_compute(
+      static_cast<double>(a.local_nnz()) +
+      static_cast<double>(recv.size()) *
+          (1.0 + std::log2(static_cast<double>(recv.size()) + 2.0)));
+  world.note_resident(a.resident_elements() + 3 * recv.size() +
+                      out.resident_elements());
+  return out;
 }
 
 DistDenseVec redistribute_permuted(const DistDenseVec& v,

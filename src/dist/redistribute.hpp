@@ -11,15 +11,27 @@
 
 #include "dist/dist_matrix.hpp"
 #include "dist/dist_vector.hpp"
+#include "dist/row_block.hpp"
 
 namespace drcm::dist {
 
 /// Returns the distributed matrix B with B(labels[i], labels[j]) = A(i, j):
 /// the 2D-partitioned equivalent of sparse::permute_symmetric. `labels` is
-/// the replicated new-index-of vector (size n). Collective.
+/// the replicated new-index-of vector (size n). When `a` carries values
+/// they ride the same alltoallv as their coordinates and arrive in lockstep
+/// with the rebuilt pattern. Collective.
 DistSpMat redistribute_permuted(const DistSpMat& a,
                                 const std::vector<index_t>& labels,
                                 ProcGrid2D& grid);
+
+/// 2D -> 1D re-owning: converts a 2D-partitioned matrix (values required)
+/// into the PETSc-style contiguous row blocks dist_pcg consumes — rank r of
+/// `world` receives global rows [r*n/p, (r+1)*n/p) as a local CSR slab.
+/// One alltoallv (every entry knows its destination arithmetically from its
+/// global row), then a local sort/rebuild; no rank ever holds more than its
+/// own slab. Collective on `world`, which must be the grid's world
+/// communicator (all p = q*q ranks).
+RowBlockCsr to_row_blocks(const DistSpMat& a, mps::Comm& world);
 
 /// Same for a dense vector: out[labels[g]] = v[g], re-owned accordingly.
 /// Collective.

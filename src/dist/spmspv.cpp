@@ -106,11 +106,19 @@ void multiply_sort_merge(const DistSpMat& a, std::span<const VecEntry> frontier,
 
 /// Hybrid kSpa (paper Fig. 6, the node-level parallel SpMSpV): the frontier
 /// loop splits into contiguous stripes, one per OpenMP thread, each
-/// accumulating into its own stamped SPA; after the team barrier every
-/// thread emits a contiguous ROW stripe by min-merging all team SPAs, and
-/// the thread-order concatenation reproduces the serial arm's ascending
-/// dense scan bit for bit (min is associative and commutative, so the
-/// frontier partition is invisible in the output).
+/// accumulating into its own stamped SPA (and recording its first-touched
+/// rows); after the team barrier every thread emits a contiguous ROW stripe
+/// by min-merging the team SPAs, and the thread-order concatenation
+/// reproduces the serial arm's ascending dense scan bit for bit (min is
+/// associative and commutative, so the frontier partition is invisible in
+/// the output).
+///
+/// The merge is output-sensitive: when the team touched fewer distinct
+/// slots than there are local rows, each thread collects the touched rows
+/// of its stripe from the per-thread lists, sorts/dedups, and probes only
+/// those (O(touched log touched + touched * team) instead of the dense
+/// O(rows * team) scan — the ROADMAP PR-4 follow-up). Dense levels keep
+/// the branch-free dense scan. Both arms emit identical entries.
 void multiply_spa_hybrid(const DistSpMat& a, std::span<const VecEntry> frontier,
                          int threads, DistWorkspace& ws,
                          std::vector<VecEntry>& out, double* work) {
@@ -124,6 +132,7 @@ void multiply_spa_hybrid(const DistSpMat& a, std::span<const VecEntry> frontier,
     // actual team size (the result does not depend on it).
     const int team = omp_get_num_threads();
     const int t = omp_get_thread_num();
+    auto& mine = stripes[static_cast<std::size_t>(t)];
     auto& spa = spas[static_cast<std::size_t>(t)];
     const auto f = stripe_of(frontier.size(), team, t);
     for (std::size_t i = f.lo; i < f.hi; ++i) {
@@ -131,23 +140,63 @@ void multiply_spa_hybrid(const DistSpMat& a, std::span<const VecEntry> frontier,
       const auto col = a.column(e.idx - a.col_lo());
       edges += static_cast<double>(col.size());
       for (const index_t lr : col) {
-        spa.put_min(static_cast<std::size_t>(lr), e.val);
+        const auto s = static_cast<std::size_t>(lr);
+        if (!spa.live(s)) mine.touched.push_back(lr);
+        spa.put_min(s, e.val);
       }
     }
 #pragma omp barrier
-    auto& emit = stripes[static_cast<std::size_t>(t)].emit;
+    // Switch on the SUMMED per-thread touched counts — a conservative,
+    // non-deduplicated proxy for the distinct touched slots (threads
+    // touching the same hot rows inflate it by up to the team size, which
+    // only pushes toward the dense scan, never an over-long sparse merge).
+    // Every thread sees the same totals, so the branch is taken uniformly
+    // for a given team size, and either branch emits the same entries —
+    // the equivalence walls sweep both regimes.
+    std::size_t total_touched = 0;
+    for (int m = 0; m < team; ++m) {
+      total_touched += stripes[static_cast<std::size_t>(m)].touched.size();
+    }
+    auto& emit = mine.emit;
     const auto r = stripe_of(rows, team, t);
-    for (std::size_t s = r.lo; s < r.hi; ++s) {
-      bool live = false;
-      index_t best = 0;
+    if (total_touched < rows) {
+      // Sparse level: merge only the rows somebody actually touched.
+      auto& cand = mine.gather;
+      cand.clear();
       for (int m = 0; m < team; ++m) {
-        const auto& other = spas[static_cast<std::size_t>(m)];
-        if (!other.live(s)) continue;
-        best = live ? std::min(best, other.val[s]) : other.val[s];
-        live = true;
+        for (const index_t lr : stripes[static_cast<std::size_t>(m)].touched) {
+          const auto s = static_cast<std::size_t>(lr);
+          if (s >= r.lo && s < r.hi) cand.push_back(lr);
+        }
       }
-      if (live) {
-        emit.push_back(VecEntry{a.row_lo() + static_cast<index_t>(s), best});
+      std::sort(cand.begin(), cand.end());
+      cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+      for (const index_t lr : cand) {
+        const auto s = static_cast<std::size_t>(lr);
+        bool live = false;
+        index_t best = 0;
+        for (int m = 0; m < team; ++m) {
+          const auto& other = spas[static_cast<std::size_t>(m)];
+          if (!other.live(s)) continue;
+          best = live ? std::min(best, other.val[s]) : other.val[s];
+          live = true;
+        }
+        emit.push_back(VecEntry{a.row_lo() + lr, best});
+      }
+    } else {
+      // Dense level: the branch-free full-stripe scan wins.
+      for (std::size_t s = r.lo; s < r.hi; ++s) {
+        bool live = false;
+        index_t best = 0;
+        for (int m = 0; m < team; ++m) {
+          const auto& other = spas[static_cast<std::size_t>(m)];
+          if (!other.live(s)) continue;
+          best = live ? std::min(best, other.val[s]) : other.val[s];
+          live = true;
+        }
+        if (live) {
+          emit.push_back(VecEntry{a.row_lo() + static_cast<index_t>(s), best});
+        }
       }
     }
   }
@@ -155,9 +204,8 @@ void multiply_spa_hybrid(const DistSpMat& a, std::span<const VecEntry> frontier,
     out.insert(out.end(), stripe.emit.begin(), stripe.emit.end());
   }
   // Charged as the serial loop's work: same edges, same emission scan. The
-  // (team - 1) extra SPA probes per emitted row are the price of the merge,
-  // paid in wall time only; the Comm divides these modeled units by the
-  // thread count.
+  // per-row team probes are the price of the merge, paid in wall time only;
+  // the Comm divides these modeled units by the thread count.
   *work = edges + kScanUnit * static_cast<double>(rows);
 }
 

@@ -124,8 +124,9 @@ std::span<ThreadStripe> DistWorkspace::thread_stripes(std::size_t threads) {
   }
   for (std::size_t t = 0; t < threads; ++t) {
     auto& s = thread_stripes_[t];
-    const std::size_t cap =
-        s.cursors.capacity() + s.heap.capacity() + s.emit.capacity();
+    const std::size_t cap = s.cursors.capacity() + s.heap.capacity() +
+                            s.emit.capacity() + s.touched.capacity() +
+                            s.gather.capacity();
     if (cap != thread_stripe_caps_[t]) {
       ++reallocations_;
       thread_stripe_caps_[t] = cap;
@@ -133,6 +134,8 @@ std::span<ThreadStripe> DistWorkspace::thread_stripes(std::size_t threads) {
     s.cursors.clear();
     s.heap.clear();
     s.emit.clear();
+    s.touched.clear();
+    s.gather.clear();
   }
   return {thread_stripes_.data(), threads};
 }

@@ -86,10 +86,19 @@ struct SortRec {
 /// min-merges the emissions in thread order — a deterministic reduction
 /// that keeps the hybrid output bit-identical to the serial loop at any
 /// thread count.
+///
+/// `touched` records the rows this thread's SPA first-touched during
+/// accumulation, which makes the kSpa merge OUTPUT-SENSITIVE on sparse
+/// levels: instead of probing team x local_rows SPA slots, each emitting
+/// thread collects the team's touched rows falling in its row stripe into
+/// `gather`, sorts/dedups them, and probes only those (team probes per
+/// emitted row, same bound as before — but zero scans of untouched rows).
 struct ThreadStripe {
   std::vector<MergeCursor> cursors;
   std::vector<std::pair<index_t, std::size_t>> heap;
   std::vector<VecEntry> emit;
+  std::vector<index_t> touched;
+  std::vector<index_t> gather;
 };
 
 /// One cell of the sparse SORTPERM histogram: how many elements with parent

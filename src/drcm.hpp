@@ -38,6 +38,7 @@
 #include "dist/primitives.hpp"
 #include "dist/proc_grid.hpp"
 #include "dist/redistribute.hpp"
+#include "dist/row_block.hpp"
 #include "dist/sortperm.hpp"
 #include "dist/spmspv.hpp"
 

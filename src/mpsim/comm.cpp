@@ -252,6 +252,10 @@ void Comm::charge_compute(double units) {
       model_->compute_seconds(units) / static_cast<double>(state_->threads));
 }
 
+void Comm::note_resident(std::uint64_t elements) {
+  state_->stats.note_resident(elements);
+}
+
 Phase Comm::set_phase(Phase p) {
   const Phase prev = state_->phase;
   state_->phase = p;

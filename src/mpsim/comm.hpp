@@ -236,6 +236,12 @@ class Comm {
   /// design).
   void charge_compute(double units);
 
+  /// Records this rank's CURRENT distributed-state footprint (in scalar
+  /// elements) in the resident-memory ledger; the recorder keeps the peak.
+  /// The no-gather pipeline notes its live structures at every stage, which
+  /// is how the O(nnz/p + n) per-rank bound is asserted.
+  void note_resident(std::uint64_t elements);
+
   /// Sets the phase used for cost attribution; returns the previous phase.
   Phase set_phase(Phase p);
   Phase phase() const { return state_->phase; }

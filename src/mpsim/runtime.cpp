@@ -1,5 +1,6 @@
 #include "mpsim/runtime.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 
@@ -51,6 +52,14 @@ double SpmdReport::measured_makespan() const {
     total += aggregate(static_cast<Phase>(p)).max.wall_seconds;
   }
   return total;
+}
+
+std::uint64_t SpmdReport::max_peak_resident() const {
+  std::uint64_t peak = 0;
+  for (const auto& r : ranks) {
+    peak = std::max(peak, r.peak_resident_elements());
+  }
+  return peak;
 }
 
 SpmdReport Runtime::run(int nranks, const std::function<void(Comm&)>& body,

@@ -33,6 +33,9 @@ struct SpmdReport {
   /// Same, measured wall clock (meaningful only when ranks do not
   /// oversubscribe physical cores).
   double measured_makespan() const;
+  /// Largest resident-memory ledger peak across ranks (scalar elements):
+  /// the quantity the fully distributed pipeline bounds by O(nnz/p + n).
+  std::uint64_t max_peak_resident() const;
 };
 
 class Runtime {

@@ -55,12 +55,19 @@ void StatsRecorder::add_crossing(Phase phase) {
   ++totals_[static_cast<int>(phase)].barrier_crossings;
 }
 
+void StatsRecorder::note_resident(std::uint64_t elements) {
+  if (elements > peak_resident_) peak_resident_ = elements;
+}
+
 PhaseTotals StatsRecorder::total() const {
   PhaseTotals sum;
   for (const auto& t : totals_) sum += t;
   return sum;
 }
 
-void StatsRecorder::reset() { totals_ = {}; }
+void StatsRecorder::reset() {
+  totals_ = {};
+  peak_resident_ = 0;
+}
 
 }  // namespace drcm::mps

@@ -60,6 +60,15 @@ class StatsRecorder {
   void add_wall(Phase phase, double seconds);
   void add_crossing(Phase phase);
 
+  /// Records that this rank currently holds `elements` scalar slots of
+  /// distributed-pipeline state (matrix blocks, in-flight exchange buffers,
+  /// solver row blocks); the recorder keeps the high-water mark. This is
+  /// the ledger the no-gather pipeline's O(nnz/p + n) scalability contract
+  /// is asserted on: a stage that materializes the full matrix on one rank
+  /// shows up here as an O(nnz) peak.
+  void note_resident(std::uint64_t elements);
+  std::uint64_t peak_resident_elements() const { return peak_resident_; }
+
   const PhaseTotals& phase(Phase p) const {
     return totals_[static_cast<int>(p)];
   }
@@ -69,6 +78,7 @@ class StatsRecorder {
 
  private:
   std::array<PhaseTotals, kNumPhases> totals_{};
+  std::uint64_t peak_resident_ = 0;
 };
 
 /// Cross-rank aggregate: bulk-synchronous phases run at the speed of the

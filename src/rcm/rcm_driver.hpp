@@ -17,10 +17,12 @@
 // bit-identical to rcm_serial applied to the relabeled matrix, mapped back.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "mpsim/runtime.hpp"
 #include "rcm/dist_rcm.hpp"
+#include "solver/cg.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::rcm {
@@ -82,5 +84,51 @@ struct DistRcmRun {
 DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
                         const DistRcmOptions& options = {},
                         const mps::MachineParams& machine = {});
+
+/// The paper's Figure-1 pipeline as ONE distributed call: RCM ordering on
+/// the 2D grid, value-carrying in-place permutation (redistribute), 2D->1D
+/// re-owning into PETSc-style row blocks, and block-Jacobi preconditioned
+/// CG on the distributed matrix. Between ordering and solution no rank
+/// materializes a replicated CSR; the mpsim resident ledger records every
+/// stage's footprint and ordered_solve asserts the per-rank peak stays
+/// O(nnz/p + n) (generous constants; see rcm_driver.cpp).
+struct OrderedSolveResult {
+  /// RCM labels of the ORIGINAL numbering (labels[v] = new index of v).
+  std::vector<index_t> labels;
+  /// Bandwidth of the permuted matrix, computed distributively.
+  index_t permuted_bandwidth = 0;
+  solver::CgResult cg;
+  /// Replicated solution in the ORIGINAL numbering.
+  std::vector<double> x;
+};
+
+/// SPMD body: `a` is the replicated SPD input (values required, diagonal
+/// included) and `b` the replicated rhs — the pre-distribution fixtures the
+/// simulator starts from, exactly like dist_rcm's input. Everything after
+/// the ordering is rank-local + collectives. `adjacency`, when non-null,
+/// must equal a.strip_diagonal() (run_ordered_solve strips once outside
+/// the ranks; null makes each rank strip its own transient copy).
+/// Collective; the world size must be a perfect square (the 2D grid
+/// precondition).
+OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
+                                 std::span<const double> b,
+                                 bool precondition = true,
+                                 const DistRcmOptions& rcm_options = {},
+                                 const solver::CgOptions& cg_options = {},
+                                 const sparse::CsrMatrix* adjacency = nullptr);
+
+/// Convenience wrapper: launches `nranks` ranks, runs ordered_solve, and
+/// returns the result plus the cost/ledger report.
+struct OrderedSolveRun {
+  OrderedSolveResult result;
+  mps::SpmdReport report;
+};
+
+OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
+                                  std::span<const double> b,
+                                  bool precondition = true,
+                                  const DistRcmOptions& rcm_options = {},
+                                  const solver::CgOptions& cg_options = {},
+                                  const mps::MachineParams& machine = {});
 
 }  // namespace drcm::rcm

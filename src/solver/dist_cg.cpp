@@ -12,11 +12,12 @@ namespace drcm::solver {
 
 namespace {
 
+// The 1D slicing rule lives in dist/row_block.hpp (row_block_lo /
+// row_block_owner) so this file and to_row_blocks can never disagree on
+// block bounds or halo owners.
+using dist::row_block_lo;
+using dist::row_block_owner;
 using sparse::CsrMatrix;
-
-index_t block_lo(index_t n, int p, int r) {
-  return (static_cast<index_t>(r) * n) / p;
-}
 
 /// Per-rank solver state: the local row block split into local-column and
 /// remote-column halves, plus the halo routing tables.
@@ -35,30 +36,38 @@ struct LocalSystem {
   // peer rank, then by the order of my distinct remote indices per peer).
   std::vector<std::vector<index_t>> send_local_ids;  // per peer: local ids
   index_t halo_size = 0;
+
+  std::uint64_t resident_elements() const {
+    std::uint64_t total = lptr.size() + lcol.size() + lval.size() +
+                          rptr.size() + rslot.size() + rval.size() +
+                          static_cast<std::uint64_t>(halo_size);
+    for (const auto& ids : send_local_ids) total += ids.size();
+    return total;
+  }
 };
 
-LocalSystem build_local_system(mps::Comm& world, const CsrMatrix& a) {
+/// Builds the split system from ANY source of the owned rows: `cols_of(g)`
+/// / `vals_of(g)` return the global column ids / values of global row g for
+/// g in [lo, hi). Both the replicated-CSR and the distributed row-block
+/// overloads funnel through here, so their halo tables, column splits and
+/// slot numbering are identical by construction.
+template <class ColsOf, class ValsOf>
+LocalSystem build_local_system(mps::Comm& world, index_t n, ColsOf&& cols_of,
+                               ValsOf&& vals_of) {
   const int p = world.size();
   const int r = world.rank();
   LocalSystem sys;
-  sys.lo = block_lo(a.n(), p, r);
-  sys.hi = block_lo(a.n(), p, r + 1);
-
-  const auto owner_of = [&](index_t g) {
-    int b = static_cast<int>((static_cast<long double>(g) * p) / a.n());
-    while (b > 0 && block_lo(a.n(), p, b) > g) --b;
-    while (b + 1 < p && block_lo(a.n(), p, b + 1) <= g) ++b;
-    return b;
-  };
+  sys.lo = row_block_lo(n, p, r);
+  sys.hi = row_block_lo(n, p, r + 1);
 
   // Distinct remote indices, grouped by owner, in ascending index order.
   std::vector<std::vector<index_t>> need(static_cast<std::size_t>(p));
   std::unordered_map<index_t, index_t> slot_of;
   for (index_t i = sys.lo; i < sys.hi; ++i) {
-    for (const index_t j : a.row(i)) {
+    for (const index_t j : cols_of(i)) {
       if (j < sys.lo || j >= sys.hi) {
         if (slot_of.emplace(j, -1).second) {
-          need[static_cast<std::size_t>(owner_of(j))].push_back(j);
+          need[static_cast<std::size_t>(row_block_owner(n, p, j))].push_back(j);
         }
       }
     }
@@ -75,8 +84,8 @@ LocalSystem build_local_system(mps::Comm& world, const CsrMatrix& a) {
   sys.lptr.assign(static_cast<std::size_t>(nloc) + 1, 0);
   sys.rptr.assign(static_cast<std::size_t>(nloc) + 1, 0);
   for (index_t i = sys.lo; i < sys.hi; ++i) {
-    const auto cols = a.row(i);
-    const auto vals = a.row_values(i);
+    const auto cols = cols_of(i);
+    const auto vals = vals_of(i);
     for (std::size_t k = 0; k < cols.size(); ++k) {
       if (cols[k] >= sys.lo && cols[k] < sys.hi) {
         sys.lcol.push_back(cols[k] - sys.lo);
@@ -105,6 +114,28 @@ LocalSystem build_local_system(mps::Comm& world, const CsrMatrix& a) {
     }
   }
   return sys;
+}
+
+/// Per-rank diagonal block preconditioner: my rows restricted to my
+/// columns, ILU(0)-factored (BlockJacobi with a single block). Shared by
+/// both overloads, entry order identical to the replicated build.
+template <class ColsOf, class ValsOf>
+std::unique_ptr<BlockJacobi> build_block_preconditioner(index_t lo, index_t hi,
+                                                        ColsOf&& cols_of,
+                                                        ValsOf&& vals_of) {
+  const auto nloc = hi - lo;
+  if (nloc <= 0) return nullptr;
+  sparse::CooBuilder blk(nloc);
+  for (index_t i = lo; i < hi; ++i) {
+    const auto cols = cols_of(i);
+    const auto vals = vals_of(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] >= lo && cols[k] < hi) {
+        blk.add(i - lo, cols[k] - lo, vals[k]);
+      }
+    }
+  }
+  return std::make_unique<BlockJacobi>(blk.to_csr(true), 1);
 }
 
 /// One distributed SpMV: halo exchange + split local multiply.
@@ -150,46 +181,23 @@ double dist_dot(mps::Comm& world, std::span<const double> a,
   return world.allreduce(local, [](double x, double y) { return x + y; });
 }
 
-}  // namespace
-
-CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
-                  std::span<const double> b, std::vector<double>& x,
-                  bool precondition, const CgOptions& options) {
-  DRCM_CHECK(a.has_values(), "CG needs matrix values");
-  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
-  mps::PhaseScope scope(world, mps::Phase::kSolver);
-
-  const auto sys = build_local_system(world, a);
+/// The shared PCG iteration: local state only, one halo'd SpMV and two
+/// allreduce dots per iteration, replicated solution gather at the end.
+CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
+                 const BlockJacobi* pre, std::span<const double> b_local,
+                 std::vector<double>& x, const CgOptions& options) {
   const auto nloc = static_cast<std::size_t>(sys.hi - sys.lo);
-
-  // Per-rank diagonal block preconditioner: my rows restricted to my
-  // columns, ILU(0)-factored (BlockJacobi with a single block).
-  std::unique_ptr<BlockJacobi> pre;
-  if (precondition && nloc > 0) {
-    sparse::CooBuilder blk(static_cast<index_t>(nloc));
-    for (index_t i = sys.lo; i < sys.hi; ++i) {
-      const auto cols = a.row(i);
-      const auto vals = a.row_values(i);
-      for (std::size_t k = 0; k < cols.size(); ++k) {
-        if (cols[k] >= sys.lo && cols[k] < sys.hi) {
-          blk.add(i - sys.lo, cols[k] - sys.lo, vals[k]);
-        }
-      }
-    }
-    pre = std::make_unique<BlockJacobi>(blk.to_csr(true), 1);
-  }
+  DRCM_CHECK(b_local.size() == nloc, "rhs block size mismatch");
 
   std::vector<double> x_local(nloc, 0.0), r(nloc), z(nloc), pdir(nloc),
       ap(nloc), halo;
-  for (std::size_t i = 0; i < nloc; ++i) {
-    r[i] = b[static_cast<std::size_t>(sys.lo) + i];
-  }
+  for (std::size_t i = 0; i < nloc; ++i) r[i] = b_local[i];
   const double bnorm = std::sqrt(dist_dot(world, r, r));
 
   CgResult res;
   if (bnorm == 0.0) {
     res.converged = true;
-    x.assign(static_cast<std::size_t>(a.n()), 0.0);
+    x.assign(static_cast<std::size_t>(n), 0.0);
     return res;
   }
 
@@ -236,9 +244,59 @@ CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
 
   // Replicate the solution: contiguous blocks concatenate in rank order.
   x = world.allgatherv(std::span<const double>(x_local));
-  DRCM_CHECK(x.size() == static_cast<std::size_t>(a.n()),
+  DRCM_CHECK(x.size() == static_cast<std::size_t>(n),
              "solution gather size mismatch");
   return res;
+}
+
+}  // namespace
+
+CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
+                  std::span<const double> b, std::vector<double>& x,
+                  bool precondition, const CgOptions& options) {
+  DRCM_CHECK(a.has_values(), "CG needs matrix values");
+  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
+  mps::PhaseScope scope(world, mps::Phase::kSolver);
+
+  const auto cols_of = [&](index_t i) { return a.row(i); };
+  const auto vals_of = [&](index_t i) { return a.row_values(i); };
+  const auto sys = build_local_system(world, a.n(), cols_of, vals_of);
+  std::unique_ptr<BlockJacobi> pre;
+  if (precondition) {
+    pre = build_block_preconditioner(sys.lo, sys.hi, cols_of, vals_of);
+  }
+  // The replicated path's ledger entry: every rank holds the FULL matrix
+  // (row_ptr + cols + values) plus the replicated rhs next to its local
+  // system — the O(nnz) footprint the distributed overload eliminates.
+  world.note_resident(static_cast<std::uint64_t>(a.n() + 1) +
+                      2 * static_cast<std::uint64_t>(a.nnz()) + b.size() +
+                      sys.resident_elements());
+  const auto b_local =
+      b.subspan(static_cast<std::size_t>(sys.lo),
+                static_cast<std::size_t>(sys.hi - sys.lo));
+  return run_pcg(world, a.n(), sys, pre.get(), b_local, x, options);
+}
+
+CgResult dist_pcg(mps::Comm& world, const dist::RowBlockCsr& a,
+                  std::span<const double> b_local, std::vector<double>& x,
+                  bool precondition, const CgOptions& options) {
+  DRCM_CHECK(a.lo == row_block_lo(a.n, world.size(), world.rank()) &&
+                 a.hi == row_block_lo(a.n, world.size(), world.rank() + 1),
+             "row block does not match this world's 1D slicing");
+  mps::PhaseScope scope(world, mps::Phase::kSolver);
+
+  const auto cols_of = [&](index_t i) { return a.row(i); };
+  const auto vals_of = [&](index_t i) { return a.row_values(i); };
+  const auto sys = build_local_system(world, a.n, cols_of, vals_of);
+  std::unique_ptr<BlockJacobi> pre;
+  if (precondition) {
+    pre = build_block_preconditioner(sys.lo, sys.hi, cols_of, vals_of);
+  }
+  // Rank-local footprint only: my row block, my split system, my rhs slab
+  // and the replicated solution — O(nnz/p + n), never the full CSR.
+  world.note_resident(a.resident_elements() + sys.resident_elements() +
+                      b_local.size() + static_cast<std::uint64_t>(a.n));
+  return run_pcg(world, a.n, sys, pre.get(), b_local, x, options);
 }
 
 DistCgRun run_dist_pcg(int nranks, const sparse::CsrMatrix& a,

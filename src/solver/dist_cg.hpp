@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "dist/row_block.hpp"
 #include "mpsim/runtime.hpp"
 #include "solver/cg.hpp"
 #include "sparse/csr.hpp"
@@ -30,6 +31,18 @@ namespace drcm::solver {
 /// statistics; `x` receives the replicated solution on every rank.
 CgResult dist_pcg(mps::Comm& world, const sparse::CsrMatrix& a,
                   std::span<const double> b, std::vector<double>& x,
+                  bool precondition, const CgOptions& options = {});
+
+/// Same solve on an ALREADY DISTRIBUTED matrix: `a` is this rank's 1D row
+/// block (the output of dist::to_row_blocks) and `b_local` the rhs entries
+/// of the owned rows [a.lo, a.hi). Halo analysis, the local/remote column
+/// split and the block-Jacobi ILU(0) factorization are all built from
+/// rank-local data — no replicated CSR exists anywhere. Iterations are
+/// bit-identical to the replicated overload on the same matrix (same
+/// blocks, same halo, same fold order); `x` still receives the replicated
+/// solution (O(n), within the pipeline's per-rank budget).
+CgResult dist_pcg(mps::Comm& world, const dist::RowBlockCsr& a,
+                  std::span<const double> b_local, std::vector<double>& x,
                   bool precondition, const CgOptions& options = {});
 
 /// Convenience wrapper: launches `nranks` ranks, runs dist_pcg, returns the

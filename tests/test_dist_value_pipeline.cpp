@@ -1,0 +1,230 @@
+// The value-carrying equivalence wall: numerical values must survive the
+// whole distributed pipeline bit for bit.
+//
+//  * redistribute_permuted on a value-carrying DistSpMat vs
+//    sparse::permute_symmetric on the gathered matrix, column for column;
+//  * dist_pcg on the distributed row blocks (DistSpMat -> to_row_blocks)
+//    vs the replicated-CSR overload: identical iteration counts, solutions
+//    equal to 1e-12;
+//  * ordered_solve end to end: the one-call RCM -> permute -> CG pipeline
+//    reproduces the replicated path and keeps every rank's resident peak
+//    inside the O(nnz/p + n) ledger budget — the property the gather-based
+//    path violates.
+// All swept over the {1,4,9} simulated rank matrix (DRCM_TEST_RANKS pins
+// one cell, as in CI).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dist/redistribute.hpp"
+#include "dist_rank_matrix.hpp"
+#include "mpsim/runtime.hpp"
+#include "order/rcm_serial.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "solver/dist_cg.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/permute.hpp"
+
+namespace drcm::dist {
+namespace {
+
+using mps::Comm;
+using mps::Runtime;
+namespace gen = sparse::gen;
+
+std::vector<double> wavy_rhs(index_t n) {
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        1.0 + 0.5 * static_cast<double>((i * 2654435761u) % 1000) / 1000.0;
+  }
+  return b;
+}
+
+TEST(ValueRedistribute, ValuesMatchSequentialPermutationColumnForColumn) {
+  for (const int p : testing::rank_counts()) {
+    for (const u64 seed : {2u, 9u}) {
+      const auto m =
+          gen::with_laplacian_values(gen::erdos_renyi(73, 5.0, seed), 0.02);
+      const auto labels = sparse::random_permutation(m.n(), seed + 50);
+      const auto want = sparse::permute_symmetric(m, labels);
+      Runtime::run(p, [&](Comm& world) {
+        ProcGrid2D grid(world);
+        DistSpMat mat(grid, m);
+        ASSERT_TRUE(mat.has_values());
+        const auto moved = redistribute_permuted(mat, labels, grid);
+        ASSERT_TRUE(moved.has_values());
+        DistSpMat reference(grid, want);
+        ASSERT_EQ(moved.local_nnz(), reference.local_nnz());
+        for (index_t lc = 0; lc < moved.local_cols(); ++lc) {
+          const auto got = moved.column(lc);
+          const auto exp = reference.column(lc);
+          const auto got_v = moved.column_values(lc);
+          const auto exp_v = reference.column_values(lc);
+          ASSERT_EQ(got.size(), exp.size()) << "p=" << p << " col " << lc;
+          for (std::size_t k = 0; k < got.size(); ++k) {
+            EXPECT_EQ(got[k], exp[k]);
+            // Values are moved, never recomputed: bitwise equality.
+            EXPECT_EQ(got_v[k], exp_v[k]);
+          }
+        }
+      });
+    }
+  }
+}
+
+TEST(ValueRedistribute, PatternOnlyInputStaysPatternOnly) {
+  Runtime::run(4, [](Comm& world) {
+    ProcGrid2D grid(world);
+    const auto a = gen::grid2d(9, 9);
+    DistSpMat mat(grid, a);
+    EXPECT_FALSE(mat.has_values());
+    const auto moved = redistribute_permuted(
+        mat, sparse::random_permutation(a.n(), 7), grid);
+    EXPECT_FALSE(moved.has_values());
+  });
+}
+
+TEST(ValueRedistribute, RowBlocksHoldExactlyTheMatrix) {
+  // 2D -> 1D re-owning: every rank's row slab must equal the same rows of
+  // the replicated matrix, global column ids ascending, values in lockstep.
+  for (const int p : testing::rank_counts()) {
+    const auto m = gen::with_laplacian_values(
+        gen::relabel_random(gen::grid2d(11, 13), 4), 0.02);
+    Runtime::run(p, [&](Comm& world) {
+      ProcGrid2D grid(world);
+      DistSpMat mat(grid, m);
+      const auto block = to_row_blocks(mat, world);
+      EXPECT_EQ(block.lo, row_block_lo(m.n(), p, world.rank()));
+      EXPECT_EQ(block.hi, row_block_lo(m.n(), p, world.rank() + 1));
+      for (index_t g = block.lo; g < block.hi; ++g) {
+        const auto got = block.row(g);
+        const auto exp = m.row(g);
+        const auto got_v = block.row_values(g);
+        const auto exp_v = m.row_values(g);
+        ASSERT_EQ(got.size(), exp.size()) << "p=" << p << " row " << g;
+        for (std::size_t k = 0; k < got.size(); ++k) {
+          EXPECT_EQ(got[k], exp[k]);
+          EXPECT_EQ(got_v[k], exp_v[k]);
+        }
+      }
+    });
+  }
+}
+
+TEST(DistributedCg, MatchesTheReplicatedOverloadExactly) {
+  // Same world, both overloads back to back: the distributed row-block
+  // build must reproduce the replicated slicing bit for bit — identical
+  // iteration counts and solutions within 1e-12.
+  for (const int p : testing::rank_counts()) {
+    const auto pattern = gen::relabel_random(gen::grid2d(24, 24), 6);
+    const auto m = gen::with_laplacian_values(pattern, 0.02);
+    const auto b = wavy_rhs(m.n());
+    for (const bool precondition : {true, false}) {
+      Runtime::run(p, [&](Comm& world) {
+        solver::CgOptions opt;
+        opt.rtol = 1e-8;
+        std::vector<double> x_rep;
+        const auto rep = solver::dist_pcg(world, m, b, x_rep, precondition, opt);
+
+        ProcGrid2D grid(world);
+        DistSpMat mat(grid, m);
+        const auto block = to_row_blocks(mat, world);
+        const auto b_local =
+            std::span<const double>(b).subspan(
+                static_cast<std::size_t>(block.lo),
+                static_cast<std::size_t>(block.local_rows()));
+        std::vector<double> x_dist;
+        const auto got =
+            solver::dist_pcg(world, block, b_local, x_dist, precondition, opt);
+
+        EXPECT_TRUE(rep.converged);
+        EXPECT_TRUE(got.converged);
+        EXPECT_EQ(got.iterations, rep.iterations)
+            << "p=" << p << " precondition=" << precondition;
+        ASSERT_EQ(x_dist.size(), x_rep.size());
+        for (std::size_t i = 0; i < x_rep.size(); ++i) {
+          EXPECT_NEAR(x_dist[i], x_rep[i], 1e-12);
+        }
+      });
+    }
+  }
+}
+
+TEST(OrderedSolve, ReproducesTheReplicatedPipelineAndItsIterationCount) {
+  for (const int p : testing::rank_counts()) {
+    const auto pattern = gen::relabel_random(gen::grid2d(22, 22), 8);
+    const auto m = gen::with_laplacian_values(pattern, 0.02);
+    const auto b = wavy_rhs(m.n());
+    solver::CgOptions opt;
+    opt.rtol = 1e-8;
+
+    // The distributed one-call pipeline.
+    const auto run = rcm::run_ordered_solve(p, m, b, /*precondition=*/true,
+                                            {}, opt);
+    ASSERT_TRUE(run.result.cg.converged);
+
+    // Reference: the ordering is bit-identical to serial RCM; the solve is
+    // bit-identical to the replicated path on the gathered permuted matrix.
+    const auto serial_labels = order::rcm_serial(m.strip_diagonal());
+    EXPECT_EQ(run.result.labels, serial_labels);
+    EXPECT_EQ(run.result.permuted_bandwidth,
+              sparse::bandwidth_with_labels(m.strip_diagonal(), serial_labels));
+
+    const auto pm = sparse::permute_symmetric(m, serial_labels);
+    std::vector<double> b_perm(b.size());
+    for (index_t i = 0; i < m.n(); ++i) {
+      b_perm[static_cast<std::size_t>(serial_labels[static_cast<std::size_t>(i)])] =
+          b[static_cast<std::size_t>(i)];
+    }
+    const auto ref = solver::run_dist_pcg(p, pm, b_perm, true, opt);
+    ASSERT_TRUE(ref.result.converged);
+    EXPECT_EQ(run.result.cg.iterations, ref.result.iterations) << "p=" << p;
+    ASSERT_EQ(run.result.x.size(), b.size());
+    for (index_t i = 0; i < m.n(); ++i) {
+      const auto xi = ref.x[static_cast<std::size_t>(
+          serial_labels[static_cast<std::size_t>(i)])];
+      EXPECT_NEAR(run.result.x[static_cast<std::size_t>(i)], xi, 1e-12);
+    }
+  }
+}
+
+TEST(OrderedSolve, LedgerProvesNoRankMaterializesTheFullMatrix) {
+  // A high-degree matrix (27-point stencil: nnz ~ 26 n). The pipeline's
+  // per-rank ledger peak is bounded by O(nnz/q + n) (q = sqrt(p): the
+  // banded permuted matrix concentrates in the q diagonal blocks of the
+  // 2D intermediate; the solver stage itself is O(nnz/p + n)). From q = 3
+  // on, that peak sits strictly BELOW the full-CSR footprint every rank of
+  // the gather-based path pins — the "no rank materializes the full
+  // matrix" property — while the replicated dist_pcg overload's own ledger
+  // records the gathered footprint it pays.
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid3d(6, 6, 10, gen::Stencil3d::k27), 5), 0.02);
+  const auto b = wavy_rhs(m.n());
+  const auto full_csr_elements =
+      static_cast<u64>(m.n() + 1) + 2 * static_cast<u64>(m.nnz());
+  for (const int p : testing::rank_counts()) {
+    if (p < 4) continue;  // at p = 1 "distributed" and "gathered" coincide
+    const auto run = rcm::run_ordered_solve(p, m, b);
+    ASSERT_TRUE(run.result.cg.converged);
+    const auto peak = run.report.max_peak_resident();
+    EXPECT_GT(peak, 0u);
+    // ordered_solve also asserts this budget internally (and would have
+    // thrown); re-check the reported ledger from the outside.
+    const auto q = static_cast<u64>(grid_side_floor(p));
+    EXPECT_LE(peak, 8 * static_cast<u64>(m.nnz()) / q +
+                        10 * static_cast<u64>(m.n()) + 1024);
+    if (p >= 9) {
+      EXPECT_LT(peak, full_csr_elements)
+          << "p=" << p << ": some rank held the full permuted matrix";
+    }
+
+    const auto rep = solver::run_dist_pcg(p, m, b, true);
+    EXPECT_GE(rep.report.max_peak_resident(), full_csr_elements)
+        << "the replicated path must record its gathered footprint";
+  }
+}
+
+}  // namespace
+}  // namespace drcm::dist

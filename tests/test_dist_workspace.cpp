@@ -81,6 +81,59 @@ TEST(ThreadArms, CheckoutOpensAFreshEpochOnEveryArm) {
   EXPECT_TRUE(stripes_again[1].cursors.empty());
 }
 
+TEST(ThreadArms, TouchedRowListsClearAtCheckoutAndCountCapacity) {
+  // The output-sensitive kSpa merge records first-touched rows per thread;
+  // the lists must behave like every other stripe buffer: cleared at
+  // checkout with capacity retained, growth observed by the realloc ledger.
+  DistWorkspace ws;
+  auto stripes = ws.thread_stripes(2);
+  stripes[0].touched.assign(64, 5);
+  stripes[1].gather.assign(32, 7);
+  const auto touched_cap = stripes[0].touched.capacity();
+  auto again = ws.thread_stripes(2);
+  EXPECT_TRUE(again[0].touched.empty());
+  EXPECT_TRUE(again[1].gather.empty());
+  EXPECT_EQ(again[0].touched.capacity(), touched_cap);
+  // The growth was observed at that checkout; steady reuse is then free.
+  const u64 settled = ws.reallocations();
+  auto steady = ws.thread_stripes(2);
+  steady[0].touched.assign(64, 9);
+  steady[1].gather.assign(32, 9);
+  ws.thread_stripes(2);
+  EXPECT_EQ(ws.reallocations(), settled);
+}
+
+TEST(ThreadArms, SparseAndDenseMergeRegimesEmitIdenticalEntries) {
+  // The hybrid kSpa merge switches between the touched-row (sparse) and
+  // dense-stripe scans on the team's touched total; both regimes — and
+  // every thread count — must emit exactly the serial arm's output. A
+  // 1-entry frontier exercises the sparse branch, the full frontier the
+  // dense branch.
+  const auto a = gen::grid3d(5, 5, 6);
+  Runtime::run(1, [&](Comm& world) {
+    ProcGrid2D grid(world);
+    DistSpMat mat(grid, a);
+    for (const index_t stride : {a.n(), index_t{7}, index_t{1}}) {
+      std::vector<VecEntry> frontier;
+      for (index_t v = 0; v < a.n(); v += stride) {
+        frontier.push_back(VecEntry{v, a.n() - v});
+      }
+      DistWorkspace serial_ws;
+      double w0 = 0;
+      const auto want = spmspv_local_multiply(
+          mat, frontier, SpmspvAccumulator::kSpa, serial_ws, &w0, nullptr, 1);
+      for (const int threads : {2, 3, 6}) {
+        DistWorkspace ws;
+        double w1 = 0;
+        const auto got = spmspv_local_multiply(
+            mat, frontier, SpmspvAccumulator::kSpa, ws, &w1, nullptr, threads);
+        ASSERT_EQ(got, want) << "threads=" << threads << " stride=" << stride;
+        EXPECT_EQ(w1, w0);  // modeled units are thread-invariant
+      }
+    }
+  });
+}
+
 TEST(ThreadArms, ReallocAccountingAcrossThreadCountChanges) {
   // Growing the thread count allocates (and is counted); shrinking
   // retains the extra arms' storage and re-growing back must be free, so a
