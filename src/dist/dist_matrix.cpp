@@ -5,7 +5,9 @@
 namespace drcm::dist {
 
 DistSpMat::DistSpMat(ProcGrid2D& grid, const sparse::CsrMatrix& a)
-    : dist_(a.n(), grid.q()), has_values_(a.has_values()) {
+    // A source with zero stored entries is vacuously valued: degenerate
+    // empty inputs must keep flowing down the solver (valued) path.
+    : dist_(a.n(), grid.q()), has_values_(a.has_values() || a.nnz() == 0) {
   row_lo_ = dist_.chunk_lo(grid.row());
   row_hi_ = dist_.chunk_lo(grid.row() + 1);
   col_lo_ = dist_.chunk_lo(grid.col());
@@ -84,7 +86,14 @@ DistDenseVec DistSpMat::degrees(ProcGrid2D& grid) const {
   std::vector<index_t> sum(ncols, 0);
   for (int b = 0; b < grid.q(); ++b) {
     const std::size_t base = static_cast<std::size_t>(b) * ncols;
-    for (std::size_t c = 0; c < ncols; ++c) sum[c] += all[base + c];
+    for (std::size_t c = 0; c < ncols; ++c) {
+      // Receive-path range check (always on): a block's entry count per
+      // column is bounded by its row-chunk size; the summed degrees size
+      // counting-sort bins downstream.
+      DRCM_CHECK(all[base + c] >= 0 && all[base + c] <= n(),
+                 "received column count out of range");
+      sum[c] += all[base + c];
+    }
   }
   DistDenseVec d(dist_, grid, 0);
   for (index_t g = d.lo(); g < d.hi(); ++g) {

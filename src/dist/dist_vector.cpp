@@ -56,13 +56,19 @@ std::vector<VecEntry> DistSpVec::to_global(mps::Comm& world) const {
   DRCM_CHECK(world.size() == q * q, "to_global needs the grid's world comm");
   const auto counts = world.allgather(local_nnz());
   const auto all = world.allgatherv(std::span<const VecEntry>(entries_));
-  // Per-rank block offsets within the rank-order concatenation.
+  // Per-rank block offsets within the rank-order concatenation. The counts
+  // arrived over the wire, so they are range-checked before they become
+  // iterator offsets into `all`.
   std::vector<std::size_t> offset(static_cast<std::size_t>(world.size()) + 1, 0);
   for (int w = 0; w < world.size(); ++w) {
+    DRCM_CHECK(counts[static_cast<std::size_t>(w)] >= 0,
+               "received entry count must be non-negative");
     offset[static_cast<std::size_t>(w) + 1] =
         offset[static_cast<std::size_t>(w)] +
         static_cast<std::size_t>(counts[static_cast<std::size_t>(w)]);
   }
+  DRCM_CHECK(offset.back() == all.size(),
+             "received entry counts disagree with the gathered payload");
   // Owned ranges ascend in (col, row) grid order, so emitting blocks in
   // that order yields a globally index-sorted list without sorting.
   std::vector<VecEntry> global;

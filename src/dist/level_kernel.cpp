@@ -55,7 +55,10 @@ void merge_and_select(const std::vector<VecEntry>& received,
   const index_t hi = dense.hi();
   auto& slots = w.merge_slots(static_cast<std::size_t>(hi - lo));
   for (const auto& e : received) {
-    DRCM_DCHECK(e.idx >= lo && e.idx < hi, "partial routed to non-owner");
+    // Receive-path range check (always on): the entries arrived over the
+    // wire, so a corrupted index must stop here as a CheckError, not as an
+    // out-of-bounds slot write.
+    DRCM_CHECK(e.idx >= lo && e.idx < hi, "partial routed to non-owner");
     slots.put_min(static_cast<std::size_t>(e.idx - lo), e.val);
   }
   world.charge_compute(static_cast<double>(received.size()));
@@ -205,12 +208,12 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             // the worker stripes are the balanced partition of [0, total).
             world.set_phase(sort_phase);
             plan = sortperm_plan(std::span<const SortHistCell>(cells), p, nb,
-                                 w);
+                                 a.n(), w);
             DRCM_CHECK(plan.total == static_cast<index_t>(total),
                        "histogram total disagrees with the level count");
             auto& mine = w.my_starts();
             sortperm_my_starts(plan, my_block, mine);
-            DRCM_DCHECK(mine.size() == my_cells, "plan misses local cells");
+            DRCM_CHECK(mine.size() == my_cells, "plan misses local cells");
             sortperm_deal(std::span<const VecEntry>(kept), degrees, label_lo,
                           std::span<const index_t>(entry_cell), mine,
                           plan.total, p, deal);
@@ -225,8 +228,8 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             // element's label is next_label + stripe_lo + t.
             index_t stripe_lo = 0;
             auto& arr = sortperm_worker_sort(std::span<const SortRec>(dealt),
-                                             counts, q, plan.total, world, w,
-                                             &stripe_lo);
+                                             counts, q, plan.total, nb, a.n(),
+                                             world, w, &stripe_lo);
             for (std::size_t t = 0; t < arr.size(); ++t) {
               back[static_cast<std::size_t>(dist.owner_rank(arr[t].idx))]
                   .push_back(VecEntry{
@@ -241,7 +244,7 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
                        "every level element must receive exactly one label");
             const auto prev = world.set_phase(other_phase);
             for (const auto& e : ranked) {
-              DRCM_DCHECK(labels.owns(e.idx), "label routed to non-owner");
+              DRCM_CHECK(labels.owns(e.idx), "label routed to non-owner");
               labels.set(e.idx, e.val);
             }
             world.charge_compute(static_cast<double>(ranked.size()));

@@ -25,10 +25,17 @@ struct MatEntryV {
 DistSpMat rebuild_pattern(const std::vector<MatEntry>& recv, index_t n,
                           ProcGrid2D& grid, const VectorDist& dist) {
   const index_t row_lo = dist.chunk_lo(grid.row());
+  const index_t row_hi = dist.chunk_lo(grid.row() + 1);
   const index_t col_lo = dist.chunk_lo(grid.col());
+  const index_t col_hi = dist.chunk_lo(grid.col() + 1);
   const auto ncols = static_cast<std::size_t>(dist.chunk_size(grid.col()));
   std::vector<nnz_t> col_ptr(ncols + 1, 0);
   for (const auto& e : recv) {
+    // Receive-path range check (always on): the entries arrived over the
+    // wire and their coordinates index the local rebuild arrays.
+    DRCM_CHECK(e.row >= row_lo && e.row < row_hi && e.col >= col_lo &&
+                   e.col < col_hi,
+               "received matrix entry outside the owned block");
     ++col_ptr[static_cast<std::size_t>(e.col - col_lo) + 1];
   }
   for (std::size_t c = 0; c < ncols; ++c) col_ptr[c + 1] += col_ptr[c];
@@ -51,7 +58,9 @@ DistSpMat rebuild_pattern(const std::vector<MatEntry>& recv, index_t n,
 DistSpMat rebuild_with_values(std::vector<MatEntryV> recv, index_t n,
                               ProcGrid2D& grid, const VectorDist& dist) {
   const index_t row_lo = dist.chunk_lo(grid.row());
+  const index_t row_hi = dist.chunk_lo(grid.row() + 1);
   const index_t col_lo = dist.chunk_lo(grid.col());
+  const index_t col_hi = dist.chunk_lo(grid.col() + 1);
   const auto ncols = static_cast<std::size_t>(dist.chunk_size(grid.col()));
   std::sort(recv.begin(), recv.end(), [](const MatEntryV& a, const MatEntryV& b) {
     return a.col != b.col ? a.col < b.col : a.row < b.row;
@@ -60,6 +69,10 @@ DistSpMat rebuild_with_values(std::vector<MatEntryV> recv, index_t n,
   std::vector<index_t> rows(recv.size());
   std::vector<double> vals(recv.size());
   for (std::size_t k = 0; k < recv.size(); ++k) {
+    // Receive-path range check (always on), as in rebuild_pattern.
+    DRCM_CHECK(recv[k].row >= row_lo && recv[k].row < row_hi &&
+                   recv[k].col >= col_lo && recv[k].col < col_hi,
+               "received matrix entry outside the owned block");
     ++col_ptr[static_cast<std::size_t>(recv[k].col - col_lo) + 1];
     rows[k] = recv[k].row - row_lo;
     vals[k] = recv[k].val;
@@ -89,7 +102,7 @@ DistSpMat redistribute_permuted(const DistSpMat& a,
         static_cast<std::size_t>(world.size()));
     for (index_t lc = 0; lc < a.local_cols(); ++lc) {
       const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
-      DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
+      DRCM_CHECK(nc >= 0 && nc < a.n(), "label out of range");
       const int cc = dist.owner_col(nc);
       const auto col = a.column(lc);
       const auto col_vals = a.column_values(lc);
@@ -122,7 +135,7 @@ DistSpMat redistribute_permuted(const DistSpMat& a,
         static_cast<std::size_t>(world.size()));
     for (index_t lc = 0; lc < a.local_cols(); ++lc) {
       const index_t nc = labels[static_cast<std::size_t>(lc + a.col_lo())];
-      DRCM_DCHECK(nc >= 0 && nc < a.n(), "label out of range");
+      DRCM_CHECK(nc >= 0 && nc < a.n(), "label out of range");
       const int cc = dist.owner_col(nc);
       for (const index_t lr : a.column(lc)) {
         const index_t nr = labels[static_cast<std::size_t>(lr + a.row_lo())];
@@ -187,8 +200,12 @@ RowBlockCsr to_row_blocks(const DistSpMat& a, mps::Comm& world) {
   out.cols.resize(recv.size());
   out.vals.resize(recv.size());
   for (std::size_t k = 0; k < recv.size(); ++k) {
-    DRCM_DCHECK(recv[k].row >= out.lo && recv[k].row < out.hi,
-                "entry routed to the wrong row block");
+    // Receive-path range check (always on): the row indexes the local
+    // row_ptr rebuild and the column later indexes CG's replicated/halo'd
+    // solution vector.
+    DRCM_CHECK(recv[k].row >= out.lo && recv[k].row < out.hi &&
+                   recv[k].col >= 0 && recv[k].col < n,
+               "received matrix entry outside the owned row block");
     ++out.row_ptr[static_cast<std::size_t>(recv[k].row - out.lo) + 1];
     out.cols[k] = recv[k].col;
     out.vals[k] = recv[k].val;
@@ -215,7 +232,7 @@ DistDenseVec redistribute_permuted(const DistDenseVec& v,
       static_cast<std::size_t>(world.size()));
   for (index_t g = v.lo(); g < v.hi(); ++g) {
     const index_t ng = labels[static_cast<std::size_t>(g)];
-    DRCM_DCHECK(ng >= 0 && ng < dist.n(), "label out of range");
+    DRCM_CHECK(ng >= 0 && ng < dist.n(), "label out of range");
     send[static_cast<std::size_t>(dist.owner_rank(ng))].push_back(
         VecEntry{ng, v.get(g)});
   }
@@ -223,7 +240,11 @@ DistDenseVec redistribute_permuted(const DistDenseVec& v,
   DistDenseVec out(dist, grid, 0);
   DRCM_CHECK(recv.size() == static_cast<std::size_t>(out.local_size()),
              "permutation must re-own every element exactly once");
-  for (const auto& e : recv) out.set(e.idx, e.val);
+  for (const auto& e : recv) {
+    // Receive-path range check (always on): set() indexes the owned slab.
+    DRCM_CHECK(out.owns(e.idx), "received element outside the owned range");
+    out.set(e.idx, e.val);
+  }
   world.charge_compute(static_cast<double>(v.local_size() + recv.size()));
   return out;
 }

@@ -33,7 +33,9 @@ DistSpVec scatter_ranks_back(const DistSpVec& x,
              "every frontier entry must receive exactly one rank");
   auto& slot = ws.index_scratch(static_cast<std::size_t>(x.hi() - x.lo()));
   for (const auto& e : got) {
-    DRCM_DCHECK(e.idx >= x.lo() && e.idx < x.hi(), "rank routed to non-owner");
+    // Receive-path range check (always on): a corrupted index must stop
+    // here as a CheckError, not as an out-of-bounds slot write.
+    DRCM_CHECK(e.idx >= x.lo() && e.idx < x.hi(), "rank routed to non-owner");
     slot[static_cast<std::size_t>(e.idx - x.lo())] = e.val;
   }
   world.charge_compute(static_cast<double>(2 * got.size()));
@@ -131,7 +133,16 @@ void sortperm_local_hist(std::span<const VecEntry> entries,
 }
 
 SortPlan sortperm_plan(std::span<const SortHistCell> cells, int p, index_t nb,
-                       DistWorkspace& ws) {
+                       index_t n, DistWorkspace& ws) {
+  // Receive-path range checks (always on): the cell table was exchanged
+  // over the wire, and every field below becomes a counting-pass bin index
+  // or a bin count — a corrupted cell must throw here, not index counters
+  // out of bounds or size them absurdly.
+  for (const auto& c : cells) {
+    DRCM_CHECK(c.block >= 0 && c.block < p && c.bucket >= 0 && c.bucket < nb &&
+                   c.degree >= 0 && c.degree <= n && c.count >= 0,
+               "received histogram cell out of range");
+  }
   auto& table = ws.hist_table();
   auto& shadow = ws.hist_shadow();
   shadow.assign(cells.begin(), cells.end());
@@ -170,11 +181,20 @@ void sortperm_my_starts(const SortPlan& plan, index_t block,
 template <class CountT>
 std::vector<SortRec>& sortperm_replay(std::span<const SortRec> recv,
                                       std::span<const CountT> counts, int q,
-                                      DistWorkspace& ws, index_t* dmax,
-                                      index_t* b_min, index_t* b_max) {
+                                      index_t nb, index_t n, DistWorkspace& ws,
+                                      index_t* dmax, index_t* b_min,
+                                      index_t* b_max) {
   const int p = q * q;
   DRCM_CHECK(static_cast<int>(counts.size()) == p,
              "replay needs one count per source rank");
+  // Receive-path range checks (always on): bucket and degree size the
+  // counting-sort bins downstream and idx becomes an owner-route index, so
+  // a corrupted triple must throw here instead.
+  for (const auto& rec : recv) {
+    DRCM_CHECK(rec.bucket >= 0 && rec.bucket < nb && rec.degree >= 0 &&
+                   rec.degree <= n && rec.idx >= 0 && rec.idx < n,
+               "received sort triple out of range");
+  }
   // Per-source offsets from the workspace counter buffer (dead before any
   // later checkout) — the per-level hot path allocates nothing here.
   auto& offset = ws.counters(static_cast<std::size_t>(p) + 1);
@@ -209,11 +229,11 @@ std::vector<SortRec>& sortperm_replay(std::span<const SortRec> recv,
 }
 
 template std::vector<SortRec>& sortperm_replay<std::int64_t>(
-    std::span<const SortRec>, std::span<const std::int64_t>, int,
-    DistWorkspace&, index_t*, index_t*, index_t*);
+    std::span<const SortRec>, std::span<const std::int64_t>, int, index_t,
+    index_t, DistWorkspace&, index_t*, index_t*, index_t*);
 template std::vector<SortRec>& sortperm_replay<std::uint64_t>(
-    std::span<const SortRec>, std::span<const std::uint64_t>, int,
-    DistWorkspace&, index_t*, index_t*, index_t*);
+    std::span<const SortRec>, std::span<const std::uint64_t>, int, index_t,
+    index_t, DistWorkspace&, index_t*, index_t*, index_t*);
 
 void sortperm_deal(std::span<const VecEntry> entries,
                    const DistDenseVec& degrees, index_t label_lo,
@@ -223,6 +243,10 @@ void sortperm_deal(std::span<const VecEntry> entries,
   for (std::size_t i = 0; i < entries.size(); ++i) {
     const auto& e = entries[i];
     const index_t at = mine[static_cast<std::size_t>(entry_cell[i])]++;
+    // A cell table corrupted in transit (but field-wise in range) can hand
+    // out positions past the element total; the worker map is only defined
+    // on [0, total).
+    DRCM_CHECK(at >= 0 && at < total, "dealt position outside [0, total)");
     route[static_cast<std::size_t>(sortperm_worker_of(at, total, p))]
         .push_back(SortRec{e.val - label_lo, degrees.get(e.idx), e.idx});
   }
@@ -231,12 +255,14 @@ void sortperm_deal(std::span<const VecEntry> entries,
 template <class CountT>
 std::vector<SortRec>& sortperm_worker_sort(std::span<const SortRec> dealt,
                                            std::span<const CountT> counts,
-                                           int q, index_t total,
-                                           mps::Comm& world, DistWorkspace& ws,
+                                           int q, index_t total, index_t nb,
+                                           index_t n, mps::Comm& world,
+                                           DistWorkspace& ws,
                                            index_t* stripe_lo) {
   const int p = q * q;
   index_t dmax = 0, b_min = 0, b_max = -1;
-  auto& arr = sortperm_replay(dealt, counts, q, ws, &dmax, &b_min, &b_max);
+  auto& arr =
+      sortperm_replay(dealt, counts, q, nb, n, ws, &dmax, &b_min, &b_max);
   if (!arr.empty()) sortperm_lsd_sort(arr, dmax, b_min, b_max + 1, ws);
   *stripe_lo = sortperm_stripe_lo(world.rank(), total, p);
   DRCM_CHECK(static_cast<index_t>(arr.size()) ==
@@ -250,10 +276,10 @@ std::vector<SortRec>& sortperm_worker_sort(std::span<const SortRec> dealt,
 
 template std::vector<SortRec>& sortperm_worker_sort<std::int64_t>(
     std::span<const SortRec>, std::span<const std::int64_t>, int, index_t,
-    mps::Comm&, DistWorkspace&, index_t*);
+    index_t, index_t, mps::Comm&, DistWorkspace&, index_t*);
 template std::vector<SortRec>& sortperm_worker_sort<std::uint64_t>(
     std::span<const SortRec>, std::span<const std::uint64_t>, int, index_t,
-    mps::Comm&, DistWorkspace&, index_t*);
+    index_t, index_t, mps::Comm&, DistWorkspace&, index_t*);
 
 DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
                           index_t label_lo, index_t label_hi,
@@ -307,7 +333,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
   // Exchange the cells; every rank derives the identical global plan —
   // exact start positions for every (bucket, degree, block) cell.
   const auto all = world.allgatherv(std::span<const SortHistCell>(hist));
-  const SortPlan plan = sortperm_plan(all, p, nb, w);
+  const SortPlan plan = sortperm_plan(all, p, nb, dist.n(), w);
   world.charge_compute(static_cast<double>(2 * x.entries().size()) +
                        static_cast<double>(4 * all.size()) +
                        static_cast<double>(nb));
@@ -322,7 +348,7 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
   // in one cell still spreads evenly (the ROADMAP worker-stripe fix).
   auto& mine = w.my_starts();
   sortperm_my_starts(plan, my_block, mine);
-  DRCM_DCHECK(mine.size() == hist.size(), "plan misses local cells");
+  DRCM_CHECK(mine.size() == hist.size(), "plan misses local cells");
   auto& send = w.sort_route(static_cast<std::size_t>(p));
   sortperm_deal(std::span<const VecEntry>(x.entries()), degrees, label_lo,
                 std::span<const index_t>(entry_cell), mine, plan.total, p,
@@ -335,7 +361,8 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
   index_t stripe_lo = 0;
   auto& arr = sortperm_worker_sort(std::span<const SortRec>(recv),
                                    std::span<const std::int64_t>(recv_counts),
-                                   q, plan.total, world, w, &stripe_lo);
+                                   q, plan.total, nb, dist.n(), world, w,
+                                   &stripe_lo);
   if (stripe_out) *stripe_out = static_cast<index_t>(arr.size());
 
   // Hand each element its global position and route it home.
@@ -409,6 +436,10 @@ DistSpVec sortperm_sample(const DistSpVec& x, const DistDenseVec& degrees,
 
   auto& back = w.entry_route(static_cast<std::size_t>(p));
   for (std::size_t t = 0; t < mine.size(); ++t) {
+    // Receive-path range check (always on): `mine` arrived over the wire
+    // and its indices become owner-route positions.
+    DRCM_CHECK(mine[t].idx >= 0 && mine[t].idx < dist.n(),
+               "received sort element index out of range");
     back[static_cast<std::size_t>(dist.owner_rank(mine[t].idx))].push_back(
         VecEntry{mine[t].idx, base + static_cast<index_t>(t)});
   }

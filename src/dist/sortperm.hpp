@@ -86,8 +86,11 @@ void sortperm_local_hist(std::span<const VecEntry> entries,
 /// Sorts the concatenation of every rank's histogram cells to (bucket,
 /// degree, block) order via three counting passes and prefix-sums the
 /// counts: the deterministic global plan every rank derives identically.
+/// The cells arrived over the wire, so each field is range-checked first
+/// (block in [0, p), bucket in [0, nb), degree in [0, n], count >= 0;
+/// throws CheckError) — the counting passes index counters by these fields.
 SortPlan sortperm_plan(std::span<const SortHistCell> cells, int p, index_t nb,
-                       DistWorkspace& ws);
+                       index_t n, DistWorkspace& ws);
 
 /// Extracts, aligned with this rank's local histogram (its cells in
 /// (bucket, degree) order), the global start position of each cell.
@@ -122,12 +125,15 @@ void sortperm_lsd_sort(std::vector<SortRec>& arr, index_t dmax, index_t b_lo,
 /// ws.sort_scratch() — owned ranges ascend in that order, so the
 /// concatenation is globally index-sorted, the stability baseline the
 /// counting passes preserve. Returns the array; reports the degree maximum
-/// and bucket range of the received elements.
+/// and bucket range of the received elements. Every received triple is
+/// range-checked (bucket in [0, nb), degree in [0, n], idx in [0, n);
+/// throws CheckError): the counting sort sizes its bins from these fields.
 template <class CountT>
 std::vector<SortRec>& sortperm_replay(std::span<const SortRec> recv,
                                       std::span<const CountT> counts, int q,
-                                      DistWorkspace& ws, index_t* dmax,
-                                      index_t* b_min, index_t* b_max);
+                                      index_t nb, index_t n, DistWorkspace& ws,
+                                      index_t* dmax, index_t* b_min,
+                                      index_t* b_max);
 
 /// The deal loop shared by sortperm_bucket and the fused ordering-level
 /// kernel: hands every entry its exact global position off the cursor in
@@ -149,8 +155,9 @@ void sortperm_deal(std::span<const VecEntry> entries,
 template <class CountT>
 std::vector<SortRec>& sortperm_worker_sort(std::span<const SortRec> dealt,
                                            std::span<const CountT> counts,
-                                           int q, index_t total,
-                                           mps::Comm& world, DistWorkspace& ws,
+                                           int q, index_t total, index_t nb,
+                                           index_t n, mps::Comm& world,
+                                           DistWorkspace& ws,
                                            index_t* stripe_lo);
 
 }  // namespace drcm::dist

@@ -232,31 +232,36 @@ void multiply_sort_merge_hybrid(const DistSpMat& a,
     heap_width += static_cast<double>(mine.cursors.size());
   }
   auto& pos = ws.counters(stripes.size());
+  auto& winners = ws.merge_winners();
+  u64 probes = 0;
   while (true) {
-    index_t best = std::numeric_limits<index_t>::max();
-    bool any = false;
-    for (std::size_t t = 0; t < stripes.size(); ++t) {
-      const auto& emit = stripes[t].emit;
-      const auto at = static_cast<std::size_t>(pos[t]);
-      if (at < emit.size() && (!any || emit[at].idx < best)) {
-        best = emit[at].idx;
-        any = true;
-      }
-    }
-    if (!any) break;
-    bool first = true;
+    // One probe per stripe head per round: the same scan that finds the
+    // minimum index min-combines its value (in thread order, so the
+    // output stays bit-identical at any thread count) and collects the
+    // stripes holding it; only those advance.
+    winners.clear();
+    index_t best = 0;
     index_t val = 0;
     for (std::size_t t = 0; t < stripes.size(); ++t) {
       const auto& emit = stripes[t].emit;
       const auto at = static_cast<std::size_t>(pos[t]);
-      if (at < emit.size() && emit[at].idx == best) {
-        val = first ? emit[at].val : std::min(val, emit[at].val);
-        first = false;
-        ++pos[t];
+      ++probes;
+      if (at >= emit.size()) continue;
+      if (winners.empty() || emit[at].idx < best) {
+        best = emit[at].idx;
+        val = emit[at].val;
+        winners.clear();
+        winners.push_back(static_cast<index_t>(t));
+      } else if (emit[at].idx == best) {
+        val = std::min(val, emit[at].val);
+        winners.push_back(static_cast<index_t>(t));
       }
     }
+    if (winners.empty()) break;
+    for (const index_t t : winners) ++pos[static_cast<std::size_t>(t)];
     out.push_back(VecEntry{best, val});
   }
+  ws.count_merge_probes(probes);
   // The serial formula over the partition-invariant totals: the number of
   // nonempty frontier columns does not depend on how stripes cut them.
   const double logk = heap_width == 0 ? 1.0 : std::log2(heap_width + 1.0);
@@ -302,6 +307,13 @@ std::vector<VecEntry>& spmspv_local_multiply(const DistSpMat& a,
                                              SpmspvAccumulator* used,
                                              int threads) {
   DRCM_CHECK(threads >= 1, "local multiply needs at least one thread");
+  // Receive-path range check (always on): the gathered frontier arrived
+  // over the wire and every arm below turns e.idx into a local column
+  // access, so a corrupted index must stop here as a CheckError.
+  for (const auto& e : frontier) {
+    DRCM_CHECK(e.idx >= a.col_lo() && e.idx < a.col_hi(),
+               "received frontier index outside the local column chunk");
+  }
   if (acc == SpmspvAccumulator::kAuto) {
     acc = env_accumulator();
   }
@@ -375,7 +387,9 @@ DistSpVec spmspv_select2nd_min(const DistSpMat& a, const DistSpVec& x,
   const index_t m_hi = dist.sub_lo(grid.row(), grid.col() + 1);
   auto& slots = w.merge_slots(static_cast<std::size_t>(m_hi - m_lo));
   for (const auto& e : received) {
-    DRCM_DCHECK(e.idx >= m_lo && e.idx < m_hi, "partial routed to wrong rank");
+    // Receive-path range check (always on): a corrupted index must stop
+    // here as a CheckError, not as an out-of-bounds slot write.
+    DRCM_CHECK(e.idx >= m_lo && e.idx < m_hi, "partial routed to wrong rank");
     slots.put_min(static_cast<std::size_t>(e.idx - m_lo), e.val);
   }
   std::vector<VecEntry> merged;

@@ -20,6 +20,10 @@ std::vector<std::pair<index_t, std::size_t>>& DistWorkspace::heap_storage() {
   return checkout_cleared(heap_, heap_cap_);
 }
 
+std::vector<index_t>& DistWorkspace::merge_winners() {
+  return checkout_cleared(merge_winners_, merge_winners_cap_);
+}
+
 std::vector<VecEntry>& DistWorkspace::frontier_scratch() {
   return checkout_cleared(frontier_, frontier_cap_);
 }

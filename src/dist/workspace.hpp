@@ -127,6 +127,9 @@ class DistWorkspace {
   /// kSortMerge cursor array and heap storage, cleared.
   std::vector<MergeCursor>& cursors();
   std::vector<std::pair<index_t, std::size_t>>& heap_storage();
+  /// Winner-stripe list of the hybrid stage-2b min-merge, cleared. Holds
+  /// at most one id per thread stripe.
+  std::vector<index_t>& merge_winners();
 
   /// Outgoing frontier buffer (the SET-refreshed entries a kernel
   /// publishes). Kept distinct from partial_scratch(): the published span
@@ -207,6 +210,14 @@ class DistWorkspace {
   /// by a caller's push_backs is detected at the buffer's next checkout.
   u64 reallocations() const { return reallocations_; }
 
+  /// Stripe-head probes performed by the hybrid min-merge since this
+  /// workspace was constructed — the op-count ledger the single-probe
+  /// merge is pinned on: emitting E distinct rows from S stripes costs
+  /// exactly (E + 1) * S probes (every round reads each head once; the
+  /// final round finds all heads exhausted).
+  u64 merge_probes() const { return merge_probes_; }
+  void count_merge_probes(u64 probes) { merge_probes_ += probes; }
+
  private:
   template <class V>
   V& checkout_cleared(V& v, std::size_t& last_cap) {
@@ -238,6 +249,7 @@ class DistWorkspace {
   StampedSlots merge_slots_;
   std::vector<MergeCursor> cursors_;
   std::vector<std::pair<index_t, std::size_t>> heap_;
+  std::vector<index_t> merge_winners_;
   std::vector<VecEntry> frontier_;
   std::vector<VecEntry> partial_;
   std::vector<VecEntry> gather_;
@@ -266,7 +278,8 @@ class DistWorkspace {
   /// buffers), so shrinking and re-growing the thread count between calls
   /// is not misread as a reallocation.
   std::vector<std::size_t> thread_stripe_caps_;
-  std::size_t cursors_cap_ = 0, heap_cap_ = 0, frontier_cap_ = 0,
+  std::size_t cursors_cap_ = 0, heap_cap_ = 0, merge_winners_cap_ = 0,
+              frontier_cap_ = 0,
               partial_cap_ = 0, gather_cap_ = 0, recv_cap_ = 0,
               merge_route_cap_ = 0, entry_route_cap_ = 0,
               fused_route_cap_ = 0, sort_cap_ = 0, sort_tmp_cap_ = 0,
@@ -277,6 +290,7 @@ class DistWorkspace {
               my_starts_cap_ = 0, sort_recv_cap_ = 0,
               rank_recv_cap_ = 0;
   u64 reallocations_ = 0;
+  u64 merge_probes_ = 0;
 };
 
 }  // namespace drcm::dist

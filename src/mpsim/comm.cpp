@@ -1,10 +1,15 @@
 #include "mpsim/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <functional>
 #include <map>
 #include <mutex>
 
+#include "mpsim/fault.hpp"
 #include "mpsim/internal.hpp"
 
 namespace drcm::mps {
@@ -12,11 +17,39 @@ namespace drcm::mps {
 // ---------------------------------------------------------------------------
 // BarrierRegistry: lets the runtime tear down every communicator (including
 // splits created mid-run) when one rank fails, so surviving ranks blocked in
-// a collective throw PoisonedError instead of deadlocking.
+// a collective throw PoisonedError instead of deadlocking. It also carries
+// the watchdog configuration every barrier consults: a wall-clock budget and
+// a diagnostic callback (the runtime's per-rank last-entered table).
+
+class BarrierRegistry {
+ public:
+  void register_barrier(const std::shared_ptr<PoisonableBarrier>& b);
+  void poison_all();
+
+  /// Called by Runtime::run BEFORE any rank thread starts (thread creation
+  /// provides the happens-before; no locking needed on the read side).
+  void configure_watchdog(double seconds, std::function<std::string()> diag) {
+    watchdog_seconds_ = seconds;
+    diagnostic_ = std::move(diag);
+  }
+
+  double watchdog_seconds() const { return watchdog_seconds_; }
+  std::string diagnostic() const {
+    return diagnostic_ ? diagnostic_() : std::string();
+  }
+
+ private:
+  std::mutex mu_;
+  bool poisoned_ = false;
+  std::vector<std::weak_ptr<PoisonableBarrier>> barriers_;
+  double watchdog_seconds_ = 0.0;
+  std::function<std::string()> diagnostic_;
+};
 
 class PoisonableBarrier {
  public:
-  explicit PoisonableBarrier(int n) : n_(n) {}
+  explicit PoisonableBarrier(int n, const BarrierRegistry* registry)
+      : n_(n), registry_(registry) {}
 
   void arrive_and_wait() {
     std::unique_lock<std::mutex> lock(mu_);
@@ -28,7 +61,24 @@ class PoisonableBarrier {
       cv_.notify_all();
       return;
     }
-    cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+    const double budget = registry_ ? registry_->watchdog_seconds() : 0.0;
+    if (budget <= 0.0) {
+      cv_.wait(lock, [&] { return generation_ != my_generation || poisoned_; });
+    } else if (!cv_.wait_for(
+                   lock, std::chrono::duration<double>(budget),
+                   [&] { return generation_ != my_generation || poisoned_; })) {
+      // Watchdog: the communicator never completed within budget — some
+      // member is stalled (or exited without arriving). Kill this barrier
+      // so fellow waiters throw PoisonedError, then report who got where;
+      // the runtime's poisoning cascade reaches every other communicator.
+      poisoned_ = true;
+      cv_.notify_all();
+      lock.unlock();
+      throw WatchdogTimeoutError(
+          "barrier watchdog fired: communicator incomplete after " +
+          std::to_string(budget) + "s\n" +
+          (registry_ ? registry_->diagnostic() : std::string()));
+    }
     if (generation_ == my_generation && poisoned_) throw PoisonedError{};
   }
 
@@ -40,6 +90,7 @@ class PoisonableBarrier {
 
  private:
   const int n_;
+  const BarrierRegistry* registry_;
   int waiting_ = 0;
   std::uint64_t generation_ = 0;
   bool poisoned_ = false;
@@ -47,27 +98,62 @@ class PoisonableBarrier {
   std::condition_variable cv_;
 };
 
-class BarrierRegistry {
- public:
-  void register_barrier(const std::shared_ptr<PoisonableBarrier>& b) {
-    std::lock_guard<std::mutex> lock(mu_);
-    barriers_.push_back(b);
-    if (poisoned_) b->poison();
-  }
+void BarrierRegistry::register_barrier(
+    const std::shared_ptr<PoisonableBarrier>& b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  barriers_.push_back(b);
+  if (poisoned_) b->poison();
+}
 
-  void poison_all() {
-    std::lock_guard<std::mutex> lock(mu_);
-    poisoned_ = true;
-    for (auto& weak : barriers_) {
-      if (auto b = weak.lock()) b->poison();
-    }
+void BarrierRegistry::poison_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
+  for (auto& weak : barriers_) {
+    if (auto b = weak.lock()) b->poison();
   }
+}
 
- private:
-  std::mutex mu_;
-  bool poisoned_ = false;
-  std::vector<std::weak_ptr<PoisonableBarrier>> barriers_;
-};
+// ---------------------------------------------------------------------------
+// Collective tags: every collective entry publishes (op, phase, per-rank
+// sequence number) packed into one word. Multi-crossing collectives compare
+// all peers' tags between their first and second crossings; see
+// Comm::verify_collective for why that window is race-free.
+
+const char* coll_op_name(CollOp op) {
+  switch (op) {
+    case CollOp::kNone: return "none";
+    case CollOp::kBarrier: return "barrier";
+    case CollOp::kBcast: return "bcast";
+    case CollOp::kAllreduce: return "allreduce";
+    case CollOp::kAllgather: return "allgather";
+    case CollOp::kAllgatherv: return "allgatherv";
+    case CollOp::kAlltoallv: return "alltoallv";
+    case CollOp::kExscan: return "exscan";
+    case CollOp::kGatherv: return "gatherv";
+    case CollOp::kScatterv: return "scatterv";
+    case CollOp::kReduce: return "reduce";
+    case CollOp::kPairwise: return "pairwise-exchange";
+    case CollOp::kFusedGatherRouteCount: return "fused-gather-route-count";
+    case CollOp::kFusedOrderLevel: return "fused-order-level";
+    case CollOp::kSplit: return "split";
+  }
+  return "unknown";
+}
+
+std::uint64_t pack_collective_tag(CollOp op, Phase phase, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(op) << 56) |
+         (static_cast<std::uint64_t>(phase) << 48) |
+         (seq & 0x0000FFFFFFFFFFFFULL);
+}
+
+std::string describe_collective_tag(std::uint64_t tag) {
+  if (tag == 0) return "<no collective>";
+  const auto op = static_cast<CollOp>((tag >> 56) & 0xFF);
+  const auto phase = static_cast<Phase>((tag >> 48) & 0xFF);
+  const std::uint64_t seq = tag & 0x0000FFFFFFFFFFFFULL;
+  return std::string(coll_op_name(op)) + " #" + std::to_string(seq) + " [" +
+         std::string(phase_name(phase)) + "]";
+}
 
 // ---------------------------------------------------------------------------
 // CommContext: shared state of one communicator.
@@ -77,18 +163,28 @@ class CommContext {
   CommContext(int size, std::shared_ptr<BarrierRegistry> registry)
       : size_(size),
         registry_(std::move(registry)),
-        barrier_(std::make_shared<PoisonableBarrier>(size)),
+        barrier_(std::make_shared<PoisonableBarrier>(size, registry_.get())),
         ptr_(static_cast<std::size_t>(size), nullptr),
         cnt_(static_cast<std::size_t>(size), 0),
         ptr_arr_(static_cast<std::size_t>(size), nullptr),
         cnt_arr_(static_cast<std::size_t>(size), nullptr),
         ptr_arr_aux_(static_cast<std::size_t>(size), nullptr),
         cnt_arr_aux_(static_cast<std::size_t>(size), nullptr),
+        scalar_arena_(static_cast<std::size_t>(size)),
+        array_arena_(static_cast<std::size_t>(size)),
+        array_arena_aux_(static_cast<std::size_t>(size)),
+        array_ptrs_(static_cast<std::size_t>(size)),
+        array_cnts_(static_cast<std::size_t>(size)),
+        array_ptrs_aux_(static_cast<std::size_t>(size)),
+        array_cnts_aux_(static_cast<std::size_t>(size)),
         i64_(static_cast<std::size_t>(size), 0),
         split_color_(static_cast<std::size_t>(size), 0),
         split_key_(static_cast<std::size_t>(size), 0),
         split_ctx_(static_cast<std::size_t>(size)),
-        split_rank_(static_cast<std::size_t>(size), 0) {
+        split_rank_(static_cast<std::size_t>(size), 0),
+        tags_(static_cast<std::size_t>(size)),
+        tag_seq_(static_cast<std::size_t>(size), 0) {
+    for (auto& t : tags_) t.store(0, std::memory_order_relaxed);
     if (registry_) registry_->register_barrier(barrier_);
   }
 
@@ -97,6 +193,40 @@ class CommContext {
   const std::shared_ptr<BarrierRegistry>& registry() const { return registry_; }
 
   // Publication board (guarded by barrier crossings, not by a mutex).
+  // Payloads are COPIED into context-owned arenas at publish time, so a
+  // peer reading a slot never dereferences memory owned by the publishing
+  // rank's frames: a rank that unwinds (injected fault, mismatch error,
+  // check failure) cannot leave dangling pointers behind for ranks still
+  // inside a collective. The arenas keep their capacity across calls, so
+  // steady-state publication allocates nothing.
+  void publish_scalar(int rank, const void* data, std::uint64_t count,
+                      std::size_t elem_bytes) {
+    const auto r = static_cast<std::size_t>(rank);
+    auto& arena = scalar_arena_[r];
+    const std::size_t bytes = static_cast<std::size_t>(count) * elem_bytes;
+    arena.resize(bytes);
+    if (bytes != 0) std::memcpy(arena.data(), data, bytes);
+    ptr_[r] = arena.data();
+    cnt_[r] = count;
+  }
+  void publish_array_board(int rank, const void* const* ptrs,
+                           const std::uint64_t* counts,
+                           std::size_t elem_bytes) {
+    copy_array_payload(rank, ptrs, counts, elem_bytes, array_arena_,
+                       array_ptrs_, array_cnts_);
+    const auto r = static_cast<std::size_t>(rank);
+    ptr_arr_[r] = array_ptrs_[r].data();
+    cnt_arr_[r] = array_cnts_[r].data();
+  }
+  void publish_array_board_aux(int rank, const void* const* ptrs,
+                               const std::uint64_t* counts,
+                               std::size_t elem_bytes) {
+    copy_array_payload(rank, ptrs, counts, elem_bytes, array_arena_aux_,
+                       array_ptrs_aux_, array_cnts_aux_);
+    const auto r = static_cast<std::size_t>(rank);
+    ptr_arr_aux_[r] = array_ptrs_aux_[r].data();
+    cnt_arr_aux_[r] = array_cnts_aux_[r].data();
+  }
   std::vector<const void*>& ptr() { return ptr_; }
   std::vector<std::uint64_t>& cnt() { return cnt_; }
   std::vector<const void* const*>& ptr_arr() { return ptr_arr_; }
@@ -109,7 +239,51 @@ class CommContext {
   std::vector<std::shared_ptr<CommContext>>& split_ctx() { return split_ctx_; }
   std::vector<int>& split_rank() { return split_rank_; }
 
+  // Collective-tag board. Tags are atomics so a genuinely mismatched program
+  // (two ranks in different collectives racing on the board) stays defined
+  // behavior and still yields a deterministic mismatch report.
+  void publish_tag(int rank, CollOp op, Phase phase) {
+    auto& seq = tag_seq_[static_cast<std::size_t>(rank)];
+    ++seq;
+    tags_[static_cast<std::size_t>(rank)].store(
+        pack_collective_tag(op, phase, seq), std::memory_order_relaxed);
+  }
+  std::uint64_t tag(int rank) const {
+    return tags_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_relaxed);
+  }
+
  private:
+  // One rank's per-destination buffers land flattened in its arena; the
+  // published pointer/count tables are rebuilt into context-owned storage
+  // pointing at the arena copies.
+  void copy_array_payload(int rank, const void* const* ptrs,
+                          const std::uint64_t* counts, std::size_t elem_bytes,
+                          std::vector<std::vector<std::byte>>& arenas,
+                          std::vector<std::vector<const void*>>& ptr_store,
+                          std::vector<std::vector<std::uint64_t>>& cnt_store) {
+    const auto r = static_cast<std::size_t>(rank);
+    const auto n = static_cast<std::size_t>(size_);
+    auto& arena = arenas[r];
+    auto& out_ptrs = ptr_store[r];
+    auto& out_cnts = cnt_store[r];
+    std::size_t total_bytes = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      total_bytes += static_cast<std::size_t>(counts[d]) * elem_bytes;
+    }
+    arena.resize(total_bytes);
+    out_ptrs.resize(n);
+    out_cnts.resize(n);
+    std::size_t offset = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      const std::size_t bytes = static_cast<std::size_t>(counts[d]) * elem_bytes;
+      if (bytes != 0) std::memcpy(arena.data() + offset, ptrs[d], bytes);
+      out_ptrs[d] = arena.data() + offset;
+      out_cnts[d] = counts[d];
+      offset += bytes;
+    }
+  }
+
   const int size_;
   std::shared_ptr<BarrierRegistry> registry_;
   std::shared_ptr<PoisonableBarrier> barrier_;
@@ -119,11 +293,20 @@ class CommContext {
   std::vector<const std::uint64_t*> cnt_arr_;
   std::vector<const void* const*> ptr_arr_aux_;
   std::vector<const std::uint64_t*> cnt_arr_aux_;
+  std::vector<std::vector<std::byte>> scalar_arena_;
+  std::vector<std::vector<std::byte>> array_arena_;
+  std::vector<std::vector<std::byte>> array_arena_aux_;
+  std::vector<std::vector<const void*>> array_ptrs_;
+  std::vector<std::vector<std::uint64_t>> array_cnts_;
+  std::vector<std::vector<const void*>> array_ptrs_aux_;
+  std::vector<std::vector<std::uint64_t>> array_cnts_aux_;
   std::vector<std::int64_t> i64_;
   std::vector<int> split_color_;
   std::vector<int> split_key_;
   std::vector<std::shared_ptr<CommContext>> split_ctx_;
   std::vector<int> split_rank_;
+  std::vector<std::atomic<std::uint64_t>> tags_;
+  std::vector<std::uint64_t> tag_seq_;  // owner-written only
 };
 
 std::shared_ptr<CommContext> make_comm_context(
@@ -136,6 +319,11 @@ std::shared_ptr<BarrierRegistry> make_barrier_registry() {
 }
 
 void poison_all_barriers(BarrierRegistry& registry) { registry.poison_all(); }
+
+void set_watchdog(BarrierRegistry& registry, double seconds,
+                  std::function<std::string()> diagnostic) {
+  registry.configure_watchdog(seconds, std::move(diagnostic));
+}
 
 // ---------------------------------------------------------------------------
 // Comm.
@@ -150,13 +338,87 @@ Comm::Comm(std::shared_ptr<CommContext> ctx, int rank, RankState* state,
 }
 
 void Comm::barrier() {
+  // A plain barrier publishes its tag but cannot verify peers: with a single
+  // crossing there is no window in which every peer is guaranteed to have
+  // published. Multi-crossing collectives do the verification.
+  enter_collective(CollOp::kBarrier);
   cross_barrier();
   charge(model_->barrier(size_));
 }
 
-void Comm::publish(const void* ptr, std::uint64_t count) {
-  ctx_->ptr()[static_cast<std::size_t>(rank_)] = ptr;
-  ctx_->cnt()[static_cast<std::size_t>(rank_)] = count;
+void Comm::enter_collective(CollOp op) {
+  RankState& st = *state_;
+  const std::uint64_t ordinal = ++st.collectives_entered;
+  st.last_entered.store(pack_collective_tag(op, st.phase, ordinal),
+                        std::memory_order_relaxed);
+  if (st.faults != nullptr) {
+    if (FaultAction* a = st.faults->find(st.world_rank, ordinal)) {
+      a->fired = true;
+      switch (a->kind) {
+        case FaultKind::kRankDeath:
+          throw InjectedFault(a->kind, st.world_rank, ordinal);
+        case FaultKind::kAllocFailure:
+          throw InjectedAllocFailure(st.world_rank, ordinal);
+        case FaultKind::kStall:
+          charge_stall(a->stall_modeled_seconds);
+          break;
+        case FaultKind::kPayloadCorruption:
+          st.corrupt_armed = true;
+          break;
+      }
+    }
+  }
+  ctx_->publish_tag(rank_, op, st.phase);
+}
+
+void Comm::verify_collective(CollOp op) {
+  // Runs after every NON-FINAL crossing of a collective, before any board
+  // read that crossing opens. In a correct program those windows are
+  // race-free: no peer can be past its own first crossing of a LATER
+  // collective (it would need this rank to arrive at a crossing it has not
+  // reached), and every peer has published its tag for THIS one before
+  // arriving. So any tag disagreement means the program's collective
+  // sequences genuinely diverged across ranks — and because the check runs
+  // before the reads, a diverged peer's boards are never consumed. (After a
+  // FINAL crossing the check would race with fast peers legally entering
+  // the next collective, so final-crossing read windows rely on the
+  // preceding verified crossing plus the board-ownership discipline.)
+  (void)op;
+  const std::uint64_t mine = ctx_->tag(rank_);
+  for (int r = 0; r < size_; ++r) {
+    const std::uint64_t theirs = ctx_->tag(r);
+    if (theirs != mine) {
+      throw CollectiveMismatchError(
+          "collective mismatch on a " + std::to_string(size_) +
+          "-rank communicator: rank " + std::to_string(rank_) + " entered " +
+          describe_collective_tag(mine) + " but rank " + std::to_string(r) +
+          " entered " + describe_collective_tag(theirs));
+    }
+  }
+}
+
+void Comm::maybe_corrupt(void* data, std::size_t bytes) {
+  if (!state_->corrupt_armed || data == nullptr ||
+      bytes < sizeof(std::uint64_t)) {
+    return;
+  }
+  state_->corrupt_armed = false;
+  std::uint64_t word;
+  std::memcpy(&word, data, sizeof(word));
+  // Set the exponent region plus one mantissa bit of the first word: an
+  // int64 index becomes absurdly large (caught by the receive-path range
+  // checks), a double becomes NaN (caught by the solver's finiteness check).
+  word |= 0x7FF8000000000000ULL;
+  std::memcpy(data, &word, sizeof(word));
+}
+
+void Comm::charge_stall(double modeled_seconds) {
+  state_->stats.add_compute(state_->phase, 0.0, modeled_seconds);
+}
+
+void Comm::publish(const void* ptr, std::uint64_t count,
+                   std::size_t elem_bytes) {
+  ctx_->publish_scalar(rank_, ptr, count, elem_bytes);
 }
 
 const void* Comm::peer_ptr(int r) const {
@@ -167,9 +429,9 @@ std::uint64_t Comm::peer_count(int r) const {
   return ctx_->cnt()[static_cast<std::size_t>(r)];
 }
 
-void Comm::publish_arrays(const void* const* ptrs, const std::uint64_t* counts) {
-  ctx_->ptr_arr()[static_cast<std::size_t>(rank_)] = ptrs;
-  ctx_->cnt_arr()[static_cast<std::size_t>(rank_)] = counts;
+void Comm::publish_arrays(const void* const* ptrs, const std::uint64_t* counts,
+                          std::size_t elem_bytes) {
+  ctx_->publish_array_board(rank_, ptrs, counts, elem_bytes);
 }
 
 const void* const* Comm::peer_ptr_array(int r) const {
@@ -181,9 +443,9 @@ const std::uint64_t* Comm::peer_count_array(int r) const {
 }
 
 void Comm::publish_arrays_aux(const void* const* ptrs,
-                              const std::uint64_t* counts) {
-  ctx_->ptr_arr_aux()[static_cast<std::size_t>(rank_)] = ptrs;
-  ctx_->cnt_arr_aux()[static_cast<std::size_t>(rank_)] = counts;
+                              const std::uint64_t* counts,
+                              std::size_t elem_bytes) {
+  ctx_->publish_array_board_aux(rank_, ptrs, counts, elem_bytes);
 }
 
 const void* const* Comm::peer_ptr_array_aux(int r) const {
@@ -213,11 +475,13 @@ void Comm::charge(const CommCost& cost) {
 
 Comm Comm::split(int color, int key) {
   DRCM_CHECK(color >= 0, "split color must be non-negative");
+  enter_collective(CollOp::kSplit);
   auto& colors = ctx_->split_color();
   auto& keys = ctx_->split_key();
   colors[static_cast<std::size_t>(rank_)] = color;
   keys[static_cast<std::size_t>(rank_)] = key;
   cross_barrier();
+  verify_collective(CollOp::kSplit);
   if (rank_ == 0) {
     // Group members by color; within a group rank by (key, old rank).
     std::map<int, std::vector<int>> groups;
@@ -239,6 +503,7 @@ Comm Comm::split(int color, int key) {
     }
   }
   cross_barrier();
+  verify_collective(CollOp::kSplit);  // crossing 2 of 3: lockstep re-check
   auto child_ctx = ctx_->split_ctx()[static_cast<std::size_t>(rank_)];
   const int child_rank = ctx_->split_rank()[static_cast<std::size_t>(rank_)];
   cross_barrier();  // everyone picked up before the board can be reused

@@ -14,19 +14,24 @@
 //   forms the row/column sub-communicators of the 2D grid).
 //
 // Mechanically, every collective is two crossings of the communicator's
-// barrier around a shared "publication board": ranks publish {pointer,
-// count} of their contribution, cross the barrier, read what they need from
-// peers, and cross again before anyone may reuse the board. The barrier's
-// mutex provides all required happens-before ordering.
+// barrier around a shared "publication board": ranks publish their
+// contribution (copied into board-owned storage, like an MPI send buffer),
+// cross the barrier, read what they need from peers, and cross again before
+// anyone may reuse the board. The barrier's mutex provides all required
+// happens-before ordering, and because the board owns every published
+// payload, a rank that unwinds mid-run (injected fault, failed check)
+// cannot leave peers reading freed memory.
 //
 // Every operation is charged to the alpha-beta CostModel and attributed to
 // the rank's current Phase, which is how the paper's Figures 4-6 breakdowns
 // are produced.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <type_traits>
 #include <vector>
 
@@ -39,6 +44,7 @@ namespace drcm::mps {
 
 class CommContext;
 class BarrierRegistry;
+class FaultPlan;
 
 /// Thrown out of a collective when the runtime tears the world down because
 /// another rank failed; distinguishes secondary victims from the root cause.
@@ -46,6 +52,58 @@ class PoisonedError : public std::runtime_error {
  public:
   PoisonedError() : std::runtime_error("communicator poisoned: another rank failed") {}
 };
+
+/// Thrown when members of one communicator enter DIFFERENT collectives (or
+/// different counts of the same collective) — the classic silent-deadlock
+/// bug, surfaced as a structured error naming both call sites. Detection:
+/// every collective publishes an op-id/epoch tag on its communicator's tag
+/// board before its first barrier crossing, and every multi-crossing
+/// collective checks all peers' tags between its first and second crossing
+/// (where the barrier guarantees the tags are stable for a correct program;
+/// a racing incorrect program still detects, the message may just name
+/// whichever of the offender's collectives was last published).
+class CollectiveMismatchError : public std::logic_error {
+ public:
+  explicit CollectiveMismatchError(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+/// Thrown out of a barrier crossing when the watchdog budget elapses with
+/// the communicator incomplete — a genuinely stalled (or silently exited)
+/// rank. Carries the per-rank "last collective entered" diagnostic instead
+/// of hanging the job.
+class WatchdogTimeoutError : public std::runtime_error {
+ public:
+  explicit WatchdogTimeoutError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Identity of a collective operation, for the mismatch tags and the
+/// watchdog diagnostics.
+enum class CollOp : std::uint8_t {
+  kNone = 0,
+  kBarrier,
+  kBcast,
+  kAllreduce,
+  kAllgather,
+  kAllgatherv,
+  kAlltoallv,
+  kExscan,
+  kGatherv,
+  kScatterv,
+  kReduce,
+  kPairwise,
+  kFusedGatherRouteCount,
+  kFusedOrderLevel,
+  kSplit,
+};
+
+const char* coll_op_name(CollOp op);
+
+/// The op-id/epoch tag published per collective: op in the top byte, the
+/// phase below it, the per-communicator collective ordinal in the rest.
+std::uint64_t pack_collective_tag(CollOp op, Phase phase, std::uint64_t seq);
+std::string describe_collective_tag(std::uint64_t tag);
 
 /// Per-rank mutable state shared by all communicators a rank holds
 /// (world and any splits): the stats recorder, the current phase and the
@@ -58,6 +116,20 @@ struct RankState {
   /// doing local work). Modeled compute time divides by this; modeled
   /// communication does not — collectives stay single-threaded per rank.
   int threads = 1;
+  /// This rank's MPI_COMM_WORLD rank — the coordinate fault plans script
+  /// against (sub-communicator ranks differ).
+  int world_rank = 0;
+  /// Scripted faults (Runtime::RunOptions::faults); null = healthy run.
+  FaultPlan* faults = nullptr;
+  /// Collectives entered across ALL communicators of this rank: the
+  /// ordinal fault plans fire on.
+  std::uint64_t collectives_entered = 0;
+  /// Set by a payload-corruption fault; the next received payload of at
+  /// least one word gets a bit flip, then the flag clears.
+  bool corrupt_armed = false;
+  /// Last collective this rank entered (packed tag), read by the barrier
+  /// watchdog from another thread — hence atomic.
+  std::atomic<std::uint64_t> last_entered{0};
 };
 
 /// Number of 8-byte words occupied by one element of T (for cost charging).
@@ -225,6 +297,11 @@ class Comm {
   /// ranked by (key, old rank).
   Comm split(int color, int key);
 
+  /// Charges `seconds` of modeled dead time (an injected stall, a recovery
+  /// backoff) to the current phase without any work units: the time shows
+  /// up in the modeled makespan, the unit ledger stays honest.
+  void charge_stall(double modeled_seconds);
+
   /// Charges `units` of scalar work to the current phase. The raw unit
   /// ledger records the algorithm's work independent of threading; the
   /// modeled seconds divide by threads(). That is the paper's (and the
@@ -256,24 +333,44 @@ class Comm {
   /// crossings 2 and 3 and may publish additional boards (the ordering
   /// level rides its histogram carry on the freed scalar board there).
   template <class T, class RouteFn, class CountPublishFn>
-  std::int64_t fused_head(std::span<const int> gather_peers,
+  std::int64_t fused_head(CollOp op, std::span<const int> gather_peers,
                           std::span<const T> local, std::vector<T>& gather_buf,
                           std::vector<std::vector<T>>& route_buf,
                           std::vector<T>& recv_buf, RouteFn&& route,
                           CountPublishFn&& count_publish);
 
-  // Type-erased building blocks implemented in comm.cpp.
-  void publish(const void* ptr, std::uint64_t count);
+  /// Entry hook of EVERY collective, called before the first crossing:
+  /// bumps the rank's collective counter, fires any scripted fault due at
+  /// this ordinal, and publishes the op-id/epoch tag on this
+  /// communicator's tag board.
+  void enter_collective(CollOp op);
+  /// Tag check of every multi-crossing collective, called after each
+  /// non-final crossing before the reads it opens: all peers must have
+  /// published the same (op, epoch) tag, else CollectiveMismatchError names
+  /// both call sites. Costs no crossing and no modeled time.
+  void verify_collective(CollOp op);
+  /// Applies the armed payload-corruption fault (if any) to a received
+  /// buffer of `bytes` bytes: one deterministic bit flip in the first
+  /// word, then the fault disarms. No-op when nothing is armed.
+  void maybe_corrupt(void* data, std::size_t bytes);
+
+  // Type-erased building blocks implemented in comm.cpp. Publishing COPIES
+  // the payload into context-owned arenas (see CommContext): peers read
+  // context memory, never this rank's frames, so a rank that unwinds
+  // mid-run cannot leave dangling board pointers behind.
+  void publish(const void* ptr, std::uint64_t count, std::size_t elem_bytes);
   const void* peer_ptr(int r) const;
   std::uint64_t peer_count(int r) const;
-  void publish_arrays(const void* const* ptrs, const std::uint64_t* counts);
+  void publish_arrays(const void* const* ptrs, const std::uint64_t* counts,
+                      std::size_t elem_bytes);
   const void* const* peer_ptr_array(int r) const;
   const std::uint64_t* peer_count_array(int r) const;
   /// The auxiliary payload board: a second per-destination array board, so
   /// a fused collective can run two routed supersteps back to back (the
   /// primary array board is still being read when the second superstep
   /// publishes).
-  void publish_arrays_aux(const void* const* ptrs, const std::uint64_t* counts);
+  void publish_arrays_aux(const void* const* ptrs, const std::uint64_t* counts,
+                          std::size_t elem_bytes);
   const void* const* peer_ptr_array_aux(int r) const;
   const std::uint64_t* peer_count_array_aux(int r) const;
   void publish_i64(std::int64_t v);
@@ -331,12 +428,15 @@ template <class T>
 void Comm::bcast(std::vector<T>& data, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(root >= 0 && root < size_, "bcast root out of range");
-  publish(data.data(), data.size());
+  enter_collective(CollOp::kBcast);
+  publish(data.data(), data.size(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kBcast);
   std::uint64_t count = peer_count(root);
   if (rank_ != root) {
     const T* src = static_cast<const T*>(peer_ptr(root));
     data.assign(src, src + count);
+    maybe_corrupt(data.data(), data.size() * sizeof(T));
   }
   cross_barrier();
   charge(model_->bcast(size_, count * words_of<T>()));
@@ -345,12 +445,15 @@ void Comm::bcast(std::vector<T>& data, int root) {
 template <class T, class Combine>
 T Comm::allreduce(const T& value, Combine combine) {
   static_assert(std::is_trivially_copyable_v<T>);
-  publish(&value, 1);
+  enter_collective(CollOp::kAllreduce);
+  publish(&value, 1, sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kAllreduce);
   T acc = *static_cast<const T*>(peer_ptr(0));
   for (int r = 1; r < size_; ++r) {
     acc = combine(acc, *static_cast<const T*>(peer_ptr(r)));
   }
+  maybe_corrupt(&acc, sizeof(T));
   cross_barrier();
   charge(model_->allreduce(size_, words_of<T>()));
   return acc;
@@ -359,13 +462,16 @@ T Comm::allreduce(const T& value, Combine combine) {
 template <class T>
 std::vector<T> Comm::allgather(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  publish(&value, 1);
+  enter_collective(CollOp::kAllgather);
+  publish(&value, 1, sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kAllgather);
   std::vector<T> out;
   out.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
     out.push_back(*static_cast<const T*>(peer_ptr(r)));
   }
+  maybe_corrupt(out.data(), out.size() * sizeof(T));
   cross_barrier();
   charge(model_->allgatherv(size_, static_cast<std::uint64_t>(size_) * words_of<T>()));
   return out;
@@ -374,8 +480,10 @@ std::vector<T> Comm::allgather(const T& value) {
 template <class T>
 std::vector<T> Comm::allgatherv(std::span<const T> local) {
   static_assert(std::is_trivially_copyable_v<T>);
-  publish(local.data(), local.size());
+  enter_collective(CollOp::kAllgatherv);
+  publish(local.data(), local.size(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kAllgatherv);
   std::uint64_t total = 0;
   for (int r = 0; r < size_; ++r) total += peer_count(r);
   std::vector<T> out;
@@ -384,6 +492,7 @@ std::vector<T> Comm::allgatherv(std::span<const T> local) {
     const T* src = static_cast<const T*>(peer_ptr(r));
     out.insert(out.end(), src, src + peer_count(r));
   }
+  maybe_corrupt(out.data(), out.size() * sizeof(T));
   cross_barrier();
   charge(model_->allgatherv(size_, total * words_of<T>()));
   return out;
@@ -395,6 +504,7 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& send,
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(static_cast<int>(send.size()) == size_,
              "alltoallv needs one send buffer per destination rank");
+  enter_collective(CollOp::kAlltoallv);
   std::vector<const void*> my_ptrs(static_cast<std::size_t>(size_));
   std::vector<std::uint64_t> my_counts(static_cast<std::size_t>(size_));
   std::uint64_t send_total = 0;
@@ -403,8 +513,9 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& send,
     my_counts[static_cast<std::size_t>(d)] = send[static_cast<std::size_t>(d)].size();
     send_total += my_counts[static_cast<std::size_t>(d)];
   }
-  publish_arrays(my_ptrs.data(), my_counts.data());
+  publish_arrays(my_ptrs.data(), my_counts.data(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kAlltoallv);
   std::uint64_t recv_total = 0;
   for (int s = 0; s < size_; ++s) recv_total += peer_count_array(s)[rank_];
   std::vector<T> out;
@@ -416,6 +527,7 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& send,
     out.insert(out.end(), src, src + c);
     if (recv_counts) (*recv_counts)[static_cast<std::size_t>(s)] = static_cast<std::int64_t>(c);
   }
+  maybe_corrupt(out.data(), out.size() * sizeof(T));
   cross_barrier();
   charge(model_->alltoallv(size_, send_total * words_of<T>(),
                            recv_total * words_of<T>()));
@@ -425,12 +537,15 @@ std::vector<T> Comm::alltoallv(const std::vector<std::vector<T>>& send,
 template <class T>
 T Comm::exscan_sum(const T& value) {
   static_assert(std::is_trivially_copyable_v<T>);
-  publish(&value, 1);
+  enter_collective(CollOp::kExscan);
+  publish(&value, 1, sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kExscan);
   T acc{};
   for (int r = 0; r < rank_; ++r) {
     acc = static_cast<T>(acc + *static_cast<const T*>(peer_ptr(r)));
   }
+  maybe_corrupt(&acc, sizeof(T));
   cross_barrier();
   charge(model_->exscan(size_, words_of<T>()));
   return acc;
@@ -440,8 +555,10 @@ template <class T>
 std::vector<T> Comm::gatherv(std::span<const T> local, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(root >= 0 && root < size_, "gatherv root out of range");
-  publish(local.data(), local.size());
+  enter_collective(CollOp::kGatherv);
+  publish(local.data(), local.size(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kGatherv);
   std::vector<T> out;
   std::uint64_t total = 0;
   for (int r = 0; r < size_; ++r) total += peer_count(r);
@@ -451,6 +568,7 @@ std::vector<T> Comm::gatherv(std::span<const T> local, int root) {
       const T* src = static_cast<const T*>(peer_ptr(r));
       out.insert(out.end(), src, src + peer_count(r));
     }
+    maybe_corrupt(out.data(), out.size() * sizeof(T));
   }
   cross_barrier();
   charge(model_->gatherv(size_, total * words_of<T>()));
@@ -462,25 +580,28 @@ std::vector<T> Comm::scatterv(const std::vector<std::vector<T>>& chunks,
                               int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(root >= 0 && root < size_, "scatterv root out of range");
-  std::vector<const void*> my_ptrs;
-  std::vector<std::uint64_t> my_counts;
+  enter_collective(CollOp::kScatterv);
+  // Every rank publishes a full-size (if empty) table: the copy-on-publish
+  // board walks all size_ destination slots even for non-roots.
+  std::vector<const void*> my_ptrs(static_cast<std::size_t>(size_), nullptr);
+  std::vector<std::uint64_t> my_counts(static_cast<std::size_t>(size_), 0);
   std::uint64_t total = 0;
   if (rank_ == root) {
     DRCM_CHECK(static_cast<int>(chunks.size()) == size_,
                "scatterv needs one chunk per rank");
-    my_ptrs.resize(static_cast<std::size_t>(size_));
-    my_counts.resize(static_cast<std::size_t>(size_));
     for (int r = 0; r < size_; ++r) {
       my_ptrs[static_cast<std::size_t>(r)] = chunks[static_cast<std::size_t>(r)].data();
       my_counts[static_cast<std::size_t>(r)] = chunks[static_cast<std::size_t>(r)].size();
       total += my_counts[static_cast<std::size_t>(r)];
     }
   }
-  publish_arrays(my_ptrs.data(), my_counts.data());
+  publish_arrays(my_ptrs.data(), my_counts.data(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kScatterv);
   const std::uint64_t c = peer_count_array(root)[rank_];
   const T* src = static_cast<const T*>(peer_ptr_array(root)[rank_]);
   std::vector<T> out(src, src + c);
+  maybe_corrupt(out.data(), out.size() * sizeof(T));
   cross_barrier();
   charge(model_->scatterv(size_, total * words_of<T>()));
   return out;
@@ -490,14 +611,17 @@ template <class T, class Combine>
 T Comm::reduce(const T& value, Combine combine, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(root >= 0 && root < size_, "reduce root out of range");
-  publish(&value, 1);
+  enter_collective(CollOp::kReduce);
+  publish(&value, 1, sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kReduce);
   T acc{};
   if (rank_ == root) {
     acc = *static_cast<const T*>(peer_ptr(0));
     for (int r = 1; r < size_; ++r) {
       acc = combine(acc, *static_cast<const T*>(peer_ptr(r)));
     }
+    maybe_corrupt(&acc, sizeof(T));
   }
   cross_barrier();
   charge(model_->reduce(size_, words_of<T>()));
@@ -508,11 +632,14 @@ template <class T>
 std::vector<T> Comm::pairwise_exchange(int partner, std::span<const T> send) {
   static_assert(std::is_trivially_copyable_v<T>);
   DRCM_CHECK(partner >= 0 && partner < size_, "pairwise partner out of range");
-  publish(send.data(), send.size());
+  enter_collective(CollOp::kPairwise);
+  publish(send.data(), send.size(), sizeof(T));
   cross_barrier();
+  verify_collective(CollOp::kPairwise);
   const std::uint64_t count = peer_count(partner);
   const T* src = static_cast<const T*>(peer_ptr(partner));
   std::vector<T> out(src, src + count);
+  maybe_corrupt(out.data(), out.size() * sizeof(T));
   cross_barrier();
   if (partner != rank_) {
     charge(model_->pairwise(count * words_of<T>()));
@@ -521,7 +648,7 @@ std::vector<T> Comm::pairwise_exchange(int partner, std::span<const T> send) {
 }
 
 template <class T, class RouteFn, class CountPublishFn>
-std::int64_t Comm::fused_head(std::span<const int> gather_peers,
+std::int64_t Comm::fused_head(CollOp op, std::span<const int> gather_peers,
                               std::span<const T> local,
                               std::vector<T>& gather_buf,
                               std::vector<std::vector<T>>& route_buf,
@@ -530,8 +657,10 @@ std::int64_t Comm::fused_head(std::span<const int> gather_peers,
   static_assert(std::is_trivially_copyable_v<T>);
 
   // Superstep 1: publish my span on the scalar board...
-  publish(local.data(), local.size());
+  enter_collective(op);
+  publish(local.data(), local.size(), sizeof(T));
   cross_barrier();
+  verify_collective(op);
   // ...and read my gather group. Peers read MY span until crossing 2, so
   // `local` must not alias any buffer mutated below (gather_buf is fine:
   // it is this rank's private landing area).
@@ -560,8 +689,14 @@ std::int64_t Comm::fused_head(std::span<const int> gather_peers,
     send_words += buf.size() * words_of<T>();
     fan_out += !buf.empty() && d != rank_;
   }
-  publish_arrays(fused_ptrs_.data(), fused_counts_.data());
+  publish_arrays(fused_ptrs_.data(), fused_counts_.data(), sizeof(T));
   cross_barrier();
+  // Re-verify before reading: crossing 2 is non-final for both fused
+  // variants, so a passing check proves every rank is still in lockstep in
+  // THIS call and the array board below is stable while we read it. (A rank
+  // that diverged — e.g. on a corrupted payload — would have published a
+  // different tag before whichever arrival released us.)
+  verify_collective(op);
   recv_buf.clear();
   std::uint64_t recv_words = 0;
   for (int s = 0; s < size_; ++s) {
@@ -570,6 +705,7 @@ std::int64_t Comm::fused_head(std::span<const int> gather_peers,
     recv_buf.insert(recv_buf.end(), src, src + c);
     recv_words += c * words_of<T>();
   }
+  maybe_corrupt(recv_buf.data(), recv_buf.size() * sizeof(T));
 
   // Superstep 3: publish my contribution on the int64 board (the array
   // board is still being read; count_publish may ride additional boards),
@@ -592,7 +728,8 @@ std::int64_t Comm::fused_gather_route_count(
     std::span<const int> gather_peers, std::span<const T> local,
     std::vector<T>& gather_buf, std::vector<std::vector<T>>& route_buf,
     std::vector<T>& recv_buf, RouteFn&& route, CountFn&& count) {
-  return fused_head(gather_peers, local, gather_buf, route_buf, recv_buf,
+  return fused_head(CollOp::kFusedGatherRouteCount, gather_peers, local,
+                    gather_buf, route_buf, recv_buf,
                     std::forward<RouteFn>(route),
                     [&](const std::vector<T>& received) -> std::int64_t {
                       return count(received);
@@ -615,15 +752,19 @@ std::int64_t Comm::fused_order_level(
   // Supersteps 1-3: the shared head, with the carry payload riding the
   // scalar board (free since crossing 2) next to the int64 count.
   const std::int64_t total = fused_head(
-      gather_peers, local, gather_buf, route_buf, recv_buf,
-      std::forward<RouteFn>(route),
+      CollOp::kFusedOrderLevel, gather_peers, local, gather_buf, route_buf,
+      recv_buf, std::forward<RouteFn>(route),
       [&](const std::vector<T>& received) -> std::int64_t {
         carry_buf.clear();
         const std::int64_t n = count_carry(received, carry_buf);
-        publish(carry_buf.data(), carry_buf.size());
+        publish(carry_buf.data(), carry_buf.size(), sizeof(H));
         return n;
       });
   if (total == 0) return 0;  // identical on every rank: uniform early exit
+
+  // total != 0 means crossing 3 was NOT this call's final crossing, so the
+  // lockstep re-check is sound here and guards the carry reads below.
+  verify_collective(CollOp::kFusedOrderLevel);
 
   // Superstep 4: read the carry allgather, deal the U elements (the array
   // board is free since crossing 3).
@@ -646,8 +787,9 @@ std::int64_t Comm::fused_order_level(
     fused_counts_[static_cast<std::size_t>(d)] = buf.size();
     sort_send_words += buf.size() * words_of<U>();
   }
-  publish_arrays(fused_ptrs_.data(), fused_counts_.data());
+  publish_arrays(fused_ptrs_.data(), fused_counts_.data(), sizeof(U));
   cross_barrier();
+  verify_collective(CollOp::kFusedOrderLevel);  // crossing 4: still non-final
   sort_recv_buf.clear();
   fused_src_counts_.assign(static_cast<std::size_t>(size_), 0);
   std::uint64_t sort_recv_words = 0;
@@ -658,6 +800,7 @@ std::int64_t Comm::fused_order_level(
     fused_src_counts_[static_cast<std::size_t>(s)] = c;
     sort_recv_words += c * words_of<U>();
   }
+  maybe_corrupt(sort_recv_buf.data(), sort_recv_buf.size() * sizeof(U));
   // Priced as the paper's all-process AlltoAll (T_SortPerm's alpha*p term),
   // matching the standalone sortperm_bucket exchange it replaces.
   charge(model_->alltoallv(size_, sort_send_words, sort_recv_words));
@@ -678,7 +821,7 @@ std::int64_t Comm::fused_order_level(
     fused_counts_aux_[static_cast<std::size_t>(d)] = buf.size();
     rank_send_words += buf.size() * words_of<T>();
   }
-  publish_arrays_aux(fused_ptrs_aux_.data(), fused_counts_aux_.data());
+  publish_arrays_aux(fused_ptrs_aux_.data(), fused_counts_aux_.data(), sizeof(T));
   cross_barrier();
   rank_recv_buf.clear();
   std::uint64_t rank_recv_words = 0;
@@ -688,6 +831,7 @@ std::int64_t Comm::fused_order_level(
     rank_recv_buf.insert(rank_recv_buf.end(), src, src + c);
     rank_recv_words += c * words_of<T>();
   }
+  maybe_corrupt(rank_recv_buf.data(), rank_recv_buf.size() * sizeof(T));
   charge(model_->alltoallv(size_, rank_send_words, rank_recv_words));
   finish(static_cast<const std::vector<T>&>(rank_recv_buf));
   return total;

@@ -2,7 +2,9 @@
 // the public API.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <string>
 
 namespace drcm::mps {
 
@@ -15,5 +17,12 @@ std::shared_ptr<CommContext> make_comm_context(
 
 std::shared_ptr<BarrierRegistry> make_barrier_registry();
 void poison_all_barriers(BarrierRegistry& registry);
+
+/// Arm the barrier watchdog: any barrier that stays incomplete for `seconds`
+/// wall-clock poisons itself and throws WatchdogTimeoutError carrying
+/// `diagnostic()` (the runtime's per-rank last-entered table). Must be called
+/// before rank threads start; 0 disables.
+void set_watchdog(BarrierRegistry& registry, double seconds,
+                  std::function<std::string()> diagnostic);
 
 }  // namespace drcm::mps

@@ -1,7 +1,9 @@
 #include "mpsim/runtime.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
+#include <string>
 #include <thread>
 
 #include "mpsim/internal.hpp"
@@ -62,21 +64,63 @@ std::uint64_t SpmdReport::max_peak_resident() const {
   return peak;
 }
 
+void SpmdReport::merge_from(const SpmdReport& other) {
+  if (ranks.empty()) {
+    *this = other;
+    return;
+  }
+  DRCM_CHECK(ranks.size() == other.ranks.size(),
+             "cannot merge reports with different rank counts");
+  for (std::size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].merge_from(other.ranks[r]);
+  }
+}
+
 SpmdReport Runtime::run(int nranks, const std::function<void(Comm&)>& body,
                         const MachineParams& machine, int threads_per_rank) {
+  RunOptions options;
+  options.machine = machine;
+  options.threads_per_rank = threads_per_rank;
+  return run(nranks, body, options);
+}
+
+SpmdReport Runtime::run(int nranks, const std::function<void(Comm&)>& body,
+                        const RunOptions& options) {
   DRCM_CHECK(nranks >= 1, "need at least one rank");
-  DRCM_CHECK(threads_per_rank >= 1, "need at least one thread per rank");
+  DRCM_CHECK(options.threads_per_rank >= 1,
+             "need at least one thread per rank");
+  const MachineParams& machine = options.machine;
   auto registry = make_barrier_registry();
   auto world_ctx = make_comm_context(nranks, registry);
   const CostModel model(machine);
 
   std::vector<RankState> states(static_cast<std::size_t>(nranks));
-  for (auto& s : states) s.threads = threads_per_rank;
+  for (int r = 0; r < nranks; ++r) {
+    auto& s = states[static_cast<std::size_t>(r)];
+    s.threads = options.threads_per_rank;
+    s.world_rank = r;
+    s.faults = options.faults;
+  }
+  if (options.watchdog_seconds > 0.0) {
+    set_watchdog(*registry, options.watchdog_seconds, [&states] {
+      std::string out = "last collective entered per rank:\n";
+      for (std::size_t r = 0; r < states.size(); ++r) {
+        out += "  rank " + std::to_string(r) + ": " +
+               describe_collective_tag(
+                   states[r].last_entered.load(std::memory_order_relaxed)) +
+               "\n";
+      }
+      return out;
+    });
+  }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
 
   auto rank_main = [&](int r) {
+    // The Comm lives OUTSIDE the try: the poison cascade must run before
+    // the communicator (and anything peers might still resolve through it)
+    // is torn down.
+    Comm comm(world_ctx, r, &states[static_cast<std::size_t>(r)], &model);
     try {
-      Comm comm(world_ctx, r, &states[static_cast<std::size_t>(r)], &model);
       body(comm);
     } catch (...) {
       errors[static_cast<std::size_t>(r)] = std::current_exception();
@@ -112,8 +156,17 @@ SpmdReport Runtime::run(int nranks, const std::function<void(Comm&)>& body,
       }
     }
   }
-  if (first_real) std::rethrow_exception(first_real);
-  if (first_any) std::rethrow_exception(first_any);
+  if (first_real || first_any) {
+    if (options.report_on_error) {
+      options.report_on_error->machine = machine;
+      options.report_on_error->ranks.clear();
+      options.report_on_error->ranks.reserve(states.size());
+      for (const auto& s : states) {
+        options.report_on_error->ranks.push_back(s.stats);
+      }
+    }
+    std::rethrow_exception(first_real ? first_real : first_any);
+  }
 
   SpmdReport report;
   report.machine = machine;

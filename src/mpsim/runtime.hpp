@@ -36,6 +36,33 @@ struct SpmdReport {
   /// Largest resident-memory ledger peak across ranks (scalar elements):
   /// the quantity the fully distributed pipeline bounds by O(nnz/p + n).
   std::uint64_t max_peak_resident() const;
+
+  /// Folds another run's per-rank ledgers into this report (rank-wise;
+  /// the reports must have the same rank count, or this one must still be
+  /// empty). The recoverable driver uses this so the cost of abandoned
+  /// attempts — including injected stalls and retry backoff — stays on
+  /// the final bill instead of vanishing with the failed run.
+  void merge_from(const SpmdReport& other);
+};
+
+/// Extended launch configuration for fault-tolerance work.
+struct RunOptions {
+  MachineParams machine{};
+  /// Hybrid OpenMP-MPI configuration; see Runtime::run.
+  int threads_per_rank = 1;
+  /// Scripted faults injected at each rank's collective-entry hook; may be
+  /// null. Actions are one-shot (transient-fault semantics) — see fault.hpp.
+  FaultPlan* faults = nullptr;
+  /// Barrier watchdog budget in wall-clock seconds; 0 disables. A barrier
+  /// left incomplete this long poisons the run and throws
+  /// WatchdogTimeoutError naming each rank's last-entered collective, so a
+  /// stalled rank becomes a bounded-time diagnostic instead of a hang.
+  double watchdog_seconds = 0.0;
+  /// When a rank throws, the runtime rethrows on the caller's thread and
+  /// the run's SpmdReport is never returned. If non-null, the partial
+  /// per-rank ledgers are copied here before the rethrow so a recoverable
+  /// driver can still charge the abandoned attempt's cost.
+  SpmdReport* report_on_error = nullptr;
 };
 
 class Runtime {
@@ -49,6 +76,10 @@ class Runtime {
   static SpmdReport run(int nranks, const std::function<void(Comm&)>& body,
                         const MachineParams& machine = {},
                         int threads_per_rank = 1);
+
+  /// Same, with fault injection and the barrier watchdog.
+  static SpmdReport run(int nranks, const std::function<void(Comm&)>& body,
+                        const RunOptions& options);
 };
 
 }  // namespace drcm::mps

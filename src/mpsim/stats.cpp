@@ -59,6 +59,11 @@ void StatsRecorder::note_resident(std::uint64_t elements) {
   if (elements > peak_resident_) peak_resident_ = elements;
 }
 
+void StatsRecorder::merge_from(const StatsRecorder& other) {
+  for (int p = 0; p < kNumPhases; ++p) totals_[p] += other.totals_[p];
+  note_resident(other.peak_resident_);
+}
+
 PhaseTotals StatsRecorder::total() const {
   PhaseTotals sum;
   for (const auto& t : totals_) sum += t;

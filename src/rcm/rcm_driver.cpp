@@ -1,7 +1,11 @@
 #include "rcm/rcm_driver.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
+#include <exception>
+#include <functional>
+#include <string>
 
 #include "dist/primitives.hpp"
 #include "dist/redistribute.hpp"
@@ -94,15 +98,120 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
   return global;
 }
 
+namespace {
+
+/// Per-rank resident budget of the pipeline: O(nnz/q + n) with the
+/// constants explained at ordered_solve's closing check. `q` is the grid
+/// side (sqrt of the world size).
+std::uint64_t resident_budget(nnz_t nnz, int q, index_t n) {
+  return 8 * static_cast<std::uint64_t>(nnz) / static_cast<std::uint64_t>(q) +
+         10 * static_cast<std::uint64_t>(n) + 1024;
+}
+
+struct RedistributeOut {
+  dist::RowBlockCsr block;
+  index_t bandwidth = 0;
+};
+
+/// Stage 2 of the pipeline: value-carrying permute on the 2D grid, then the
+/// 1D re-owning into solver row blocks. Collective; `labels` must be the
+/// replicated stage-1 output.
+RedistributeOut redistribute_stage(mps::Comm& world,
+                                   const sparse::CsrMatrix& a,
+                                   const std::vector<index_t>& labels) {
+  dist::ProcGrid2D grid(world);
+  RedistributeOut out;
+  // The permuted 2D intermediate lives exactly as long as the re-owning
+  // needs it, so the resident ledger matches what is actually live: the
+  // 2D input block dies after the redistribution, the permuted 2D block
+  // after the 1D re-owning.
+  const auto permuted = [&] {
+    // The value-carrying 2D decomposition, built from the
+    // pre-distribution input ONCE; every later stage works on
+    // distributed blocks only. Permuting in place in parallel (the
+    // paper's conclusion): the values ride the redistribution alltoallv
+    // with their coordinates.
+    dist::DistSpMat mat(grid, a);
+    world.note_resident(mat.resident_elements());
+    return dist::redistribute_permuted(mat, labels, grid);
+  }();
+
+  // Bandwidth of the permuted system, computed distributively: each
+  // local entry's |row - col| is a lower bound and every entry lives
+  // somewhere.
+  index_t local_bw = 0;
+  for (index_t lc = 0; lc < permuted.local_cols(); ++lc) {
+    for (const index_t lr : permuted.column(lc)) {
+      local_bw = std::max(local_bw, std::abs((lr + permuted.row_lo()) -
+                                             (lc + permuted.col_lo())));
+    }
+  }
+  out.bandwidth = world.allreduce(
+      local_bw, [](index_t x, index_t y) { return std::max(x, y); });
+
+  // 2D -> 1D re-owning: the permuted matrix becomes the solver's
+  // contiguous row blocks without ever being gathered.
+  out.block = dist::to_row_blocks(permuted, world);
+  return out;
+}
+
+struct SolveOut {
+  solver::CgResult cg;
+  std::vector<double> x;  ///< replicated solution, ORIGINAL numbering
+};
+
+/// Stage 3 of the pipeline: fill my slab of the permuted rhs, run the
+/// distributed solver, map the solution back. Collective; `block` is the
+/// checkpointed stage-2 row block of this rank.
+SolveOut solve_stage(mps::Comm& world, const dist::RowBlockCsr& block,
+                     const std::vector<index_t>& labels,
+                     std::span<const double> b, bool precondition,
+                     const solver::CgOptions& cg_options) {
+  const index_t n = static_cast<index_t>(labels.size());
+  // My slab of the permuted rhs, filled from the replicated b through the
+  // inverse labeling (both O(n): within the per-rank budget).
+  std::vector<index_t> inverse(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    inverse[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])] = v;
+  }
+  std::vector<double> b_local(static_cast<std::size_t>(block.local_rows()));
+  for (index_t g = block.lo; g < block.hi; ++g) {
+    b_local[static_cast<std::size_t>(g - block.lo)] =
+        b[static_cast<std::size_t>(inverse[static_cast<std::size_t>(g)])];
+  }
+  world.note_resident(block.resident_elements() +
+                      3 * static_cast<std::uint64_t>(n));
+  world.charge_compute(static_cast<double>(2 * n + block.local_rows()));
+
+  SolveOut out;
+  std::vector<double> x_perm;
+  out.cg =
+      solver::dist_pcg(world, block, b_local, x_perm, precondition, cg_options);
+
+  // Back to the original numbering.
+  out.x.resize(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v) {
+    out.x[static_cast<std::size_t>(v)] =
+        x_perm[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])];
+  }
+  world.charge_compute(static_cast<double>(n));
+  return out;
+}
+
+}  // namespace
+
 OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
                                  std::span<const double> b, bool precondition,
                                  const DistRcmOptions& rcm_options,
                                  const solver::CgOptions& cg_options,
                                  const sparse::CsrMatrix* adjacency) {
-  DRCM_CHECK(a.has_values(), "ordered_solve needs a solver matrix with values");
+  // A matrix with zero stored entries is vacuously valued: the degenerate
+  // n = 0 input must flow through, not trip the precondition meant for
+  // pattern-only matrices.
+  DRCM_CHECK(a.has_values() || a.nnz() == 0,
+             "ordered_solve needs a solver matrix with values");
   DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
   const index_t n = a.n();
-  const int p = world.size();
 
   dist::ProcGrid2D grid(world);
 
@@ -116,67 +225,13 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
     out.labels = dist_rcm(world, a.strip_diagonal(), rcm_options);
   }
 
-  // Each distributed stage lives exactly as long as the next one needs it,
-  // so the resident ledger the stages record matches what is actually
-  // live: the 2D input block dies after the redistribution, the permuted
-  // 2D block after the 1D re-owning.
-  dist::RowBlockCsr block;
-  {
-    const auto permuted = [&] {
-      // The value-carrying 2D decomposition, built from the
-      // pre-distribution input ONCE; every later stage works on
-      // distributed blocks only. Permuting in place in parallel (the
-      // paper's conclusion): the values ride the redistribution alltoallv
-      // with their coordinates.
-      dist::DistSpMat mat(grid, a);
-      world.note_resident(mat.resident_elements());
-      return dist::redistribute_permuted(mat, out.labels, grid);
-    }();
+  const auto redist = redistribute_stage(world, a, out.labels);
+  out.permuted_bandwidth = redist.bandwidth;
 
-    // Bandwidth of the permuted system, computed distributively: each
-    // local entry's |row - col| is a lower bound and every entry lives
-    // somewhere.
-    index_t local_bw = 0;
-    for (index_t lc = 0; lc < permuted.local_cols(); ++lc) {
-      for (const index_t lr : permuted.column(lc)) {
-        local_bw = std::max(local_bw, std::abs((lr + permuted.row_lo()) -
-                                               (lc + permuted.col_lo())));
-      }
-    }
-    out.permuted_bandwidth = world.allreduce(
-        local_bw, [](index_t x, index_t y) { return std::max(x, y); });
-
-    // 2D -> 1D re-owning: the permuted matrix becomes the solver's
-    // contiguous row blocks without ever being gathered.
-    block = dist::to_row_blocks(permuted, world);
-  }
-
-  // My slab of the permuted rhs, filled from the replicated b through the
-  // inverse labeling (both O(n): within the per-rank budget).
-  std::vector<index_t> inverse(static_cast<std::size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    inverse[static_cast<std::size_t>(out.labels[static_cast<std::size_t>(v)])] = v;
-  }
-  std::vector<double> b_local(static_cast<std::size_t>(block.local_rows()));
-  for (index_t g = block.lo; g < block.hi; ++g) {
-    b_local[static_cast<std::size_t>(g - block.lo)] =
-        b[static_cast<std::size_t>(inverse[static_cast<std::size_t>(g)])];
-  }
-  world.note_resident(block.resident_elements() +
-                      3 * static_cast<std::uint64_t>(n));
-  world.charge_compute(static_cast<double>(2 * n + block.local_rows()));
-
-  std::vector<double> x_perm;
-  out.cg =
-      solver::dist_pcg(world, block, b_local, x_perm, precondition, cg_options);
-
-  // Back to the original numbering.
-  out.x.resize(static_cast<std::size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    out.x[static_cast<std::size_t>(v)] =
-        x_perm[static_cast<std::size_t>(out.labels[static_cast<std::size_t>(v)])];
-  }
-  world.charge_compute(static_cast<double>(n));
+  auto solved =
+      solve_stage(world, redist.block, out.labels, b, precondition, cg_options);
+  out.cg = solved.cg;
+  out.x = std::move(solved.x);
 
   // The scalability contract the gather-based path violates. The solver
   // stage is O(nnz/p + n) per rank; the 2D permuted INTERMEDIATE is
@@ -187,12 +242,8 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
   // recorded as a ROADMAP follow-up). Constants cover the 3-wide
   // (row, col, value) in-flight triples and the split solver system.
   const auto peak = world.stats().peak_resident_elements();
-  const auto budget = 8 * static_cast<std::uint64_t>(a.nnz()) /
-                          static_cast<std::uint64_t>(grid.q()) +
-                      10 * static_cast<std::uint64_t>(n) + 1024;
-  DRCM_CHECK(peak <= budget,
+  DRCM_CHECK(peak <= resident_budget(a.nnz(), grid.q(), n),
              "ordered_solve per-rank resident peak exceeded O(nnz/q + n)");
-  (void)p;
   return out;
 }
 
@@ -214,6 +265,171 @@ OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
         if (world.rank() == 0) run.result = std::move(result);
       },
       machine, resolve_threads(rcm_options.threads));
+  return run;
+}
+
+OrderedSolveRecoverableRun run_ordered_solve_recoverable(
+    int nranks, const sparse::CsrMatrix& a, std::span<const double> b,
+    bool precondition, const DistRcmOptions& rcm_options,
+    const solver::CgOptions& cg_options, const RecoveryOptions& recovery) {
+  DRCM_CHECK(a.has_values() || a.nnz() == 0,
+             "ordered_solve needs a solver matrix with values");
+  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
+  DRCM_CHECK(recovery.max_attempts >= 1, "need at least one attempt");
+  const index_t n = a.n();
+  const int q = static_cast<int>(std::lround(std::sqrt(nranks)));
+  DRCM_CHECK(q * q == nranks, "world size must be a perfect square");
+  const std::uint64_t budget = resident_budget(a.nnz(), q, n);
+  const int threads = resolve_threads(rcm_options.threads);
+  const auto adjacency = a.strip_diagonal();
+
+  OrderedSolveRecoverableRun run;
+
+  // Launches one stage as its own SPMD run, retrying from the current
+  // checkpoints on failure. Two failure modes feed the same retry loop:
+  // an exception out of the run (rank death, injected allocation failure,
+  // watchdog timeout, a structural DRCM_CHECK tripped by a corrupted
+  // payload) and a validation failure on the checkpointed output (silent
+  // corruption that produced structurally plausible garbage). Faults are
+  // one-shot, so a retry replays the stage on clean inputs.
+  const auto run_stage = [&](const char* stage,
+                             const std::function<void(mps::Comm&)>& body,
+                             const std::function<std::string()>& validate) {
+    for (int attempt = 1;; ++attempt) {
+      mps::RunOptions options;
+      options.machine = recovery.machine;
+      options.threads_per_rank = threads;
+      options.faults = recovery.faults;
+      options.watchdog_seconds = recovery.watchdog_seconds;
+      mps::SpmdReport partial;
+      options.report_on_error = &partial;
+
+      std::string failure;
+      std::exception_ptr error;
+      ++run.runs;
+      try {
+        const auto report = mps::Runtime::run(
+            nranks,
+            [&](mps::Comm& world) {
+              if (attempt > 1) {
+                // Retry backoff, charged as modeled stall time so recovery
+                // cost appears in the merged ledger.
+                world.charge_stall(recovery.backoff_modeled_seconds *
+                                   (attempt - 1));
+              }
+              body(world);
+            },
+            options);
+        run.report.merge_from(report);
+        DRCM_CHECK(report.max_peak_resident() <= budget,
+                   "per-rank resident peak exceeded O(nnz/q + n)");
+        failure = validate();
+        if (failure.empty()) return;
+      } catch (const std::exception& e) {
+        if (!partial.ranks.empty()) run.report.merge_from(partial);
+        failure = e.what();
+        error = std::current_exception();
+      }
+      run.fault_log.push_back(std::string(stage) + " attempt " +
+                              std::to_string(attempt) + ": " + failure);
+      if (attempt >= recovery.max_attempts) {
+        if (error) std::rethrow_exception(error);
+        throw CheckError("ordered_solve " + std::string(stage) +
+                         " stage failed validation after " +
+                         std::to_string(attempt) + " attempts: " + failure);
+      }
+    }
+  };
+
+  // Stage 1: ordering. Checkpoint: the replicated label vector.
+  std::vector<index_t> labels;
+  run_stage(
+      "ordering",
+      [&](mps::Comm& world) {
+        auto result = dist_rcm(world, adjacency, rcm_options);
+        if (world.rank() == 0) labels = std::move(result);
+      },
+      [&]() -> std::string {
+        // A corrupted index payload that survived the run shows up here:
+        // RCM labels must be a permutation of [0, n).
+        if (labels.size() != static_cast<std::size_t>(n)) {
+          return "ordering produced " + std::to_string(labels.size()) +
+                 " labels for n=" + std::to_string(n);
+        }
+        std::vector<char> seen(static_cast<std::size_t>(n), 0);
+        for (const index_t l : labels) {
+          if (l < 0 || l >= n || seen[static_cast<std::size_t>(l)]) {
+            return "ordering labels are not a permutation of [0, n)";
+          }
+          seen[static_cast<std::size_t>(l)] = 1;
+        }
+        return {};
+      });
+
+  // Stage 2: redistribute. Checkpoint: one row block per rank (simulated
+  // ranks share the address space, so the driver can hold them directly)
+  // plus the permuted bandwidth.
+  std::vector<dist::RowBlockCsr> blocks(static_cast<std::size_t>(nranks));
+  index_t bandwidth = 0;
+  run_stage(
+      "redistribute",
+      [&](mps::Comm& world) {
+        auto result = redistribute_stage(world, a, labels);
+        blocks[static_cast<std::size_t>(world.rank())] =
+            std::move(result.block);
+        if (world.rank() == 0) bandwidth = result.bandwidth;
+      },
+      [&]() -> std::string {
+        index_t rows = 0;
+        nnz_t nnz = 0;
+        index_t expect_lo = 0;
+        for (const auto& blk : blocks) {
+          if (blk.n != n || blk.lo != expect_lo || blk.hi < blk.lo) {
+            return "redistribute produced a non-contiguous row partition";
+          }
+          expect_lo = blk.hi;
+          rows += blk.local_rows();
+          nnz += blk.local_nnz();
+          for (const double v : blk.vals) {
+            if (!std::isfinite(v)) {
+              return "redistribute produced non-finite matrix values";
+            }
+          }
+        }
+        if (rows != n || expect_lo != n) {
+          return "redistribute lost rows: covered " + std::to_string(rows) +
+                 " of " + std::to_string(n);
+        }
+        if (nnz != a.nnz()) {
+          return "redistribute lost entries: " + std::to_string(nnz) +
+                 " of " + std::to_string(a.nnz());
+        }
+        return {};
+      });
+
+  // Stage 3: solve from the checkpointed blocks. kNanInf is the retryable
+  // solver outcome (a poisoned recurrence); every other status is a
+  // structured result the caller branches on.
+  run_stage(
+      "solve",
+      [&](mps::Comm& world) {
+        auto result =
+            solve_stage(world, blocks[static_cast<std::size_t>(world.rank())],
+                        labels, b, precondition, cg_options);
+        if (world.rank() == 0) {
+          run.result.cg = result.cg;
+          run.result.x = std::move(result.x);
+        }
+      },
+      [&]() -> std::string {
+        if (run.result.cg.status == solver::SolveStatus::kNanInf) {
+          return "solver reported nan-inf (poisoned recurrence)";
+        }
+        return {};
+      });
+
+  run.result.labels = std::move(labels);
+  run.result.permuted_bandwidth = bandwidth;
   return run;
 }
 

@@ -131,4 +131,53 @@ OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
                                   const solver::CgOptions& cg_options = {},
                                   const mps::MachineParams& machine = {});
 
+/// Retry policy of run_ordered_solve_recoverable.
+struct RecoveryOptions {
+  mps::MachineParams machine{};
+  /// Scripted faults injected into every attempt's ranks; may be null.
+  /// Actions are one-shot, so a fault consumed by a failed attempt does
+  /// not re-fire in the retry — the property that makes bounded retries
+  /// make progress.
+  mps::FaultPlan* faults = nullptr;
+  /// Barrier watchdog budget per attempt (see mps::RunOptions); 0 disables.
+  double watchdog_seconds = 0.0;
+  /// Attempts per stage (>= 1) before the last failure is rethrown.
+  int max_attempts = 3;
+  /// Modeled backoff charged as a stall on every rank at the start of
+  /// retry k (linear: k * backoff seconds), so recovery cost shows up in
+  /// the merged ledger like any other modeled time.
+  double backoff_modeled_seconds = 0.05;
+};
+
+/// Result of a recoverable pipeline run. `report` is the sum over every
+/// attempt — including abandoned ones — so injected stalls, partial work
+/// and retry backoff all stay on the bill; `fault_log` names each failure
+/// that was absorbed.
+struct OrderedSolveRecoverableRun {
+  OrderedSolveResult result;
+  mps::SpmdReport report;
+  /// Runtime::run launches performed (3 stages when fault-free).
+  int runs = 0;
+  /// One line per absorbed failure: "<stage> attempt <k>: <what>".
+  std::vector<std::string> fault_log;
+};
+
+/// The Figure-1 pipeline with stage-boundary checkpoints and bounded
+/// retries. Execution is split into three SPMD runs — ordering,
+/// redistribute (2D permute + 1D re-owning), solve — whose outputs
+/// (replicated labels; per-rank row blocks) the driver holds between runs.
+/// A failed attempt (rank death, injected allocation failure, corrupted
+/// payload tripping a structural check or poisoning the CG recurrence,
+/// watchdog timeout) is retried from the last checkpoint up to
+/// `max_attempts` times with modeled backoff; one-shot fault semantics
+/// guarantee progress, and a recovered run is bit-identical to a
+/// fault-free run. When a stage exhausts its attempts the last structured
+/// error is rethrown — either way the pipeline terminates in bounded time
+/// with a named outcome, never a hang or a raw abort.
+OrderedSolveRecoverableRun run_ordered_solve_recoverable(
+    int nranks, const sparse::CsrMatrix& a, std::span<const double> b,
+    bool precondition = true, const DistRcmOptions& rcm_options = {},
+    const solver::CgOptions& cg_options = {},
+    const RecoveryOptions& recovery = {});
+
 }  // namespace drcm::rcm

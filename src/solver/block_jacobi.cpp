@@ -17,7 +17,7 @@ BlockJacobi::BlockJacobi(const sparse::CsrMatrix& a, int num_blocks) {
     const index_t lo = b * n / nb;
     const index_t hi = (b + 1) * n / nb;
     if (lo == hi) continue;
-    blocks_.push_back(factor_block(a, lo, hi));
+    blocks_.push_back(factor_block(a, lo, hi, &shifted_pivots_));
     captured += static_cast<nnz_t>(blocks_.back().cols.size());
   }
   capture_fraction_ =
@@ -26,7 +26,8 @@ BlockJacobi::BlockJacobi(const sparse::CsrMatrix& a, int num_blocks) {
 }
 
 BlockJacobi::Block BlockJacobi::factor_block(const sparse::CsrMatrix& a,
-                                             index_t lo, index_t hi) {
+                                             index_t lo, index_t hi,
+                                             int* shifted_pivots) {
   Block blk;
   blk.lo = lo;
   blk.hi = hi;
@@ -91,11 +92,10 @@ BlockJacobi::Block BlockJacobi::factor_block(const sparse::CsrMatrix& a,
     for (nnz_t kk = row_begin(i); kk < row_end(i); ++kk) {
       const index_t k = blk.cols[static_cast<std::size_t>(kk)];
       if (k >= i) break;
-      double pivot = blk.vals[static_cast<std::size_t>(
+      // Earlier rows are fully factored with their diagonal already
+      // shifted onto the pivot floor, so the pivot is read as stored.
+      const double pivot = blk.vals[static_cast<std::size_t>(
           blk.diag_pos[static_cast<std::size_t>(k)])];
-      if (std::abs(pivot) < kPivotFloor) {
-        pivot = pivot < 0 ? -kPivotFloor : kPivotFloor;
-      }
       const double lik = blk.vals[static_cast<std::size_t>(kk)] / pivot;
       blk.vals[static_cast<std::size_t>(kk)] = lik;
       // a_ij -= l_ik * u_kj for j > k present in both rows i and k.
@@ -108,6 +108,16 @@ BlockJacobi::Block BlockJacobi::factor_block(const sparse::CsrMatrix& a,
               lik * blk.vals[static_cast<std::size_t>(kj)];
         }
       }
+    }
+    // Row i is final: a vanishing diagonal is shifted IN STORAGE to the
+    // pivot floor (later rows divide by it, apply() divides by it) and the
+    // fallback is recorded so callers can see the factorization was not
+    // the exact ILU(0) of the input.
+    double& diag = blk.vals[static_cast<std::size_t>(
+        blk.diag_pos[static_cast<std::size_t>(i)])];
+    if (std::abs(diag) < kPivotFloor) {
+      diag = diag < 0 ? -kPivotFloor : kPivotFloor;
+      if (shifted_pivots) ++*shifted_pivots;
     }
   }
   return blk;
@@ -131,8 +141,8 @@ void BlockJacobi::apply(std::span<const double> r, std::span<double> z) const {
       }
       z[static_cast<std::size_t>(blk.lo + i)] = sum;
     }
-    // Backward solve U z = y.
-    constexpr double kPivotFloor = 1e-12;
+    // Backward solve U z = y. Diagonals were shifted onto the pivot floor
+    // at factor time, so the stored value divides safely as-is.
     for (index_t i = m; i-- > 0;) {
       double sum = z[static_cast<std::size_t>(blk.lo + i)];
       const nnz_t dp = blk.diag_pos[static_cast<std::size_t>(i)];
@@ -142,11 +152,8 @@ void BlockJacobi::apply(std::span<const double> r, std::span<double> z) const {
                z[static_cast<std::size_t>(blk.lo +
                                           blk.cols[static_cast<std::size_t>(k)])];
       }
-      double pivot = blk.vals[static_cast<std::size_t>(dp)];
-      if (std::abs(pivot) < kPivotFloor) {
-        pivot = pivot < 0 ? -kPivotFloor : kPivotFloor;
-      }
-      z[static_cast<std::size_t>(blk.lo + i)] = sum / pivot;
+      z[static_cast<std::size_t>(blk.lo + i)] =
+          sum / blk.vals[static_cast<std::size_t>(dp)];
     }
   }
 }

@@ -36,6 +36,12 @@ class BlockJacobi {
   /// quality proxy reported by the Figure-1 bench.
   double capture_fraction() const { return capture_fraction_; }
 
+  /// Number of vanishing ILU(0) pivots the factorization shifted to the
+  /// +-1e-12 floor — the recorded fallback that keeps the triangular
+  /// sweeps defined on wildly non-dominant inputs. 0 on healthy SPD
+  /// matrices (the factorization is then untouched).
+  int shifted_pivots() const { return shifted_pivots_; }
+
  private:
   struct Block {
     index_t lo = 0;  ///< first row of the block
@@ -48,10 +54,12 @@ class BlockJacobi {
     std::vector<nnz_t> diag_pos;
   };
 
-  static Block factor_block(const sparse::CsrMatrix& a, index_t lo, index_t hi);
+  static Block factor_block(const sparse::CsrMatrix& a, index_t lo, index_t hi,
+                            int* shifted_pivots);
 
   std::vector<Block> blocks_;
   double capture_fraction_ = 0.0;
+  int shifted_pivots_ = 0;
 };
 
 }  // namespace drcm::solver

@@ -1,10 +1,23 @@
 #include "solver/cg.hpp"
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "solver/spmv.hpp"
 
 namespace drcm::solver {
+
+const char* solve_status_name(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kConverged: return "converged";
+    case SolveStatus::kMaxIterations: return "max-iterations";
+    case SolveStatus::kBreakdown: return "breakdown";
+    case SolveStatus::kStagnation: return "stagnation";
+    case SolveStatus::kNanInf: return "nan-inf";
+  }
+  return "unknown";
+}
 
 CgResult pcg(const sparse::CsrMatrix& a, std::span<const double> b,
              std::span<double> x, const BlockJacobi* preconditioner,
@@ -14,16 +27,19 @@ CgResult pcg(const sparse::CsrMatrix& a, std::span<const double> b,
              "CG dimension mismatch");
   const std::size_t n = b.size();
 
+  CgResult res;
+  if (preconditioner) res.shifted_pivots = preconditioner->shifted_pivots();
+
   std::vector<double> r(n), z(n), p(n), ap(n);
   // r = b - A x.
   spmv(a, x, r);
   for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
 
   const double bnorm = norm2(b);
-  CgResult res;
   if (bnorm == 0.0) {
     std::fill(x.begin(), x.end(), 0.0);
     res.converged = true;
+    res.status = SolveStatus::kConverged;
     return res;
   }
 
@@ -40,26 +56,55 @@ CgResult pcg(const sparse::CsrMatrix& a, std::span<const double> b,
   p = z;
   double rz = dot(r, z);
 
+  double best_residual = std::numeric_limits<double>::infinity();
+  int since_improvement = 0;
   for (int it = 0; it < options.max_iterations; ++it) {
     res.relative_residual = norm2(r) / bnorm;
+    if (!std::isfinite(res.relative_residual)) {
+      res.status = SolveStatus::kNanInf;
+      return res;
+    }
     if (res.relative_residual <= options.rtol) {
       res.converged = true;
+      res.status = SolveStatus::kConverged;
       return res;
+    }
+    if (options.stagnation_window > 0) {
+      if (res.relative_residual < 0.999 * best_residual) {
+        best_residual = res.relative_residual;
+        since_improvement = 0;
+      } else if (++since_improvement >= options.stagnation_window) {
+        res.status = SolveStatus::kStagnation;
+        return res;
+      }
     }
     spmv(a, p, ap);
     const double pap = dot(p, ap);
-    DRCM_CHECK(pap > 0.0, "matrix is not positive definite along p");
+    if (!std::isfinite(pap)) {
+      res.status = SolveStatus::kNanInf;
+      return res;
+    }
+    if (pap <= 0.0) {
+      res.status = SolveStatus::kBreakdown;
+      return res;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
     precondition(r, z);
     const double rz_next = dot(r, z);
+    if (!std::isfinite(rz_next)) {
+      res.status = SolveStatus::kNanInf;
+      return res;
+    }
     xpby(z, rz_next / rz, p);  // p = z + beta p
     rz = rz_next;
     res.iterations = it + 1;
   }
   res.relative_residual = norm2(r) / bnorm;
   res.converged = res.relative_residual <= options.rtol;
+  res.status =
+      res.converged ? SolveStatus::kConverged : SolveStatus::kMaxIterations;
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 
@@ -110,6 +111,10 @@ LocalSystem build_local_system(mps::Comm& world, index_t n, ColsOf&& cols_of,
   for (int peer = 0; peer < p; ++peer) {
     auto& ids = sys.send_local_ids[static_cast<std::size_t>(peer)];
     for (std::int64_t k = 0; k < counts[static_cast<std::size_t>(peer)]; ++k) {
+      // Receive-path range check (always on): the requested index arrived
+      // over the wire and becomes an x_local offset on every SpMV.
+      DRCM_CHECK(wanted[pos] >= sys.lo && wanted[pos] < sys.hi,
+                 "halo request outside the owned row block");
       ids.push_back(wanted[pos++] - sys.lo);
     }
   }
@@ -195,9 +200,19 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
   const double bnorm = std::sqrt(dist_dot(world, r, r));
 
   CgResult res;
+  if (pre) res.shifted_pivots = pre->shifted_pivots();
   if (bnorm == 0.0) {
     res.converged = true;
+    res.status = SolveStatus::kConverged;
     x.assign(static_cast<std::size_t>(n), 0.0);
+    return res;
+  }
+  if (!std::isfinite(bnorm)) {
+    // A NaN/Inf rhs (e.g. a corrupted payload upstream): report instead of
+    // iterating on poisoned data. Every rank sees the same allreduced norm,
+    // so every rank takes this exit together.
+    res.status = SolveStatus::kNanInf;
+    x = world.allgatherv(std::span<const double>(x_local));
     return res;
   }
 
@@ -214,15 +229,48 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
   pdir.assign(z.begin(), z.end());
   double rz = dist_dot(world, r, z);
 
-  for (int it = 0; it < options.max_iterations; ++it) {
+  // Every exit decision below is driven by allreduce-replicated scalars
+  // (residual norm, p'Ap, r'z), so all ranks branch identically and the
+  // collective sequence never diverges — a structured status, never a
+  // mismatch or a deadlock.
+  double best_residual = std::numeric_limits<double>::infinity();
+  int since_improvement = 0;
+  bool done = false;
+  for (int it = 0; it < options.max_iterations && !done; ++it) {
     res.relative_residual = std::sqrt(dist_dot(world, r, r)) / bnorm;
+    if (!std::isfinite(res.relative_residual)) {
+      res.status = SolveStatus::kNanInf;
+      done = true;
+      break;
+    }
     if (res.relative_residual <= options.rtol) {
       res.converged = true;
+      res.status = SolveStatus::kConverged;
+      done = true;
       break;
+    }
+    if (options.stagnation_window > 0) {
+      if (res.relative_residual < 0.999 * best_residual) {
+        best_residual = res.relative_residual;
+        since_improvement = 0;
+      } else if (++since_improvement >= options.stagnation_window) {
+        res.status = SolveStatus::kStagnation;
+        done = true;
+        break;
+      }
     }
     dist_spmv(world, sys, pdir, halo, ap);
     const double pap = dist_dot(world, pdir, ap);
-    DRCM_CHECK(pap > 0.0, "matrix is not positive definite along p");
+    if (!std::isfinite(pap)) {
+      res.status = SolveStatus::kNanInf;
+      done = true;
+      break;
+    }
+    if (pap <= 0.0) {
+      res.status = SolveStatus::kBreakdown;
+      done = true;
+      break;
+    }
     const double alpha = rz / pap;
     for (std::size_t i = 0; i < nloc; ++i) {
       x_local[i] += alpha * pdir[i];
@@ -231,15 +279,22 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
     world.charge_compute(static_cast<double>(2 * nloc));
     apply_pre(r, z);
     const double rz_next = dist_dot(world, r, z);
+    if (!std::isfinite(rz_next)) {
+      res.status = SolveStatus::kNanInf;
+      done = true;
+      break;
+    }
     const double beta = rz_next / rz;
     for (std::size_t i = 0; i < nloc; ++i) pdir[i] = z[i] + beta * pdir[i];
     world.charge_compute(static_cast<double>(nloc));
     rz = rz_next;
     res.iterations = it + 1;
   }
-  if (!res.converged) {
+  if (!done) {
     res.relative_residual = std::sqrt(dist_dot(world, r, r)) / bnorm;
     res.converged = res.relative_residual <= options.rtol;
+    res.status = res.converged ? SolveStatus::kConverged
+                               : SolveStatus::kMaxIterations;
   }
 
   // Replicate the solution: contiguous blocks concatenate in rank order.

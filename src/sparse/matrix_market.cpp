@@ -2,12 +2,22 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
+#include <vector>
 
 #include "sparse/coo.hpp"
 
 namespace drcm::sparse {
+
+ParseError::ParseError(std::size_t line, const std::string& what)
+    : CheckError("Matrix Market parse error at line " + std::to_string(line) +
+                 ": " + what),
+      line_(line) {}
 
 namespace {
 
@@ -18,8 +28,51 @@ std::string lower(std::string s) {
 }
 
 [[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw CheckError("Matrix Market parse error at line " + std::to_string(line) +
-                   ": " + what);
+  throw ParseError(line, what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(std::move(tok));
+  return out;
+}
+
+/// getline keeps the '\r' of CRLF files; drop it so token and emptiness
+/// checks see the record, not the line ending.
+void strip_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+/// Parses a decimal 64-bit integer, distinguishing overflow from garbage —
+/// a coordinate wider than index_t must be reported as such, not wrapped
+/// into a bogus in-range index.
+std::int64_t parse_int(const std::string& tok, std::size_t line,
+                       const char* what) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    fail(line, std::string(what) + " '" + tok + "' overflows a 64-bit index");
+  }
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) {
+    fail(line, std::string("malformed ") + what + " '" + tok + "'");
+  }
+  return v;
+}
+
+double parse_value(const std::string& tok, std::size_t line) {
+  const char* begin = tok.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end != begin + tok.size() || tok.empty()) {
+    fail(line, "malformed value '" + tok + "'");
+  }
+  // Overflowing literals (strtod returns ±HUGE_VAL) and explicit nan/inf
+  // are both rejected: a non-finite entry would silently poison every
+  // solve downstream.
+  if (!std::isfinite(v)) fail(line, "non-finite value '" + tok + "'");
+  return v;
 }
 
 }  // namespace
@@ -28,12 +81,18 @@ CsrMatrix read_matrix_market(std::istream& in) {
   std::string line;
   std::size_t lineno = 0;
 
-  DRCM_CHECK(static_cast<bool>(std::getline(in, line)), "empty Matrix Market stream");
+  if (!std::getline(in, line)) fail(0, "empty Matrix Market stream");
   ++lineno;
+  strip_cr(line);
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
   if (banner != "%%MatrixMarket") fail(lineno, "missing %%MatrixMarket banner");
+  if (symmetry.empty()) {
+    fail(lineno,
+         "truncated header (expected '%%MatrixMarket matrix coordinate "
+         "<field> <symmetry>')");
+  }
   if (lower(object) != "matrix") fail(lineno, "unsupported object '" + object + "'");
   if (lower(format) != "coordinate") {
     fail(lineno, "unsupported format '" + format + "' (only coordinate)");
@@ -52,36 +111,75 @@ CsrMatrix read_matrix_market(std::istream& in) {
   // Skip comments / blank lines, then read the size line.
   index_t rows = 0, cols = 0;
   nnz_t entries = 0;
+  bool have_size = false;
   while (std::getline(in, line)) {
     ++lineno;
+    strip_cr(line);
     if (line.empty() || line[0] == '%') continue;
-    std::istringstream sz(line);
-    if (!(sz >> rows >> cols >> entries)) fail(lineno, "bad size line");
+    const auto toks = tokenize(line);
+    if (toks.size() != 3) {
+      fail(lineno, "bad size line (expected 'rows cols entries')");
+    }
+    rows = parse_int(toks[0], lineno, "row count");
+    cols = parse_int(toks[1], lineno, "column count");
+    entries = parse_int(toks[2], lineno, "entry count");
+    have_size = true;
     break;
   }
+  if (!have_size) fail(lineno, "truncated file: missing size line");
   if (rows <= 0 || cols <= 0) fail(lineno, "non-positive dimensions");
   if (rows != cols) fail(lineno, "only square matrices are supported");
   if (entries < 0) fail(lineno, "negative entry count");
 
   CooBuilder builder(rows);
+  // Exact stored coordinates seen so far: a file listing the same (r, c)
+  // twice is corrupt (the duplicate would silently accumulate or shadow).
+  // Keyed as (r-1)*cols + (c-1), collision-free while rows*cols fits the
+  // key width — far beyond any parseable file.
+  std::unordered_set<std::uint64_t> coords;
+  coords.reserve(static_cast<std::size_t>(std::min<nnz_t>(entries, 1 << 20)));
   nnz_t seen = 0;
   while (seen < entries) {
-    if (!std::getline(in, line)) fail(lineno, "unexpected end of file");
+    if (!std::getline(in, line)) {
+      fail(lineno, "unexpected end of file: read " + std::to_string(seen) +
+                       " of " + std::to_string(entries) + " entries");
+    }
     ++lineno;
+    strip_cr(line);
     if (line.empty() || line[0] == '%') continue;
-    std::istringstream es(line);
-    index_t r = 0, c = 0;
-    double v = 1.0;
-    if (!(es >> r >> c)) fail(lineno, "bad entry line");
-    if (!is_pattern && !(es >> v)) fail(lineno, "missing value");
+    const auto toks = tokenize(line);
+    const std::size_t expected = is_pattern ? 2 : 3;
+    if (toks.size() < expected) {
+      fail(lineno, is_pattern ? "bad entry line (expected 'row col')"
+                              : "bad entry line (expected 'row col value')");
+    }
+    if (toks.size() > expected) fail(lineno, "trailing garbage on entry line");
+    const index_t r = parse_int(toks[0], lineno, "row index");
+    const index_t c = parse_int(toks[1], lineno, "column index");
+    const double v = is_pattern ? 1.0 : parse_value(toks[2], lineno);
     if (r < 1 || r > rows || c < 1 || c > cols) fail(lineno, "entry out of range");
     if (is_symmetric && c > r) fail(lineno, "upper-triangle entry in symmetric file");
+    const std::uint64_t key = static_cast<std::uint64_t>(r - 1) *
+                                  static_cast<std::uint64_t>(cols) +
+                              static_cast<std::uint64_t>(c - 1);
+    if (!coords.insert(key).second) {
+      fail(lineno, "duplicate entry (" + std::to_string(r) + ", " +
+                       std::to_string(c) + ")");
+    }
     if (is_symmetric) {
       builder.add_symmetric(r - 1, c - 1, v);
     } else {
       builder.add(r - 1, c - 1, v);
     }
     ++seen;
+  }
+  // Anything after the declared entries other than comments or blank lines
+  // means the size line and the body disagree.
+  while (std::getline(in, line)) {
+    ++lineno;
+    strip_cr(line);
+    if (line.empty() || line[0] == '%') continue;
+    fail(lineno, "more entries than the size line declared");
   }
   return builder.to_csr(!is_pattern);
 }

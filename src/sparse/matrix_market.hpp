@@ -3,19 +3,39 @@
 // The paper's suite comes from the UF/SuiteSparse collection, which ships in
 // this format; users with local copies can run every bench and example on
 // the real matrices. Supported: `matrix coordinate real|integer|pattern
-// general|symmetric`. Reads are validated and throw drcm::CheckError with a
-// line number on malformed input.
+// general|symmetric`. Reads are validated field by field and throw
+// drcm::sparse::ParseError naming the offending line on malformed input —
+// truncated headers, missing size lines, 64-bit integer overflow,
+// out-of-range or duplicate coordinates, non-finite values, trailing
+// garbage, and upper-triangle entries in symmetric files all produce a
+// structured error instead of a bad matrix.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
+#include "common/check.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::sparse {
 
+/// Thrown on malformed Matrix Market input. Derives from CheckError so
+/// callers that treat all input validation uniformly keep working;
+/// `line()` gives the 1-based line of the offending record (0 when the
+/// stream is empty), which what() also embeds.
+class ParseError : public CheckError {
+ public:
+  ParseError(std::size_t line, const std::string& what);
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_ = 0;
+};
+
 /// Parses a Matrix Market stream. Symmetric files are mirrored to a full
-/// pattern; `pattern` files yield a pattern-only CsrMatrix.
+/// pattern; `pattern` files yield a pattern-only CsrMatrix. Throws
+/// ParseError on malformed input.
 CsrMatrix read_matrix_market(std::istream& in);
 
 /// Convenience file wrapper around read_matrix_market.

@@ -134,6 +134,51 @@ TEST(ThreadArms, SparseAndDenseMergeRegimesEmitIdenticalEntries) {
   });
 }
 
+TEST(ThreadArms, SortMergeStripeMergeProbesEachHeadOncePerRound) {
+  // The hybrid kSortMerge stage-2b merge used to scan every stripe head
+  // TWICE per emitted row (one pass to find the minimum, a second to
+  // re-find and advance the winners): 2*E*S + S probes for E emitted rows
+  // from S stripes. The single-pass merge is pinned at exactly (E + 1) * S
+  // — each round reads each head once, and the last round discovers every
+  // head exhausted — while emitting bit-identical entries.
+  const auto a = gen::grid3d(5, 5, 6);
+  Runtime::run(1, [&](Comm& world) {
+    ProcGrid2D grid(world);
+    DistSpMat mat(grid, a);
+    for (const index_t stride : {a.n(), index_t{7}, index_t{1}}) {
+      std::vector<VecEntry> frontier;
+      for (index_t v = 0; v < a.n(); v += stride) {
+        frontier.push_back(VecEntry{v, a.n() - v});
+      }
+      DistWorkspace serial_ws;
+      double w0 = 0;
+      const auto want =
+          spmspv_local_multiply(mat, frontier, SpmspvAccumulator::kSortMerge,
+                                serial_ws, &w0, nullptr, 1);
+      for (const u64 threads : {2u, 3u, 6u}) {
+        DistWorkspace ws;
+        double w1 = 0;
+        const auto got = spmspv_local_multiply(
+            mat, frontier, SpmspvAccumulator::kSortMerge, ws, &w1, nullptr,
+            static_cast<int>(threads));
+        ASSERT_EQ(got, want) << "threads=" << threads << " stride=" << stride;
+        const u64 emitted = static_cast<u64>(got.size());
+        EXPECT_EQ(ws.merge_probes(), (emitted + 1) * threads)
+            << "threads=" << threads << " stride=" << stride;
+      }
+    }
+    // Degenerate frontier: zero emitted rows still cost one probe per
+    // stripe (the round that discovers there is nothing to merge).
+    DistWorkspace ws;
+    double w = 0;
+    const std::vector<VecEntry> empty;
+    const auto got = spmspv_local_multiply(
+        mat, empty, SpmspvAccumulator::kSortMerge, ws, &w, nullptr, 4);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(ws.merge_probes(), 4u);
+  });
+}
+
 TEST(ThreadArms, ReallocAccountingAcrossThreadCountChanges) {
   // Growing the thread count allocates (and is counted); shrinking
   // retains the extra arms' storage and re-growing back must be free, so a

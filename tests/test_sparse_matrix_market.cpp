@@ -99,6 +99,104 @@ TEST(MatrixMarket, MalformedInputsThrowWithLineInfo) {
       "upper triangle in symmetric");
 }
 
+// Table-driven hardening sweep: every class of malformed file must produce
+// a ParseError naming the offending line, never a bad matrix or a crash.
+TEST(MatrixMarket, BadFilesThrowStructuredParseErrors) {
+  struct BadFile {
+    const char* name;
+    const char* text;
+    std::size_t line;          // expected ParseError::line()
+    const char* what_substr;   // expected fragment of the message
+  };
+  const BadFile kCases[] = {
+      {"empty stream", "", 0, "empty"},
+      {"truncated header", "%%MatrixMarket matrix coordinate real\n1 1 0\n", 1,
+       "truncated header"},
+      {"missing size line", "%%MatrixMarket matrix coordinate real general\n",
+       1, "missing size line"},
+      {"comments then eof",
+       "%%MatrixMarket matrix coordinate real general\n% only comments\n", 2,
+       "missing size line"},
+      {"size line garbage",
+       "%%MatrixMarket matrix coordinate real general\n2 2 x\n", 2,
+       "malformed entry count"},
+      {"size line extra tokens",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1 7\n", 2,
+       "bad size line"},
+      {"row count overflow",
+       "%%MatrixMarket matrix coordinate real general\n"
+       "99999999999999999999999 99999999999999999999999 1\n1 1 1.0\n",
+       2, "overflows"},
+      {"entry index overflow",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+       "99999999999999999999999 1 1.0\n",
+       3, "overflows"},
+      {"negative dimensions",
+       "%%MatrixMarket matrix coordinate real general\n-2 -2 1\n1 1 1.0\n", 2,
+       "non-positive"},
+      {"zero row index",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 1.0\n", 3,
+       "out of range"},
+      {"column out of range",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 3 1.0\n", 3,
+       "out of range"},
+      {"duplicate entry",
+       "%%MatrixMarket matrix coordinate real general\n2 2 3\n"
+       "1 1 1.0\n1 2 2.0\n1 1 5.0\n",
+       5, "duplicate entry"},
+      {"duplicate diagonal in symmetric",
+       "%%MatrixMarket matrix coordinate real symmetric\n2 2 3\n"
+       "1 1 1.0\n2 1 2.0\n1 1 4.0\n",
+       5, "duplicate entry"},
+      {"upper triangle declared symmetric",
+       "%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n1 2 1.0\n", 3,
+       "upper-triangle"},
+      {"non-finite value",
+       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 nan\n", 3,
+       "non-finite"},
+      {"value overflow",
+       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1e999\n", 3,
+       "non-finite"},
+      {"malformed value",
+       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0x\n", 3,
+       "malformed value"},
+      {"trailing garbage on entry",
+       "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 1.0 oops\n",
+       3, "trailing garbage"},
+      {"more entries than declared",
+       "%%MatrixMarket matrix coordinate real general\n2 2 1\n"
+       "1 1 1.0\n2 2 1.0\n",
+       4, "more entries"},
+      {"truncated body",
+       "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", 3,
+       "unexpected end of file"},
+  };
+  for (const auto& c : kCases) {
+    std::istringstream in(c.text);
+    try {
+      read_matrix_market(in);
+      FAIL() << c.name << ": expected ParseError";
+    } catch (const ParseError& e) {
+      EXPECT_EQ(e.line(), c.line) << c.name;
+      EXPECT_NE(std::string(e.what()).find(c.what_substr), std::string::npos)
+          << c.name << ": got '" << e.what() << "'";
+    }
+  }
+}
+
+// CRLF files parse identically to LF files.
+TEST(MatrixMarket, AcceptsCrlfLineEndings) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\r\n"
+      "2 2 2\r\n"
+      "1 1 4.0\r\n"
+      "2 2 4.0\r\n");
+  const auto a = read_matrix_market(in);
+  EXPECT_EQ(a.n(), 2);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.row_values(1)[0], 4.0);
+}
+
 TEST(MatrixMarket, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/foo.mtx"), CheckError);
 }
