@@ -6,8 +6,17 @@
 // resident ledger shrink with the grid — then project the same execution to
 // Edison-scale core counts with the trace model.
 //
-//   $ ./examples/distributed_scaling
+// The ordered_solve section runs BOTH redistribution routes per grid — the
+// legacy two-hop 2D-permute -> re-own chain ("before") and the one-shot
+// streaming redistribution ("after") — and enforces the ledger regression
+// gate: the one-shot per-rank resident peak must STRICTLY decrease across
+// p = 4 -> 9 -> 16. `--json FILE` additionally emits the before/after
+// redistribution words-moved and peak-resident numbers (BENCH_2.json).
+//
+//   $ ./examples/distributed_scaling [--json BENCH_2.json]
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "common/timer.hpp"
 #include "rcm/rcm_driver.hpp"
@@ -15,9 +24,19 @@
 #include "sparse/generators.hpp"
 #include "sparse/metrics.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drcm;
   namespace gen = sparse::gen;
+
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::printf("usage: %s [--json FILE]\n", argv[0]);
+      return 1;
+    }
+  }
 
   // An elongated 3D shell arriving scattered: the ldoor regime (high
   // diameter, RCM-friendly).
@@ -53,11 +72,13 @@ int main() {
   std::printf("ordering is bit-identical on every grid "
               "(the paper's quality-insensitivity claim, exactly).\n\n");
 
-  // The Figure-1 pipeline end to end, fully distributed: ordering, in-place
-  // permutation (values riding the redistribution), 2D->1D re-owning and
-  // block-Jacobi CG all on the grid. peak-resident is the mpsim ledger's
-  // per-rank high-water mark — it SHRINKS with the grid, where a gathered
-  // permuted CSR would pin ~n + 2*nnz elements on every rank.
+  // The Figure-1 pipeline end to end, fully distributed: ordering, one-shot
+  // streaming redistribution (values riding the single alltoallv straight
+  // to the 1D owners), and block-Jacobi CG all on the grid. peak-resident
+  // is the mpsim ledger's per-rank high-water mark — it SHRINKS with the
+  // grid, where a gathered permuted CSR would pin ~n + 2*nnz elements on
+  // every rank. Each grid also runs the legacy two-hop route ("before")
+  // so the one-shot win shows up as measured redistribution words moved.
   const auto m = gen::with_laplacian_values(a, 0.02);
   std::vector<double> b(static_cast<std::size_t>(m.n()));
   for (index_t i = 0; i < m.n(); ++i) {
@@ -67,23 +88,51 @@ int main() {
   const auto gathered =
       static_cast<unsigned long long>(m.n() + 1) +
       2 * static_cast<unsigned long long>(m.nnz());
-  std::printf("ordered_solve pipeline (RCM -> permute -> 2D->1D -> CG), "
-              "rtol 1e-8; gathered-CSR footprint would be %llu:\n", gathered);
-  std::printf("%6s %8s %12s %14s %12s\n", "ranks", "iters", "bandwidth",
-              "peak-resident", "solver chg");
+  std::printf("ordered_solve pipeline (RCM -> one-shot redistribute -> CG), "
+              "rtol 1e-8; gathered-CSR footprint would be %llu\n", gathered);
+  std::printf("(redist words / peak-resident are per-rank maxima; 'two-hop' "
+              "is the legacy permute -> re-own route):\n");
+  std::printf("%6s %8s %12s %14s %14s %14s %14s\n", "ranks", "iters",
+              "bandwidth", "redist words", "two-hop words", "peak-resident",
+              "two-hop peak");
+  struct Point {
+    int ranks;
+    unsigned long long one_words, one_peak, two_words, two_peak;
+  };
+  std::vector<Point> points;
   for (const int p : {1, 4, 9, 16}) {
     solver::CgOptions opt;
     opt.rtol = 1e-8;
+    rcm::DistRcmOptions one_shot;
+    one_shot.one_shot_redistribute = true;
+    rcm::DistRcmOptions two_hop;
+    two_hop.one_shot_redistribute = false;
     const auto run = rcm::run_ordered_solve(p, m, b, /*precondition=*/true,
-                                            {}, opt);
-    if (!run.result.cg.converged) {
+                                            one_shot, opt);
+    const auto before = rcm::run_ordered_solve(p, m, b, /*precondition=*/true,
+                                               two_hop, opt);
+    if (!run.result.cg.converged || !before.result.cg.converged) {
       std::printf("ERROR: pipeline did not converge at p=%d\n", p);
       return 1;
     }
-    std::printf("%6d %8d %12lld %14llu %12.5f\n", p, run.result.cg.iterations,
+    Point pt;
+    pt.ranks = p;
+    pt.one_words = run.report.aggregate(mps::Phase::kRedistribute).max.words;
+    pt.one_peak = run.report.max_peak_resident();
+    pt.two_words = before.report.aggregate(mps::Phase::kRedistribute).max.words;
+    pt.two_peak = before.report.max_peak_resident();
+    points.push_back(pt);
+    std::printf("%6d %8d %12lld %14llu %14llu %14llu %14llu\n", p,
+                run.result.cg.iterations,
                 static_cast<long long>(run.result.permuted_bandwidth),
-                static_cast<unsigned long long>(run.report.max_peak_resident()),
-                run.report.aggregate(mps::Phase::kSolver).max.model_total());
+                pt.one_words, pt.two_words, pt.one_peak, pt.two_peak);
+    // The two routes must be interchangeable: identical ordering quality
+    // and identical solver trajectory (the tests pin the solutions bitwise).
+    if (run.result.cg.iterations != before.result.cg.iterations ||
+        run.result.permuted_bandwidth != before.result.permuted_bandwidth) {
+      std::printf("ERROR: one-shot and two-hop runs disagree at p=%d!\n", p);
+      return 1;
+    }
     // The pipeline's bandwidth must agree with the grid-insensitive
     // ordering above. (Iteration counts may differ BETWEEN rank counts —
     // p diagonal preconditioner blocks per p ranks — but each equals the
@@ -103,8 +152,50 @@ int main() {
       return 1;
     }
   }
-  std::printf("no-gather pipeline holds: every rank's ledger peak stayed "
-              "below the gathered footprint from p=9 on.\n\n");
+  // The ledger-regression gate: the one-shot O(nnz/p + n/p) contract means
+  // the per-rank peak must STRICTLY decrease as the grid grows. A flat or
+  // rising step means some stage re-grew an O(n) or O(nnz/q) resident.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].ranks < 4) continue;  // p=1 has no distribution to shrink
+    if (points[i].one_peak >= points[i - 1].one_peak) {
+      std::printf("ERROR: ledger regression: peak did not decrease from "
+                  "p=%d (%llu) to p=%d (%llu)!\n", points[i - 1].ranks,
+                  points[i - 1].one_peak, points[i].ranks, points[i].one_peak);
+      return 1;
+    }
+  }
+  std::printf("ledger-regression holds: per-rank peak strictly decreases "
+              "with p, and stays below the gathered footprint from p=9 on.\n\n");
+
+  if (json_path != nullptr) {
+    std::FILE* f = std::fopen(json_path, "w");
+    if (f == nullptr) {
+      std::printf("ERROR: cannot open %s for writing\n", json_path);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"one_shot_redistribution\",\n");
+    std::fprintf(f, "  \"matrix\": {\"n\": %lld, \"nnz\": %lld},\n",
+                 static_cast<long long>(m.n()),
+                 static_cast<long long>(m.nnz()));
+    std::fprintf(f, "  \"gathered_csr_elements\": %llu,\n", gathered);
+    std::fprintf(f, "  \"units\": {\"words\": \"per-rank max words moved in "
+                 "Phase::kRedistribute\", \"peak_resident\": \"per-rank max "
+                 "ledger elements\"},\n");
+    std::fprintf(f, "  \"points\": [\n");
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      const auto& pt = points[i];
+      std::fprintf(f,
+                   "    {\"ranks\": %d, \"before\": {\"redistribute_words\": "
+                   "%llu, \"peak_resident\": %llu}, \"after\": "
+                   "{\"redistribute_words\": %llu, \"peak_resident\": "
+                   "%llu}}%s\n",
+                   pt.ranks, pt.two_words, pt.two_peak, pt.one_words,
+                   pt.one_peak, i + 1 < points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n\n", json_path);
+  }
 
   std::printf("trace-model projection to Edison-scale (6 threads/process):\n");
   std::printf("%6s %14s %10s\n", "cores", "modeled (s)", "speedup");

@@ -2,33 +2,6 @@
 
 namespace drcm::dist {
 
-DistDenseVec::DistDenseVec(const VectorDist& dist, ProcGrid2D& grid,
-                           index_t init)
-    : dist_(dist) {
-  DRCM_CHECK(dist.q() == grid.q(), "vector distribution does not fit grid");
-  const auto [lo, hi] = dist.owned_range(grid.row(), grid.col());
-  lo_ = lo;
-  hi_ = hi;
-  data_.assign(static_cast<std::size_t>(hi_ - lo_), init);
-}
-
-std::vector<index_t> DistDenseVec::to_global(mps::Comm& world) const {
-  const int q = dist_.q();
-  DRCM_CHECK(world.size() == q * q, "to_global needs the grid's world comm");
-  const auto all = world.allgatherv(std::span<const index_t>(data_));
-  std::vector<index_t> global(static_cast<std::size_t>(dist_.n()));
-  // allgatherv concatenates in world-rank order; owned ranges are known
-  // arithmetically, so each block lands at its global offset.
-  std::size_t pos = 0;
-  for (int w = 0; w < world.size(); ++w) {
-    const auto [lo, hi] = dist_.owned_range(w / q, w % q);
-    for (index_t g = lo; g < hi; ++g) {
-      global[static_cast<std::size_t>(g)] = all[pos++];
-    }
-  }
-  return global;
-}
-
 DistSpVec::DistSpVec(const VectorDist& dist, ProcGrid2D& grid) : dist_(dist) {
   DRCM_CHECK(dist.q() == grid.q(), "vector distribution does not fit grid");
   const auto [lo, hi] = dist.owned_range(grid.row(), grid.col());

@@ -85,39 +85,87 @@ class VectorDist {
   int q_ = 1;
 };
 
-/// Dense distributed vector of index_t (the paper's R, D and level
-/// vectors): each rank stores exactly its owned range.
-class DistDenseVec {
+/// Dense distributed vector: each rank stores exactly its owned range.
+///
+/// Ownership contract:
+///   * Construction is per-rank arithmetic (no communication): the rank at
+///     grid position (row, col) allocates exactly `dist.owned_range(row,
+///     col)` — a contiguous [lo, hi) window of O(n/p) elements.
+///   * `get`/`set` touch ONLY owned elements; addressing an element outside
+///     [lo, hi) is a contract violation (debug-checked). There is no remote
+///     access path — cross-rank movement is always an explicit collective
+///     (`to_global`, or the redistribute overloads in redistribute.hpp).
+///   * `to_global` is the ONE deliberate replication point, and it is
+///     collective: every rank pays O(n). Pipeline stages must stay on the
+///     owned slab and never call it on the hot path; the resident ledger
+///     treats any surviving O(n) copy as a scalability bug.
+///
+/// Instantiated for index_t (the paper's R, D and level vectors — the
+/// `DistDenseVec` alias) and double (the distributed right-hand side and
+/// solution of the value pipeline — `DistDenseVecD`).
+template <class T>
+class DistDenseVecT {
  public:
-  DistDenseVec() = default;
-  DistDenseVec(const VectorDist& dist, ProcGrid2D& grid, index_t init = 0);
+  DistDenseVecT() = default;
+  DistDenseVecT(const VectorDist& dist, ProcGrid2D& grid, T init = T{})
+      : dist_(dist) {
+    DRCM_CHECK(dist.q() == grid.q(), "vector distribution does not fit grid");
+    const auto [lo, hi] = dist.owned_range(grid.row(), grid.col());
+    lo_ = lo;
+    hi_ = hi;
+    data_.assign(static_cast<std::size_t>(hi_ - lo_), init);
+  }
 
   index_t lo() const { return lo_; }
   index_t hi() const { return hi_; }
   index_t local_size() const { return hi_ - lo_; }
   bool owns(index_t g) const { return g >= lo_ && g < hi_; }
 
-  index_t get(index_t g) const {
+  T get(index_t g) const {
     DRCM_DCHECK(owns(g), "get of unowned element");
     return data_[static_cast<std::size_t>(g - lo_)];
   }
-  void set(index_t g, index_t v) {
+  void set(index_t g, T v) {
     DRCM_DCHECK(owns(g), "set of unowned element");
     data_[static_cast<std::size_t>(g - lo_)] = v;
   }
 
   const VectorDist& dist() const { return dist_; }
 
+  /// This rank's owned slab in ascending global-index order.
+  std::span<const T> local() const { return data_; }
+
   /// Replicates the full vector on every rank, in global index order.
-  /// Collective.
-  std::vector<index_t> to_global(mps::Comm& world) const;
+  /// Collective — the explicit O(n)-per-rank escape hatch; see the
+  /// ownership contract above.
+  std::vector<T> to_global(mps::Comm& world) const {
+    const int q = dist_.q();
+    DRCM_CHECK(world.size() == q * q, "to_global needs the grid's world comm");
+    const auto all = world.allgatherv(std::span<const T>(data_));
+    std::vector<T> global(static_cast<std::size_t>(dist_.n()));
+    // allgatherv concatenates in world-rank order; owned ranges are known
+    // arithmetically, so each block lands at its global offset.
+    std::size_t pos = 0;
+    for (int w = 0; w < world.size(); ++w) {
+      const auto [lo, hi] = dist_.owned_range(w / q, w % q);
+      for (index_t g = lo; g < hi; ++g) {
+        global[static_cast<std::size_t>(g)] = all[pos++];
+      }
+    }
+    return global;
+  }
 
  private:
   VectorDist dist_{};
   index_t lo_ = 0;
   index_t hi_ = 0;
-  std::vector<index_t> data_;
+  std::vector<T> data_;
 };
+
+/// The paper's index-valued vectors (R, D, levels).
+using DistDenseVec = DistDenseVecT<index_t>;
+/// The value pipeline's distributed rhs / solution.
+using DistDenseVecD = DistDenseVecT<double>;
 
 /// Sparse distributed vector (the paper's frontiers): each rank holds the
 /// entries of its owned range, strictly ascending by index.

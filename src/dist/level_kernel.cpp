@@ -1,5 +1,8 @@
 #include "dist/level_kernel.hpp"
 
+#include <algorithm>
+
+#include "common/timer.hpp"
 #include "dist/primitives.hpp"
 #include "dist/sortperm.hpp"
 
@@ -162,7 +165,15 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
   const index_t my_block = block_index(grid.row(), grid.col(), q);
 
   CmLevelResult res;
-  mps::PhaseScope scope(world, spmspv_phase);
+  // Measured-wall attribution: a single PhaseScope would land EVERY second
+  // of this fused collective — including the SORTPERM plan, deal and worker
+  // sort — on the SpMSpV ledger (the modeled split was always exact; the
+  // measured one was not, and fig4's breakdown reports the measured split).
+  // Instead, sample a timer around each sort-side callback section and
+  // split the total at the end.
+  WallTimer level_timer;
+  double sort_wall = 0.0;
+  const mps::Phase prev_phase = world.set_phase(spmspv_phase);
 
   // SET fused into publish-buffer construction, exactly as in
   // bfs_level_step: the outgoing frontier carries labels[idx] (the parent's
@@ -171,13 +182,14 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
 
   std::vector<VecEntry> kept;
   auto& entry_cell = w.entry_cell();
+  auto& hist = w.hist_cells();
   SortPlan plan;
   std::size_t my_cells = 0;
   res.global_nnz = static_cast<index_t>(
-      world.fused_order_level<VecEntry, SortRec, SortHistCell>(
+      world.fused_order_level<VecEntry, SortRec, index_t>(
           grid.col_world_ranks(), std::span<const VecEntry>(outgoing),
           w.gather_scratch(), w.fused_route(static_cast<std::size_t>(p)),
-          w.recv_scratch(), w.hist_cells(), w.hist_all(),
+          w.recv_scratch(), w.carry_words(), w.carry_words_all(),
           w.sort_route(static_cast<std::size_t>(p)), w.sort_recv_scratch(),
           w.entry_route(static_cast<std::size_t>(p)), w.rank_recv_scratch(),
           [&](const std::vector<VecEntry>& gathered,
@@ -185,21 +197,29 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             route_partials(a, gathered, route, acc, world, w, &res.used);
           },
           [&](const std::vector<VecEntry>& received,
-              std::vector<SortHistCell>& carry) -> std::int64_t {
+              std::vector<index_t>& carry) -> std::int64_t {
             merge_and_select(received, labels, kNoVertex, world, other_phase,
                              w, kept);
             // The SORTPERM bucket histogram of the kept level rides the
-            // count superstep as the carried payload.
+            // count superstep as the carried payload — two-level packed
+            // (sortperm_pack_cells), so a degree-diverse level carries ~1
+            // word per cell instead of 4 and the allgathered volume stays
+            // below the element deal instead of approaching 4x above it.
             const auto prev = world.set_phase(sort_phase);
+            const WallTimer sort_timer;
             sortperm_local_hist(std::span<const VecEntry>(kept), degrees,
-                                label_lo, label_hi, my_block, w, carry,
+                                label_lo, label_hi, my_block, w, hist,
                                 entry_cell);
-            my_cells = carry.size();
-            world.charge_compute(static_cast<double>(2 * kept.size()));
+            sortperm_pack_cells(std::span<const SortHistCell>(hist), my_block,
+                                carry);
+            my_cells = hist.size();
+            world.charge_compute(
+                static_cast<double>(2 * kept.size() + carry.size()));
+            sort_wall += sort_timer.seconds();
             world.set_phase(prev);
             return static_cast<std::int64_t>(kept.size());
           },
-          [&](std::int64_t total, const std::vector<SortHistCell>& cells,
+          [&](std::int64_t total, const std::vector<index_t>& carry_all,
               std::vector<std::vector<SortRec>>& deal) {
             // Crossings 4-5 and the sort-side volume belong to the
             // Ordering:Sort ledger from here on. Deal every kept element
@@ -207,6 +227,9 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             // cell start + within-cell ordinal (exact final positions), so
             // the worker stripes are the balanced partition of [0, total).
             world.set_phase(sort_phase);
+            const WallTimer sort_timer;
+            auto& cells = w.hist_all();
+            sortperm_unpack_cells(std::span<const index_t>(carry_all), cells);
             plan = sortperm_plan(std::span<const SortHistCell>(cells), p, nb,
                                  a.n(), w);
             DRCM_CHECK(plan.total == static_cast<index_t>(total),
@@ -218,7 +241,9 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
                           std::span<const index_t>(entry_cell), mine,
                           plan.total, p, deal);
             world.charge_compute(static_cast<double>(4 * cells.size()) +
-                                 static_cast<double>(kept.size() + nb));
+                                 static_cast<double>(kept.size() + nb) +
+                                 static_cast<double>(carry_all.size()));
+            sort_wall += sort_timer.seconds();
           },
           [&](const std::vector<SortRec>& dealt,
               std::span<const std::uint64_t> counts,
@@ -226,6 +251,7 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             // Worker side: the shared sort tail brings the dealt elements
             // to (bucket, degree, idx) — position — order, so my t-th
             // element's label is next_label + stripe_lo + t.
+            const WallTimer sort_timer;
             index_t stripe_lo = 0;
             auto& arr = sortperm_worker_sort(std::span<const SortRec>(dealt),
                                              counts, q, plan.total, nb, a.n(),
@@ -237,6 +263,7 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
                       next_label + stripe_lo + static_cast<index_t>(t)});
             }
             world.charge_compute(static_cast<double>(arr.size()));
+            sort_wall += sort_timer.seconds();
           },
           [&](const std::vector<VecEntry>& ranked) {
             // SET(R, Rnext): every kept element receives exactly one label.
@@ -251,9 +278,14 @@ CmLevelResult cm_level_step(const DistSpMat& a, const DistSpVec& frontier,
             world.set_phase(prev);
           }));
 
-  // Callbacks may have left the phase on the sort bucket; the scope's wall
-  // time is attributed to the SpMSpV phase (the modeled split stays exact).
+  // Callbacks may have left the phase on the sort bucket; restore it, then
+  // split the measured wall: the sampled SORTPERM seconds go to the sort
+  // ledger, the rest of the collective to SpMSpV.
   world.set_phase(spmspv_phase);
+  world.set_phase(prev_phase);
+  const double total_wall = level_timer.seconds();
+  world.stats().add_wall(sort_phase, sort_wall);
+  world.stats().add_wall(spmspv_phase, std::max(0.0, total_wall - sort_wall));
   res.next = frontier.sibling(std::move(kept));
   return res;
 }

@@ -39,4 +39,43 @@ DistDenseVec redistribute_permuted(const DistDenseVec& v,
                                    const std::vector<index_t>& labels,
                                    ProcGrid2D& grid);
 
+/// double overload: the distributed rhs/solution permuted in place.
+DistDenseVecD redistribute_permuted(const DistDenseVecD& v,
+                                    const std::vector<index_t>& labels,
+                                    ProcGrid2D& grid);
+
+/// Result of the fused permute + re-own streaming redistribution.
+struct OneShotRowBlocks {
+  RowBlockCsr block;
+  /// max |labels[r] - labels[c]| over all entries — the permuted bandwidth,
+  /// folded into the routing loop so no second pass over the entries (and
+  /// no permuted-2D intermediate to take it from) is needed.
+  index_t bandwidth = 0;
+};
+
+/// One-shot streaming redistribution, fusing redistribute_permuted and
+/// to_row_blocks: this rank streams the entries of its balanced-2D block of
+/// `a` (rows and columns restricted to its grid chunk) as relabeled
+/// (row, col, value) triples routed straight to the 1D owner of each NEW
+/// row — ONE alltoallv where the two-hop path pays two, and no permuted-2D
+/// intermediate, whose q diagonal blocks concentrate Θ(nnz/q) of the banded
+/// output, ever exists. The input block is consumed as a coordinate stream
+/// (3 nnz/p words, no O(n/q) column pointer), so the whole step stays
+/// O(nnz/p + n/p) resident per rank. The receive path re-sorts wholesale by
+/// (row, col) — unique keys under a bijective relabeling — so the block is
+/// bit-identical to the two-hop result. Collective on the grid's world.
+OneShotRowBlocks redistribute_to_row_blocks(const sparse::CsrMatrix& a,
+                                            const std::vector<index_t>& labels,
+                                            ProcGrid2D& grid);
+
+/// One-shot vector arm: routes each owned element g of the 2D-distributed
+/// vector to the 1D row-block owner of labels[g] in one alltoallv and
+/// returns this rank's solver slab (slab[labels[g] - lo] = v[g] for
+/// re-owned g). The rhs thus goes fixture -> O(n/p) 2D slab -> O(n/p) 1D
+/// slab without any rank ever holding a replicated copy. Collective on
+/// `world`, the grid's world communicator.
+std::vector<double> redistribute_to_row_slab(const DistDenseVecD& v,
+                                             const std::vector<index_t>& labels,
+                                             mps::Comm& world);
+
 }  // namespace drcm::dist

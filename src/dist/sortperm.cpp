@@ -132,6 +132,84 @@ void sortperm_local_hist(std::span<const VecEntry> entries,
   }
 }
 
+void sortperm_pack_cells(std::span<const SortHistCell> cells, index_t block,
+                         std::vector<index_t>& out) {
+  if (cells.empty()) return;
+  out.push_back(block);
+  const std::size_t nwords_at = out.size();
+  out.push_back(0);
+  std::size_t i = 0;
+  while (i < cells.size()) {
+    std::size_t j = i;
+    index_t multi = 0;
+    index_t single = 0;
+    while (j < cells.size() && cells[j].bucket == cells[i].bucket) {
+      DRCM_DCHECK(cells[j].block == block && cells[j].count >= 1,
+                  "packing a foreign or empty cell");
+      (cells[j].count == 1 ? single : multi) += 1;
+      ++j;
+    }
+    if (multi > 0) {
+      out.push_back(cells[i].bucket);
+      out.push_back(multi);
+      for (std::size_t t = i; t < j; ++t) {
+        if (cells[t].count != 1) {
+          out.push_back(cells[t].degree);
+          out.push_back(cells[t].count);
+        }
+      }
+    }
+    if (single > 0) {
+      out.push_back(cells[i].bucket);
+      out.push_back(-single);
+      for (std::size_t t = i; t < j; ++t) {
+        if (cells[t].count == 1) out.push_back(cells[t].degree);
+      }
+    }
+    i = j;
+  }
+  out[nwords_at] = static_cast<index_t>(out.size() - nwords_at - 1);
+}
+
+void sortperm_unpack_cells(std::span<const index_t> words,
+                           std::vector<SortHistCell>& out) {
+  std::size_t i = 0;
+  while (i < words.size()) {
+    DRCM_CHECK(i + 2 <= words.size(), "truncated packed histogram header");
+    const index_t block = words[i];
+    const index_t nwords = words[i + 1];
+    i += 2;
+    DRCM_CHECK(nwords >= 0 &&
+                   static_cast<std::size_t>(nwords) <= words.size() - i,
+               "packed histogram payload overruns the stream");
+    const std::size_t end = i + static_cast<std::size_t>(nwords);
+    while (i < end) {
+      DRCM_CHECK(end - i >= 2, "truncated packed histogram group");
+      const index_t bucket = words[i];
+      const index_t k = words[i + 1];
+      i += 2;
+      DRCM_CHECK(k != 0, "empty packed histogram group");
+      if (k > 0) {
+        DRCM_CHECK(static_cast<std::size_t>(k) <= (end - i) / 2,
+                   "truncated packed histogram pair group");
+        for (index_t g = 0; g < k; ++g) {
+          out.push_back(SortHistCell{bucket, words[i], block, words[i + 1]});
+          i += 2;
+        }
+      } else {
+        // Compare without negating k first: a corrupted most-negative k
+        // must fail the check, not overflow on -k.
+        DRCM_CHECK(k >= -static_cast<index_t>(end - i),
+                   "truncated packed histogram singleton group");
+        for (index_t g = 0; g < -k; ++g) {
+          out.push_back(SortHistCell{bucket, words[i], block, 1});
+          i += 1;
+        }
+      }
+    }
+  }
+}
+
 SortPlan sortperm_plan(std::span<const SortHistCell> cells, int p, index_t nb,
                        index_t n, DistWorkspace& ws) {
   // Receive-path range checks (always on): the cell table was exchanged

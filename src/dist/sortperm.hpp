@@ -83,6 +83,35 @@ void sortperm_local_hist(std::span<const VecEntry> entries,
                          std::vector<SortHistCell>& hist,
                          std::vector<index_t>& entry_cell);
 
+/// Two-level compaction of a local histogram for the fused collective's
+/// carried payload. The naive carry is 4 words per cell ((bucket, degree,
+/// block, count)), and on degree-diverse levels — where most cells hold a
+/// single element — the carried volume approaches 4x the ELEMENT volume,
+/// dwarfing the 3-word element deal it rides ahead of. The packed stream
+/// factors both repeated fields out:
+///
+///   stream  := [block, nwords] payload            (omitted when no cells)
+///   payload := group...                           (nwords words total)
+///   group   := [bucket,  k] (degree, count) x k   (cells with count > 1)
+///            | [bucket, -k] degree x k            (k singleton cells)
+///
+/// Degree-diverse cells cost ~1 word instead of 4; the stream is never
+/// larger than the naive cells plus one 2-word header. Each rank's stream
+/// is self-delimiting (the header carries its word count), so the
+/// rank-concatenated allgather decodes without per-source counts. Cells
+/// must be in local-histogram order (equal buckets adjacent, every count
+/// >= 1, all stamped with `block`) — sortperm_local_hist's output.
+void sortperm_pack_cells(std::span<const SortHistCell> cells, index_t block,
+                         std::vector<index_t>& out);
+
+/// Decodes a concatenation of packed streams back into histogram cells
+/// (appended to `out`). The words arrived over the wire, so the stream
+/// structure is checked as it is parsed (truncated header/group/payload,
+/// empty group: CheckError); field RANGES are re-checked by sortperm_plan,
+/// which every decoded table feeds.
+void sortperm_unpack_cells(std::span<const index_t> words,
+                           std::vector<SortHistCell>& out);
+
 /// Sorts the concatenation of every rank's histogram cells to (bucket,
 /// degree, block) order via three counting passes and prefix-sums the
 /// counts: the deterministic global plan every rank derives identically.

@@ -16,4 +16,12 @@ struct VecEntry {
   friend bool operator==(const VecEntry&, const VecEntry&) = default;
 };
 
+/// Same with a numerical payload: one rhs/solution element in flight
+/// through the value pipeline's redistribution collectives.
+struct VecEntryD {
+  index_t idx;
+  double val;
+  friend bool operator==(const VecEntryD&, const VecEntryD&) = default;
+};
+
 }  // namespace drcm::dist

@@ -76,6 +76,14 @@ std::vector<SortHistCell>& DistWorkspace::hist_all() {
   return checkout_cleared(hist_all_, hist_all_cap_);
 }
 
+std::vector<index_t>& DistWorkspace::carry_words() {
+  return checkout_cleared(carry_words_, carry_words_cap_);
+}
+
+std::vector<index_t>& DistWorkspace::carry_words_all() {
+  return checkout_cleared(carry_words_all_, carry_words_all_cap_);
+}
+
 std::vector<SortHistCell>& DistWorkspace::hist_table() {
   return checkout_cleared(hist_table_, hist_table_cap_);
 }

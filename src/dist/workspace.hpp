@@ -167,6 +167,11 @@ class DistWorkspace {
   std::vector<SortHistCell>& hist_all();
   std::vector<SortHistCell>& hist_table();
   std::vector<SortHistCell>& hist_shadow();
+  /// Packed-carry word streams of the fused ordering level: the local
+  /// two-level-compacted histogram (sortperm_pack_cells) and the
+  /// rank-concatenated allgather landing buffer it is decoded from.
+  std::vector<index_t>& carry_words();
+  std::vector<index_t>& carry_words_all();
   /// Local-histogram construction triples ((bucket, degree, entry ordinal)).
   std::vector<SortRec>& hist_recs();
   /// Per-cell global start positions of the sorted table, per-entry cell
@@ -264,6 +269,8 @@ class DistWorkspace {
   std::vector<index_t> counters_;
   std::vector<SortHistCell> hist_cells_;
   std::vector<SortHistCell> hist_all_;
+  std::vector<index_t> carry_words_;
+  std::vector<index_t> carry_words_all_;
   std::vector<SortHistCell> hist_table_;
   std::vector<SortHistCell> hist_shadow_;
   std::vector<SortRec> hist_recs_;
@@ -285,7 +292,9 @@ class DistWorkspace {
               fused_route_cap_ = 0, sort_cap_ = 0, sort_tmp_cap_ = 0,
               sort_route_cap_ = 0, index_cap_ = 0, counters_cap_ = 0,
               hist_cells_cap_ = 0,
-              hist_all_cap_ = 0, hist_table_cap_ = 0, hist_shadow_cap_ = 0,
+              hist_all_cap_ = 0, carry_words_cap_ = 0,
+              carry_words_all_cap_ = 0, hist_table_cap_ = 0,
+              hist_shadow_cap_ = 0,
               hist_recs_cap_ = 0, hist_start_cap_ = 0, entry_cell_cap_ = 0,
               my_starts_cap_ = 0, sort_recv_cap_ = 0,
               rank_recv_cap_ = 0;

@@ -16,6 +16,8 @@ std::string_view phase_name(Phase p) {
       return "Ordering:Other";
     case Phase::kSolver:
       return "Solver";
+    case Phase::kRedistribute:
+      return "Redistribute";
     case Phase::kOther:
       return "Other";
   }

@@ -25,6 +25,7 @@ enum class Phase : int {
   kOrderingSort,
   kOrderingOther,
   kSolver,
+  kRedistribute,
   kOther,
 };
 
@@ -63,9 +64,10 @@ class StatsRecorder {
   /// Records that this rank currently holds `elements` scalar slots of
   /// distributed-pipeline state (matrix blocks, in-flight exchange buffers,
   /// solver row blocks); the recorder keeps the high-water mark. This is
-  /// the ledger the no-gather pipeline's O(nnz/p + n) scalability contract
-  /// is asserted on: a stage that materializes the full matrix on one rank
-  /// shows up here as an O(nnz) peak.
+  /// the ledger the no-gather pipeline's O(nnz/p + n/p) scalability
+  /// contract is asserted on: a stage that materializes the full matrix or
+  /// a replicated O(n) vector on one rank shows up here as an O(nnz) or
+  /// O(n) peak.
   void note_resident(std::uint64_t elements);
   std::uint64_t peak_resident_elements() const { return peak_resident_; }
 

@@ -100,12 +100,36 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
 
 namespace {
 
-/// Per-rank resident budget of the pipeline: O(nnz/q + n) with the
-/// constants explained at ordered_solve's closing check. `q` is the grid
-/// side (sqrt of the world size).
-std::uint64_t resident_budget(nnz_t nnz, int q, index_t n) {
+/// Per-rank resident budget of the one-shot pipeline: O(nnz/p + n/p).
+/// Terms, largest first: this rank's balanced-2D input block consumed as
+/// coordinate triples plus its staged sends (6 nnz/p), the received 1D
+/// triples alongside them during the exchange (~3 nnz/p), the rebuilt row
+/// block and the split solver system (~8 nnz/p), rhs/solution/recurrence
+/// slabs and the halo (O(n/p) each). The constants are deliberately loose
+/// — 2D block skew before the load-balancing relabel, halo width — but the
+/// formula contains NO O(n) or O(nnz/q) term: that absence is the contract
+/// this budget enforces. (The replicated pre-distribution fixtures and
+/// labels live OUTSIDE the ledger, exactly as before; distributing the
+/// label vector itself is the recorded ROADMAP follow-up.)
+std::uint64_t resident_budget_one_shot(nnz_t nnz, int p, index_t n) {
+  return 24 * static_cast<std::uint64_t>(nnz) / static_cast<std::uint64_t>(p) +
+         48 * static_cast<std::uint64_t>(n) / static_cast<std::uint64_t>(p) +
+         4096;
+}
+
+/// Legacy budget of the two-hop path, kept callable for the before/after
+/// ledger comparison: the permuted-2D intermediate concentrates Θ(nnz/q)
+/// on the q diagonal blocks of the banded output, and the historic stage-3
+/// rhs scatter held O(n) replicated state. `q` is the grid side.
+std::uint64_t resident_budget_two_hop(nnz_t nnz, int q, index_t n) {
   return 8 * static_cast<std::uint64_t>(nnz) / static_cast<std::uint64_t>(q) +
          10 * static_cast<std::uint64_t>(n) + 1024;
+}
+
+std::uint64_t resident_budget(const DistRcmOptions& options, nnz_t nnz, int p,
+                              int q, index_t n) {
+  return options.one_shot_redistribute ? resident_budget_one_shot(nnz, p, n)
+                                       : resident_budget_two_hop(nnz, q, n);
 }
 
 struct RedistributeOut {
@@ -113,14 +137,31 @@ struct RedistributeOut {
   index_t bandwidth = 0;
 };
 
-/// Stage 2 of the pipeline: value-carrying permute on the 2D grid, then the
-/// 1D re-owning into solver row blocks. Collective; `labels` must be the
+/// Stage 2 of the pipeline: route every relabeled entry of this rank's
+/// balanced-2D block straight to its 1D solver owner. One alltoallv on the
+/// one-shot path; the two-hop arm (permuted-2D intermediate, then re-own)
+/// remains callable for the equivalence wall and pays two. Both arms
+/// produce bit-identical row blocks. Collective; `labels` must be the
 /// replicated stage-1 output.
 RedistributeOut redistribute_stage(mps::Comm& world,
                                    const sparse::CsrMatrix& a,
-                                   const std::vector<index_t>& labels) {
+                                   const std::vector<index_t>& labels,
+                                   bool one_shot) {
+  // The grid is built OUTSIDE the phase scope: its two Comm::split calls
+  // are collectives of their own, and keeping them out pins the
+  // kRedistribute crossing count to exactly the redistribution traffic
+  // (one-shot: alltoallv + bandwidth allreduce = 4 crossings; two-hop:
+  // two alltoallvs + allreduce = 6).
   dist::ProcGrid2D grid(world);
+  mps::PhaseScope scope(world, mps::Phase::kRedistribute);
   RedistributeOut out;
+  if (one_shot) {
+    auto fused = dist::redistribute_to_row_blocks(a, labels, grid);
+    out.block = std::move(fused.block);
+    out.bandwidth = fused.bandwidth;
+    return out;
+  }
+
   // The permuted 2D intermediate lives exactly as long as the re-owning
   // needs it, so the resident ledger matches what is actually live: the
   // 2D input block dies after the redistribution, the permuted 2D block
@@ -157,45 +198,63 @@ RedistributeOut redistribute_stage(mps::Comm& world,
 
 struct SolveOut {
   solver::CgResult cg;
-  std::vector<double> x;  ///< replicated solution, ORIGINAL numbering
+  std::vector<double> x_local;  ///< this rank's slab, PERMUTED rows
 };
 
-/// Stage 3 of the pipeline: fill my slab of the permuted rhs, run the
-/// distributed solver, map the solution back. Collective; `block` is the
-/// checkpointed stage-2 row block of this rank.
+/// Stage 3 of the pipeline: distribute the rhs, run the distributed
+/// solver, return this rank's solution slab. The rhs goes fixture ->
+/// O(n/p) 2D slab -> one alltoallv -> O(n/p) solver slab; the inverse
+/// labeling scan and the replicated permuted rhs of the old path are gone,
+/// and the solution never leaves slab form inside the SPMD body.
+/// Collective; `block` is the checkpointed stage-2 row block of this rank.
 SolveOut solve_stage(mps::Comm& world, const dist::RowBlockCsr& block,
                      const std::vector<index_t>& labels,
                      std::span<const double> b, bool precondition,
                      const solver::CgOptions& cg_options) {
   const index_t n = static_cast<index_t>(labels.size());
-  // My slab of the permuted rhs, filled from the replicated b through the
-  // inverse labeling (both O(n): within the per-rank budget).
-  std::vector<index_t> inverse(static_cast<std::size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    inverse[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])] = v;
+  dist::ProcGrid2D grid(world);
+  std::vector<double> b_local;
+  {
+    mps::PhaseScope scope(world, mps::Phase::kRedistribute);
+    // My arithmetic O(n/p) window of the pre-distribution rhs fixture,
+    // permuted and re-owned by the same routing rule as the matrix.
+    dist::DistDenseVecD b_dist(dist::VectorDist(n, grid.q()), grid, 0.0);
+    for (index_t g = b_dist.lo(); g < b_dist.hi(); ++g) {
+      b_dist.set(g, b[static_cast<std::size_t>(g)]);
+    }
+    world.charge_compute(static_cast<double>(b_dist.local_size()));
+    b_local = dist::redistribute_to_row_slab(b_dist, labels, world);
+    world.note_resident(block.resident_elements() +
+                        4 * static_cast<std::uint64_t>(b_dist.local_size()) +
+                        4 * b_local.size());
   }
-  std::vector<double> b_local(static_cast<std::size_t>(block.local_rows()));
-  for (index_t g = block.lo; g < block.hi; ++g) {
-    b_local[static_cast<std::size_t>(g - block.lo)] =
-        b[static_cast<std::size_t>(inverse[static_cast<std::size_t>(g)])];
-  }
-  world.note_resident(block.resident_elements() +
-                      3 * static_cast<std::uint64_t>(n));
-  world.charge_compute(static_cast<double>(2 * n + block.local_rows()));
 
   SolveOut out;
-  std::vector<double> x_perm;
-  out.cg =
-      solver::dist_pcg(world, block, b_local, x_perm, precondition, cg_options);
-
-  // Back to the original numbering.
-  out.x.resize(static_cast<std::size_t>(n));
-  for (index_t v = 0; v < n; ++v) {
-    out.x[static_cast<std::size_t>(v)] =
-        x_perm[static_cast<std::size_t>(labels[static_cast<std::size_t>(v)])];
-  }
-  world.charge_compute(static_cast<double>(n));
+  out.cg = solver::dist_pcg(world, block, b_local, out.x_local, precondition,
+                            cg_options);
   return out;
+}
+
+/// Assembles the replicated ORIGINAL-numbering solution from the per-rank
+/// permuted slabs, OUTSIDE the SPMD ranks (the driver holds the slabs like
+/// any other checkpoint, so no rank's ledger pays for the O(n) copy). The
+/// row blocks are contiguous, so rank-order concatenation IS the permuted
+/// vector; then x[v] = x_perm[labels[v]].
+std::vector<double> assemble_solution(
+    const std::vector<std::vector<double>>& slabs,
+    const std::vector<index_t>& labels) {
+  std::vector<double> x_perm;
+  x_perm.reserve(labels.size());
+  for (const auto& slab : slabs) {
+    x_perm.insert(x_perm.end(), slab.begin(), slab.end());
+  }
+  DRCM_CHECK(x_perm.size() == labels.size(),
+             "solution slabs must cover every permuted row exactly once");
+  std::vector<double> x(labels.size());
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    x[v] = x_perm[static_cast<std::size_t>(labels[v])];
+  }
+  return x;
 }
 
 }  // namespace
@@ -225,25 +284,27 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
     out.labels = dist_rcm(world, a.strip_diagonal(), rcm_options);
   }
 
-  const auto redist = redistribute_stage(world, a, out.labels);
+  const auto redist = redistribute_stage(world, a, out.labels,
+                                         rcm_options.one_shot_redistribute);
   out.permuted_bandwidth = redist.bandwidth;
 
   auto solved =
       solve_stage(world, redist.block, out.labels, b, precondition, cg_options);
   out.cg = solved.cg;
-  out.x = std::move(solved.x);
+  out.x_local = std::move(solved.x_local);
+  out.x_lo = redist.block.lo;
 
-  // The scalability contract the gather-based path violates. The solver
-  // stage is O(nnz/p + n) per rank; the 2D permuted INTERMEDIATE is
-  // Theta(nnz/q) on the q diagonal blocks, because a banded matrix
-  // concentrates there (q = sqrt(p) — still a vanishing fraction of nnz,
-  // where the gather path pins n + 2*nnz on every rank; fusing the
-  // permute with the 1D re-owning would cut the transient to O(nnz/p),
-  // recorded as a ROADMAP follow-up). Constants cover the 3-wide
-  // (row, col, value) in-flight triples and the split solver system.
+  // The scalability contract, now O(nnz/p + n/p) end to end on the
+  // default path: the one-shot redistribution streams the balanced-2D
+  // block straight into row blocks (no Θ(nnz/q) permuted-2D intermediate),
+  // the rhs moves as O(n/p) slabs, and the solution stays a slab — no
+  // O(n) replicated vector exists at ANY stage inside the ranks. The
+  // two-hop arm keeps its historic looser budget so the before/after
+  // ledgers remain comparable.
   const auto peak = world.stats().peak_resident_elements();
-  DRCM_CHECK(peak <= resident_budget(a.nnz(), grid.q(), n),
-             "ordered_solve per-rank resident peak exceeded O(nnz/q + n)");
+  DRCM_CHECK(
+      peak <= resident_budget(rcm_options, a.nnz(), world.size(), grid.q(), n),
+      "ordered_solve per-rank resident peak exceeded O(nnz/p + n/p)");
   return out;
 }
 
@@ -257,14 +318,22 @@ OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
   // be built concurrently inside the bodies.
   const auto adjacency = a.strip_diagonal();
   OrderedSolveRun run;
+  // Per-rank solution slabs, deposited like checkpoints: the replicated
+  // ORIGINAL-numbering x is assembled OUTSIDE the SPMD run, so no rank's
+  // resident ledger ever holds an O(n) value vector.
+  std::vector<std::vector<double>> slabs(static_cast<std::size_t>(nranks));
   run.report = mps::Runtime::run(
       nranks,
       [&](mps::Comm& world) {
         auto result = ordered_solve(world, a, b, precondition, rcm_options,
                                     cg_options, &adjacency);
+        slabs[static_cast<std::size_t>(world.rank())] =
+            std::move(result.x_local);
         if (world.rank() == 0) run.result = std::move(result);
       },
       machine, resolve_threads(rcm_options.threads));
+  run.result.x = assemble_solution(slabs, run.result.labels);
+  run.result.x_local = std::move(slabs[0]);  // rank 0's own slab, restored
   return run;
 }
 
@@ -279,7 +348,7 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   const index_t n = a.n();
   const int q = static_cast<int>(std::lround(std::sqrt(nranks)));
   DRCM_CHECK(q * q == nranks, "world size must be a perfect square");
-  const std::uint64_t budget = resident_budget(a.nnz(), q, n);
+  const std::uint64_t budget = resident_budget(rcm_options, a.nnz(), nranks, q, n);
   const int threads = resolve_threads(rcm_options.threads);
   const auto adjacency = a.strip_diagonal();
 
@@ -322,7 +391,7 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
             options);
         run.report.merge_from(report);
         DRCM_CHECK(report.max_peak_resident() <= budget,
-                   "per-rank resident peak exceeded O(nnz/q + n)");
+                   "per-rank resident peak exceeded O(nnz/p + n/p)");
         failure = validate();
         if (failure.empty()) return;
       } catch (const std::exception& e) {
@@ -374,7 +443,8 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   run_stage(
       "redistribute",
       [&](mps::Comm& world) {
-        auto result = redistribute_stage(world, a, labels);
+        auto result = redistribute_stage(world, a, labels,
+                                         rcm_options.one_shot_redistribute);
         blocks[static_cast<std::size_t>(world.rank())] =
             std::move(result.block);
         if (world.rank() == 0) bandwidth = result.bandwidth;
@@ -409,17 +479,19 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
 
   // Stage 3: solve from the checkpointed blocks. kNanInf is the retryable
   // solver outcome (a poisoned recurrence); every other status is a
-  // structured result the caller branches on.
+  // structured result the caller branches on. The per-rank solution slabs
+  // are deposited like checkpoints; the replicated ORIGINAL-numbering x is
+  // assembled outside the ranks.
+  std::vector<std::vector<double>> slabs(static_cast<std::size_t>(nranks));
   run_stage(
       "solve",
       [&](mps::Comm& world) {
         auto result =
             solve_stage(world, blocks[static_cast<std::size_t>(world.rank())],
                         labels, b, precondition, cg_options);
-        if (world.rank() == 0) {
-          run.result.cg = result.cg;
-          run.result.x = std::move(result.x);
-        }
+        slabs[static_cast<std::size_t>(world.rank())] =
+            std::move(result.x_local);
+        if (world.rank() == 0) run.result.cg = result.cg;
       },
       [&]() -> std::string {
         if (run.result.cg.status == solver::SolveStatus::kNanInf) {
@@ -428,6 +500,9 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
         return {};
       });
 
+  run.result.x = assemble_solution(slabs, labels);
+  run.result.x_local = std::move(slabs[0]);  // rank 0's own slab
+  run.result.x_lo = 0;
   run.result.labels = std::move(labels);
   run.result.permuted_bandwidth = bandwidth;
   return run;

@@ -44,6 +44,14 @@ struct DistRcmOptions {
   /// are bit-identical — this is a synchrony knob kept for the equivalence
   /// suite and the crossing-ledger benches.
   bool fuse_ordering = true;
+  /// Route each relabeled entry straight from the balanced-2D input block
+  /// to the 1D owner of its NEW row in ONE alltoallv (O(nnz/p + n/p)
+  /// resident per rank), instead of the two-hop chain through the
+  /// permuted-2D intermediate whose q diagonal blocks concentrate
+  /// Θ(nnz/q) of the banded output. Both paths produce bit-identical row
+  /// blocks; the two-hop arm is kept for the equivalence wall and the
+  /// before/after ledger comparison.
+  bool one_shot_redistribute = true;
   /// OpenMP threads per rank of the hybrid configuration (paper Fig. 6:
   /// one communicating thread per process, the others splitting the local
   /// SpMSpV). 0 resolves through the DRCM_THREADS environment variable,
@@ -86,19 +94,31 @@ DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
                         const mps::MachineParams& machine = {});
 
 /// The paper's Figure-1 pipeline as ONE distributed call: RCM ordering on
-/// the 2D grid, value-carrying in-place permutation (redistribute), 2D->1D
-/// re-owning into PETSc-style row blocks, and block-Jacobi preconditioned
-/// CG on the distributed matrix. Between ordering and solution no rank
-/// materializes a replicated CSR; the mpsim resident ledger records every
-/// stage's footprint and ordered_solve asserts the per-rank peak stays
-/// O(nnz/p + n) (generous constants; see rcm_driver.cpp).
+/// the 2D grid, ONE streaming redistribution routing every relabeled entry
+/// straight to its 1D solver owner (the two-hop permute-then-re-own chain
+/// stays callable via DistRcmOptions::one_shot_redistribute = false), a
+/// distributed rhs, and block-Jacobi preconditioned CG producing per-rank
+/// solution slabs. Between ordering and solution no rank materializes a
+/// replicated CSR or a replicated O(n) value vector; the mpsim resident
+/// ledger records every stage's footprint and ordered_solve asserts the
+/// per-rank peak stays O(nnz/p + n/p) on the one-shot path (O(nnz/q + n)
+/// on the legacy two-hop path; see rcm_driver.cpp for the constants).
 struct OrderedSolveResult {
   /// RCM labels of the ORIGINAL numbering (labels[v] = new index of v).
   std::vector<index_t> labels;
   /// Bandwidth of the permuted matrix, computed distributively.
   index_t permuted_bandwidth = 0;
   solver::CgResult cg;
-  /// Replicated solution in the ORIGINAL numbering.
+  /// This rank's solution slab for PERMUTED rows [x_lo, x_lo +
+  /// x_local.size()) — the SPMD-body output; the body never replicates the
+  /// solution. SPMD callers wanting the full vector use
+  /// solver::gather_solution; the run_* wrappers assemble the replicated
+  /// `x` outside the ranks instead.
+  std::vector<double> x_local;
+  index_t x_lo = 0;
+  /// Replicated solution in the ORIGINAL numbering. Filled by the run_*
+  /// wrappers AFTER the SPMD runs (empty at SPMD-body level, where the
+  /// no-gather contract forbids it).
   std::vector<double> x;
 };
 

@@ -135,7 +135,11 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
   const double logP = P > 1 ? std::log2(P) : 0.0;
   constexpr double kEntryWords = 2.0;  // VecEntry {idx, val}
   constexpr double kTupleWords = 3.0;  // (parent, degree, id)
-  constexpr double kCellWords = 4.0;   // (bucket, degree, block, count)
+  // Packed histogram carry (sortperm_pack_cells): a degree-diverse level
+  // costs ~1 word per cell, and cells <= elements, so 1 word per element
+  // upper-bounds the carried volume the model prices (the unpacked cell
+  // was 4 words).
+  constexpr double kCarryWords = 1.0;
 
   CostBreakdown out;
 
@@ -180,7 +184,7 @@ CostBreakdown project_cost(const ExecutionTrace& trace, int cores,
       out.ordering_sort.crossings += 2;
       if (P > 1) {
         out.ordering_sort.comm +=
-            alpha * (P - 1) + beta * kCellWords * next +     // histogram carry
+            alpha * (P - 1) + beta * kCarryWords * next +    // packed carry
             alpha * (P - 1) + beta * kTupleWords * next / P + // element deal
             alpha * (P - 1) + beta * kEntryWords * next / P;  // positions home
       }

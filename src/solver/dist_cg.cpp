@@ -187,10 +187,12 @@ double dist_dot(mps::Comm& world, std::span<const double> a,
 }
 
 /// The shared PCG iteration: local state only, one halo'd SpMV and two
-/// allreduce dots per iteration, replicated solution gather at the end.
+/// allreduce dots per iteration. `x_out` receives this rank's solution
+/// slab — replication, when a caller wants it, is gather_solution's job.
 CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
                  const BlockJacobi* pre, std::span<const double> b_local,
-                 std::vector<double>& x, const CgOptions& options) {
+                 std::vector<double>& x_out, const CgOptions& options) {
+  (void)n;
   const auto nloc = static_cast<std::size_t>(sys.hi - sys.lo);
   DRCM_CHECK(b_local.size() == nloc, "rhs block size mismatch");
 
@@ -204,7 +206,7 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
   if (bnorm == 0.0) {
     res.converged = true;
     res.status = SolveStatus::kConverged;
-    x.assign(static_cast<std::size_t>(n), 0.0);
+    x_out.assign(nloc, 0.0);
     return res;
   }
   if (!std::isfinite(bnorm)) {
@@ -212,7 +214,7 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
     // iterating on poisoned data. Every rank sees the same allreduced norm,
     // so every rank takes this exit together.
     res.status = SolveStatus::kNanInf;
-    x = world.allgatherv(std::span<const double>(x_local));
+    x_out = std::move(x_local);
     return res;
   }
 
@@ -297,14 +299,22 @@ CgResult run_pcg(mps::Comm& world, index_t n, const LocalSystem& sys,
                                : SolveStatus::kMaxIterations;
   }
 
-  // Replicate the solution: contiguous blocks concatenate in rank order.
-  x = world.allgatherv(std::span<const double>(x_local));
-  DRCM_CHECK(x.size() == static_cast<std::size_t>(n),
-             "solution gather size mismatch");
+  x_out = std::move(x_local);
   return res;
 }
 
 }  // namespace
+
+std::vector<double> gather_solution(mps::Comm& world,
+                                    std::span<const double> x_local,
+                                    index_t n) {
+  // Contiguous row blocks concatenate in rank order, so the allgatherv
+  // result IS the global vector.
+  auto x = world.allgatherv(x_local);
+  DRCM_CHECK(x.size() == static_cast<std::size_t>(n),
+             "solution gather size mismatch");
+  return x;
+}
 
 CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
                   std::span<const double> b, std::vector<double>& x,
@@ -329,12 +339,22 @@ CgResult dist_pcg(mps::Comm& world, const CsrMatrix& a,
   const auto b_local =
       b.subspan(static_cast<std::size_t>(sys.lo),
                 static_cast<std::size_t>(sys.hi - sys.lo));
-  return run_pcg(world, a.n(), sys, pre.get(), b_local, x, options);
+  std::vector<double> x_local;
+  const auto res = run_pcg(world, a.n(), sys, pre.get(), b_local, x_local,
+                           options);
+  // This overload's contract stays replicated; the extra O(n) copy is now
+  // explicit AND charged (it used to ride the ledger for free).
+  x = gather_solution(world, x_local, a.n());
+  world.note_resident(static_cast<std::uint64_t>(a.n() + 1) +
+                      2 * static_cast<std::uint64_t>(a.nnz()) + b.size() +
+                      sys.resident_elements() + x.size());
+  return res;
 }
 
 CgResult dist_pcg(mps::Comm& world, const dist::RowBlockCsr& a,
-                  std::span<const double> b_local, std::vector<double>& x,
-                  bool precondition, const CgOptions& options) {
+                  std::span<const double> b_local,
+                  std::vector<double>& x_local, bool precondition,
+                  const CgOptions& options) {
   DRCM_CHECK(a.lo == row_block_lo(a.n, world.size(), world.rank()) &&
                  a.hi == row_block_lo(a.n, world.size(), world.rank() + 1),
              "row block does not match this world's 1D slicing");
@@ -348,10 +368,12 @@ CgResult dist_pcg(mps::Comm& world, const dist::RowBlockCsr& a,
     pre = build_block_preconditioner(sys.lo, sys.hi, cols_of, vals_of);
   }
   // Rank-local footprint only: my row block, my split system, my rhs slab
-  // and the replicated solution — O(nnz/p + n), never the full CSR.
+  // and my solution slab — O(nnz/p + n/p), never the full CSR and no
+  // replicated solution (that O(n) tail is gather_solution, opt-in).
   world.note_resident(a.resident_elements() + sys.resident_elements() +
-                      b_local.size() + static_cast<std::uint64_t>(a.n));
-  return run_pcg(world, a.n, sys, pre.get(), b_local, x, options);
+                      b_local.size() +
+                      static_cast<std::uint64_t>(a.local_rows()));
+  return run_pcg(world, a.n, sys, pre.get(), b_local, x_local, options);
 }
 
 DistCgRun run_dist_pcg(int nranks, const sparse::CsrMatrix& a,

@@ -34,16 +34,28 @@ CgResult dist_pcg(mps::Comm& world, const sparse::CsrMatrix& a,
                   bool precondition, const CgOptions& options = {});
 
 /// Same solve on an ALREADY DISTRIBUTED matrix: `a` is this rank's 1D row
-/// block (the output of dist::to_row_blocks) and `b_local` the rhs entries
-/// of the owned rows [a.lo, a.hi). Halo analysis, the local/remote column
-/// split and the block-Jacobi ILU(0) factorization are all built from
-/// rank-local data — no replicated CSR exists anywhere. Iterations are
-/// bit-identical to the replicated overload on the same matrix (same
-/// blocks, same halo, same fold order); `x` still receives the replicated
-/// solution (O(n), within the pipeline's per-rank budget).
+/// block (the output of dist::to_row_blocks / redistribute_to_row_blocks)
+/// and `b_local` the rhs entries of the owned rows [a.lo, a.hi). Halo
+/// analysis, the local/remote column split and the block-Jacobi ILU(0)
+/// factorization are all built from rank-local data — no replicated CSR
+/// exists anywhere. Iterations are bit-identical to the replicated overload
+/// on the same matrix (same blocks, same halo, same fold order).
+/// `x_local` receives ONLY this rank's solution slab for rows [a.lo, a.hi)
+/// — the solve itself never replicates anything; callers that want the
+/// O(n) replicated vector opt in explicitly via gather_solution.
 CgResult dist_pcg(mps::Comm& world, const dist::RowBlockCsr& a,
-                  std::span<const double> b_local, std::vector<double>& x,
-                  bool precondition, const CgOptions& options = {});
+                  std::span<const double> b_local,
+                  std::vector<double>& x_local, bool precondition,
+                  const CgOptions& options = {});
+
+/// The explicit replication step the slab overload no longer performs:
+/// allgathers the per-rank solution slabs (contiguous row blocks, so the
+/// rank-order concatenation IS the global vector) into a replicated length-n
+/// solution. Collective; costs O(n) resident on every rank — callers on the
+/// no-gather pipeline should stay on the slab instead.
+std::vector<double> gather_solution(mps::Comm& world,
+                                    std::span<const double> x_local,
+                                    index_t n);
 
 /// Convenience wrapper: launches `nranks` ranks, runs dist_pcg, returns the
 /// solution plus the cost report.

@@ -23,6 +23,19 @@ inline std::vector<int> rank_counts() {
   return {1, 4, 9};
 }
 
+/// The extended rank wall of the redistribution equivalence suite: the CI
+/// counts plus p = 16, the first size where the 1D row-block cut (p ways)
+/// is strictly finer than every 2D chunk cut (q = 4 ways) on all axes.
+/// DRCM_TEST_RANKS pins it to one cell exactly like rank_counts().
+inline std::vector<int> rank_counts_wall() {
+  if (const char* env = std::getenv("DRCM_TEST_RANKS")) {
+    const int p = std::atoi(env);
+    EXPECT_GT(p, 0) << "DRCM_TEST_RANKS must be a positive rank count";
+    return {p > 0 ? p : 1};
+  }
+  return {1, 4, 9, 16};
+}
+
 /// The hybrid threads-per-rank axis: 1 = flat MPI (the serial local
 /// multiply), 2 = the smallest real OpenMP split, 6 = the paper's hybrid
 /// configuration. Every point must produce output bit-identical to flat.

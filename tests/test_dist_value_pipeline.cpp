@@ -6,18 +6,29 @@
 //  * dist_pcg on the distributed row blocks (DistSpMat -> to_row_blocks)
 //    vs the replicated-CSR overload: identical iteration counts, solutions
 //    equal to 1e-12;
+//  * the one-shot streaming redistribution (redistribute_to_row_blocks)
+//    vs the two-hop 2D-permute -> re-own chain: bit-identical RowBlockCsr
+//    slabs and bandwidth, at the block level and through the whole
+//    ordered_solve pipeline, across the extended {1,4,9,16} rank wall;
 //  * ordered_solve end to end: the one-call RCM -> permute -> CG pipeline
 //    reproduces the replicated path and keeps every rank's resident peak
-//    inside the O(nnz/p + n) ledger budget — the property the gather-based
-//    path violates.
-// All swept over the {1,4,9} simulated rank matrix (DRCM_TEST_RANKS pins
-// one cell, as in CI).
+//    inside the O(nnz/p + n/p) ledger budget — the property both the
+//    gather-based path and the permuted-2D intermediate violate;
+//  * a fault-plan sweep over the fused collective: death or corruption at
+//    every collective of the one-shot step terminates structured.
+// Swept over the {1,4,9} simulated rank matrix — {1,4,9,16} for the
+// one-shot equivalence wall — with DRCM_TEST_RANKS pinning one cell, as
+// in CI.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <string>
 
 #include "dist/redistribute.hpp"
 #include "dist_rank_matrix.hpp"
+#include "mpsim/fault.hpp"
 #include "mpsim/runtime.hpp"
 #include "order/rcm_serial.hpp"
 #include "rcm/rcm_driver.hpp"
@@ -116,7 +127,10 @@ TEST(ValueRedistribute, RowBlocksHoldExactlyTheMatrix) {
 TEST(DistributedCg, MatchesTheReplicatedOverloadExactly) {
   // Same world, both overloads back to back: the distributed row-block
   // build must reproduce the replicated slicing bit for bit — identical
-  // iteration counts and solutions within 1e-12.
+  // iteration counts and solutions within 1e-12. The slab overload returns
+  // only this rank's rows; the explicit gather_solution opt-in replicates
+  // it for the comparison (and the slab itself must be the owned slice of
+  // the gathered vector, bit for bit).
   for (const int p : testing::rank_counts()) {
     const auto pattern = gen::relabel_random(gen::grid2d(24, 24), 6);
     const auto m = gen::with_laplacian_values(pattern, 0.02);
@@ -135,9 +149,12 @@ TEST(DistributedCg, MatchesTheReplicatedOverloadExactly) {
             std::span<const double>(b).subspan(
                 static_cast<std::size_t>(block.lo),
                 static_cast<std::size_t>(block.local_rows()));
-        std::vector<double> x_dist;
+        std::vector<double> x_slab;
         const auto got =
-            solver::dist_pcg(world, block, b_local, x_dist, precondition, opt);
+            solver::dist_pcg(world, block, b_local, x_slab, precondition, opt);
+        ASSERT_EQ(x_slab.size(),
+                  static_cast<std::size_t>(block.local_rows()));
+        const auto x_dist = solver::gather_solution(world, x_slab, m.n());
 
         EXPECT_TRUE(rep.converged);
         EXPECT_TRUE(got.converged);
@@ -147,7 +164,125 @@ TEST(DistributedCg, MatchesTheReplicatedOverloadExactly) {
         for (std::size_t i = 0; i < x_rep.size(); ++i) {
           EXPECT_NEAR(x_dist[i], x_rep[i], 1e-12);
         }
+        for (index_t g = block.lo; g < block.hi; ++g) {
+          EXPECT_EQ(x_slab[static_cast<std::size_t>(g - block.lo)],
+                    x_dist[static_cast<std::size_t>(g)])
+              << "the slab is the owned slice of the gathered solution";
+        }
       });
+    }
+  }
+}
+
+TEST(OneShotRedistribute, BitIdenticalToTwoHopAcrossTheRankWall) {
+  // The tentpole equivalence: the fused permute + re-own streaming
+  // redistribution must reproduce the two-hop 2D-permute -> to_row_blocks
+  // chain BIT FOR BIT — same row partition, same row_ptr/cols, values
+  // identical at the u64 bit-pattern level — and its folded bandwidth must
+  // equal the serial bandwidth of the relabeled pattern. Swept over the
+  // extended {1,4,9,16} rank wall: p = 16 is the first size where the 1D
+  // row cut is strictly finer than every 2D chunk cut.
+  for (const int p : testing::rank_counts_wall()) {
+    for (const u64 seed : {3u, 14u}) {
+      const auto m = gen::with_laplacian_values(
+          gen::relabel_random(gen::grid2d(19, 23), seed), 0.02);
+      const auto labels = sparse::random_permutation(m.n(), seed + 100);
+      const auto want_bw =
+          sparse::bandwidth_with_labels(m.strip_diagonal(), labels);
+      Runtime::run(p, [&](Comm& world) {
+        ProcGrid2D grid(world);
+        const auto fused = redistribute_to_row_blocks(m, labels, grid);
+
+        DistSpMat mat(grid, m);
+        const auto moved = redistribute_permuted(mat, labels, grid);
+        const auto block = to_row_blocks(moved, world);
+
+        EXPECT_EQ(fused.bandwidth, want_bw) << "p=" << p << " seed=" << seed;
+        EXPECT_EQ(fused.block.n, block.n);
+        EXPECT_EQ(fused.block.lo, block.lo);
+        EXPECT_EQ(fused.block.hi, block.hi);
+        EXPECT_EQ(fused.block.row_ptr, block.row_ptr);
+        EXPECT_EQ(fused.block.cols, block.cols);
+        ASSERT_EQ(fused.block.vals.size(), block.vals.size());
+        for (std::size_t k = 0; k < block.vals.size(); ++k) {
+          EXPECT_EQ(std::bit_cast<std::uint64_t>(fused.block.vals[k]),
+                    std::bit_cast<std::uint64_t>(block.vals[k]))
+              << "p=" << p << " seed=" << seed << " entry " << k;
+        }
+      });
+    }
+  }
+}
+
+TEST(OneShotRedistribute, PipelineKnobChangesTheRouteAndNothingElse) {
+  // ordered_solve under both settings of one_shot_redistribute: identical
+  // labels, identical permuted bandwidth, identical CG iteration counts and
+  // bitwise-identical solutions. The knob may only change HOW the matrix
+  // travels, never what arrives.
+  for (const int p : testing::rank_counts_wall()) {
+    const auto m = gen::with_laplacian_values(
+        gen::relabel_random(gen::grid2d(17, 18), 9), 0.02);
+    const auto b = wavy_rhs(m.n());
+    solver::CgOptions opt;
+    opt.rtol = 1e-8;
+    rcm::DistRcmOptions one_shot;
+    one_shot.one_shot_redistribute = true;
+    rcm::DistRcmOptions two_hop;
+    two_hop.one_shot_redistribute = false;
+
+    const auto a = rcm::run_ordered_solve(p, m, b, true, one_shot, opt);
+    const auto c = rcm::run_ordered_solve(p, m, b, true, two_hop, opt);
+    ASSERT_TRUE(a.result.cg.converged);
+    ASSERT_TRUE(c.result.cg.converged);
+    EXPECT_EQ(a.result.labels, c.result.labels) << "p=" << p;
+    EXPECT_EQ(a.result.permuted_bandwidth, c.result.permuted_bandwidth);
+    EXPECT_EQ(a.result.cg.iterations, c.result.cg.iterations) << "p=" << p;
+    ASSERT_EQ(a.result.x.size(), c.result.x.size());
+    for (std::size_t i = 0; i < a.result.x.size(); ++i) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a.result.x[i]),
+                std::bit_cast<std::uint64_t>(c.result.x[i]))
+          << "p=" << p << " component " << i;
+    }
+  }
+}
+
+TEST(OneShotRedistribute, FaultSweepOverTheFusedCollectiveTerminatesStructured) {
+  // Death and payload corruption at EVERY collective of the one-shot step
+  // (the grid's two splits, the fused alltoallv, the bandwidth allreduce):
+  // each scenario must end in a structured error or a completed run with
+  // the correct row partition — never a hang (watchdog as backstop) or a
+  // raw abort. Death must always surface as a throw.
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(12, 12), 4), 0.02);
+  const auto labels = sparse::random_permutation(m.n(), 21);
+  for (int ordinal = 1; ordinal <= 4; ++ordinal) {
+    for (const bool death : {true, false}) {
+      SCOPED_TRACE("ordinal=" + std::to_string(ordinal) +
+                   (death ? " death" : " corruption"));
+      mps::FaultPlan plan;
+      if (death) {
+        plan.die_at(1, ordinal);
+      } else {
+        plan.corrupt_at(1, ordinal);
+      }
+      mps::RunOptions options;
+      options.faults = &plan;
+      options.watchdog_seconds = 20.0;
+      bool threw = false;
+      try {
+        Runtime::run(4, [&](Comm& world) {
+          ProcGrid2D grid(world);
+          const auto fused = redistribute_to_row_blocks(m, labels, grid);
+          EXPECT_EQ(fused.block.lo, row_block_lo(m.n(), 4, world.rank()));
+          EXPECT_EQ(fused.block.hi, row_block_lo(m.n(), 4, world.rank() + 1));
+        }, options);
+      } catch (const std::exception& e) {
+        threw = true;
+        EXPECT_FALSE(std::string(e.what()).empty());
+      }
+      if (death) {
+        EXPECT_TRUE(threw) << "a rank death cannot pass silently";
+      }
     }
   }
 }
@@ -191,14 +326,15 @@ TEST(OrderedSolve, ReproducesTheReplicatedPipelineAndItsIterationCount) {
 }
 
 TEST(OrderedSolve, LedgerProvesNoRankMaterializesTheFullMatrix) {
-  // A high-degree matrix (27-point stencil: nnz ~ 26 n). The pipeline's
-  // per-rank ledger peak is bounded by O(nnz/q + n) (q = sqrt(p): the
-  // banded permuted matrix concentrates in the q diagonal blocks of the
-  // 2D intermediate; the solver stage itself is O(nnz/p + n)). From q = 3
-  // on, that peak sits strictly BELOW the full-CSR footprint every rank of
-  // the gather-based path pins — the "no rank materializes the full
-  // matrix" property — while the replicated dist_pcg overload's own ledger
-  // records the gathered footprint it pays.
+  // A high-degree matrix (27-point stencil: nnz ~ 26 n). On the one-shot
+  // default path the pipeline's per-rank ledger peak is bounded by
+  // O(nnz/p + n/p): no permuted-2D intermediate (whose q diagonal blocks
+  // concentrate Theta(nnz/q) of the banded output) and no replicated O(n)
+  // value vector exist anywhere between the ordering and the solve. From
+  // p = 9 on, that peak sits strictly BELOW the full-CSR footprint every
+  // rank of the gather-based path pins — the "no rank materializes the
+  // full matrix" property — while the replicated dist_pcg overload's own
+  // ledger records the gathered footprint it pays.
   const auto m = gen::with_laplacian_values(
       gen::relabel_random(gen::grid3d(6, 6, 10, gen::Stencil3d::k27), 5), 0.02);
   const auto b = wavy_rhs(m.n());
@@ -211,10 +347,12 @@ TEST(OrderedSolve, LedgerProvesNoRankMaterializesTheFullMatrix) {
     const auto peak = run.report.max_peak_resident();
     EXPECT_GT(peak, 0u);
     // ordered_solve also asserts this budget internally (and would have
-    // thrown); re-check the reported ledger from the outside.
-    const auto q = static_cast<u64>(grid_side_floor(p));
-    EXPECT_LE(peak, 8 * static_cast<u64>(m.nnz()) / q +
-                        10 * static_cast<u64>(m.n()) + 1024);
+    // thrown); re-check the reported one-shot O(nnz/p + n/p) ledger bound
+    // from the outside. No O(n) or O(nnz/q) term: that absence IS the
+    // contract.
+    EXPECT_LE(peak, 24 * static_cast<u64>(m.nnz()) / static_cast<u64>(p) +
+                        48 * static_cast<u64>(m.n()) / static_cast<u64>(p) +
+                        4096);
     if (p >= 9) {
       EXPECT_LT(peak, full_csr_elements)
           << "p=" << p << ": some rank held the full permuted matrix";
