@@ -31,9 +31,16 @@ inline int largest_square_grid(int p) {
 
 class ProcGrid2D {
  public:
-  /// Collective on `world`, whose size must be a perfect square.
-  explicit ProcGrid2D(mps::Comm& world)
+  /// Collective on `world`, whose size must be a perfect square. When
+  /// `external` is non-null the grid adopts it as its kernel scratch
+  /// instead of its own member workspace: a serving layer keeps one
+  /// DistWorkspace per rank alive ACROSS grids (grids die with their
+  /// communicators at the end of every Runtime::run), so the realloc
+  /// ledger — and the warmed buffer capacities it certifies — extends
+  /// across requests. The external workspace must outlive the grid.
+  explicit ProcGrid2D(mps::Comm& world, DistWorkspace* external = nullptr)
       : world_(world),
+        external_workspace_(external),
         q_(side_of(world.size())),
         row_(world.rank() / q_),
         col_(world.rank() % q_),
@@ -76,8 +83,12 @@ class ProcGrid2D {
 
   /// This rank's default kernel scratch. The grid is per-rank and outlives
   /// every kernel call made on it, which makes it the natural owner; callers
-  /// needing isolated sizing pass their own DistWorkspace instead.
-  DistWorkspace& workspace() { return workspace_; }
+  /// needing isolated sizing pass their own DistWorkspace instead, and a
+  /// grid constructed over an external workspace (see the constructor)
+  /// hands that one out here so every kernel on the grid reuses it.
+  DistWorkspace& workspace() {
+    return external_workspace_ ? *external_workspace_ : workspace_;
+  }
 
  private:
   static int side_of(int size) {
@@ -88,6 +99,7 @@ class ProcGrid2D {
   }
 
   mps::Comm& world_;
+  DistWorkspace* external_workspace_ = nullptr;
   int q_;
   int row_;
   int col_;

@@ -409,10 +409,23 @@ DistSpVec sortperm_bucket(const DistSpVec& x, const DistDenseVec& degrees,
                       hist, entry_cell);
 
   // Exchange the cells; every rank derives the identical global plan —
-  // exact start positions for every (bucket, degree, block) cell.
-  const auto all = world.allgatherv(std::span<const SortHistCell>(hist));
-  const SortPlan plan = sortperm_plan(all, p, nb, dist.n(), w);
+  // exact start positions for every (bucket, degree, block) cell. The
+  // carry rides the wire two-level packed (sortperm_pack_cells), exactly
+  // like the fused ordering level: ~1 word per cell on degree-diverse
+  // levels instead of the naive 4-word (bucket, degree, block, count)
+  // cells. The streams are self-delimiting, so the rank-concatenated
+  // allgather decodes with the same wire-structure checks
+  // (sortperm_unpack_cells) and field range checks (sortperm_plan) as the
+  // fused path.
+  auto& packed = w.carry_words();
+  sortperm_pack_cells(std::span<const SortHistCell>(hist), my_block, packed);
+  const auto all_words = world.allgatherv(std::span<const index_t>(packed));
+  auto& all = w.hist_all();
+  sortperm_unpack_cells(std::span<const index_t>(all_words), all);
+  const SortPlan plan =
+      sortperm_plan(std::span<const SortHistCell>(all), p, nb, dist.n(), w);
   world.charge_compute(static_cast<double>(2 * x.entries().size()) +
+                       static_cast<double>(packed.size()) +
                        static_cast<double>(4 * all.size()) +
                        static_cast<double>(nb));
   if (plan.total == 0) {

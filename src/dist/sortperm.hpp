@@ -83,8 +83,9 @@ void sortperm_local_hist(std::span<const VecEntry> entries,
                          std::vector<SortHistCell>& hist,
                          std::vector<index_t>& entry_cell);
 
-/// Two-level compaction of a local histogram for the fused collective's
-/// carried payload. The naive carry is 4 words per cell ((bucket, degree,
+/// Two-level compaction of a local histogram for the histogram exchange —
+/// the fused collective's carried payload and the standalone
+/// sortperm_bucket allgatherv alike. The naive carry is 4 words per cell ((bucket, degree,
 /// block, count)), and on degree-diverse levels — where most cells hold a
 /// single element — the carried volume approaches 4x the ELEMENT volume,
 /// dwarfing the 3-word element deal it rides ahead of. The packed stream

@@ -55,6 +55,16 @@ std::vector<std::vector<VecEntry>>& DistWorkspace::fused_route(
   return checkout_route(fused_route_, ranks, fused_route_cap_);
 }
 
+std::vector<std::vector<MatEntryV>>& DistWorkspace::mat_route(
+    std::size_t ranks) {
+  return checkout_route(mat_route_, ranks, mat_route_cap_);
+}
+
+std::vector<std::vector<VecEntryD>>& DistWorkspace::vecd_route(
+    std::size_t ranks) {
+  return checkout_route(vecd_route_, ranks, vecd_route_cap_);
+}
+
 std::vector<SortRec>& DistWorkspace::sort_scratch() {
   return checkout_cleared(sort_, sort_cap_);
 }

@@ -152,6 +152,14 @@ class DistWorkspace {
   std::vector<std::vector<VecEntry>>& entry_route(std::size_t ranks);
   /// Fused level kernel owner routing (world).
   std::vector<std::vector<VecEntry>>& fused_route(std::size_t ranks);
+  /// One-shot redistribution staging: the relabeled matrix triples routed
+  /// to their 1D owners, and the rhs/solution slab elements alongside them.
+  /// Persisting these in the workspace is what lets a serving layer's
+  /// steady-state cache-hit request (fingerprint -> redistribute -> solve,
+  /// no ordering) run with ZERO workspace reallocations — the realloc
+  /// ledger extends across requests.
+  std::vector<std::vector<MatEntryV>>& mat_route(std::size_t ranks);
+  std::vector<std::vector<VecEntryD>>& vecd_route(std::size_t ranks);
 
   /// SORTPERM triple scratch (element array + counting-sort shadow),
   /// cleared, and its per-destination routing buffers.
@@ -262,6 +270,8 @@ class DistWorkspace {
   std::vector<std::vector<VecEntry>> merge_route_;
   std::vector<std::vector<VecEntry>> entry_route_;
   std::vector<std::vector<VecEntry>> fused_route_;
+  std::vector<std::vector<MatEntryV>> mat_route_;
+  std::vector<std::vector<VecEntryD>> vecd_route_;
   std::vector<SortRec> sort_;
   std::vector<SortRec> sort_tmp_;
   std::vector<std::vector<SortRec>> sort_route_;
@@ -289,7 +299,8 @@ class DistWorkspace {
               frontier_cap_ = 0,
               partial_cap_ = 0, gather_cap_ = 0, recv_cap_ = 0,
               merge_route_cap_ = 0, entry_route_cap_ = 0,
-              fused_route_cap_ = 0, sort_cap_ = 0, sort_tmp_cap_ = 0,
+              fused_route_cap_ = 0, mat_route_cap_ = 0, vecd_route_cap_ = 0,
+              sort_cap_ = 0, sort_tmp_cap_ = 0,
               sort_route_cap_ = 0, index_cap_ = 0, counters_cap_ = 0,
               hist_cells_cap_ = 0,
               hist_all_cap_ = 0, carry_words_cap_ = 0,

@@ -77,4 +77,12 @@ void StatsRecorder::reset() {
   peak_resident_ = 0;
 }
 
+std::uint64_t ordering_crossings(const StatsRecorder& stats) {
+  return stats.phase(Phase::kPeripheralSpmspv).barrier_crossings +
+         stats.phase(Phase::kPeripheralOther).barrier_crossings +
+         stats.phase(Phase::kOrderingSpmspv).barrier_crossings +
+         stats.phase(Phase::kOrderingSort).barrier_crossings +
+         stats.phase(Phase::kOrderingOther).barrier_crossings;
+}
+
 }  // namespace drcm::mps

@@ -96,4 +96,11 @@ struct PhaseAggregate {
   PhaseTotals mean;  ///< element-wise mean over ranks
 };
 
+/// Barrier crossings charged to the five ordering-computation phases
+/// (Peripheral/Ordering x SpMSpV/Sort/Other) — the work an ordering cache
+/// hit skips entirely. The serving layer asserts this is exactly zero on a
+/// hit: the request went straight to redistribution without a single BFS,
+/// SORTPERM, or label collective.
+std::uint64_t ordering_crossings(const StatsRecorder& stats);
+
 }  // namespace drcm::mps

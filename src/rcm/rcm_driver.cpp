@@ -25,28 +25,36 @@ int resolve_threads(int requested) {
   return 1;
 }
 
-std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
-                              const DistRcmOptions& options,
-                              DistRcmStats* stats) {
-  DRCM_CHECK(!a.has_self_loops(),
-             "dist_rcm expects an adjacency pattern (strip_diagonal first)");
-  const index_t n = a.n();
+namespace {
 
-  // Load-balancing relabel: every rank derives the same permutation from
-  // the shared seed (equivalent to broadcasting it; charged as such).
-  std::vector<index_t> balance;
-  const sparse::CsrMatrix* work = &a;
-  sparse::CsrMatrix relabeled;
-  if (options.load_balance && n > 0) {
+/// Derives the load-balancing relabel (shared-seed, equivalent to
+/// broadcasting it; charged as such) and repoints `work` at the relabeled
+/// matrix. `balance` stays empty when no relabel applies.
+void balance_input(mps::Comm& world, const sparse::CsrMatrix& a,
+                   const DistRcmOptions& options, std::vector<index_t>& balance,
+                   sparse::CsrMatrix& relabeled,
+                   const sparse::CsrMatrix*& work) {
+  work = &a;
+  if (options.load_balance && a.n() > 0) {
     mps::PhaseScope scope(world, mps::Phase::kOther);
-    balance = sparse::random_permutation(n, options.seed);
+    balance = sparse::random_permutation(a.n(), options.seed);
     relabeled = sparse::permute_symmetric(a, balance);
     work = &relabeled;
-    world.charge_compute(static_cast<double>(a.nnz() + n));
+    world.charge_compute(static_cast<double>(a.nnz() + a.n()));
   }
+}
 
-  dist::ProcGrid2D grid(world);
-  dist::DistSpMat mat(grid, *work);
+/// The distributed ordering proper: decompose `work` onto `grid`, run the
+/// per-component peripheral search + CM labeling, reverse. Returns the
+/// SHARDED label vector in the WORK numbering — O(n/p) per rank, never
+/// replicated here; the callers decide whether to gather (dist_rcm) or
+/// keep it distributed (dist_rcm_sharded).
+dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
+                                   const sparse::CsrMatrix& work,
+                                   const DistRcmOptions& options,
+                                   DistRcmStats* stats) {
+  const index_t n = work.n();
+  dist::DistSpMat mat(grid, work);
   dist::DistDenseVec degrees = mat.degrees(grid);
   dist::DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
 
@@ -70,14 +78,40 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                                    options.fuse_ordering);
   }
 
-  // Reverse (RCM = reversed CM) and replicate.
-  std::vector<index_t> global;
+  // Reverse in place (RCM = reversed CM), still sharded.
   {
     mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
     for (index_t g = labels.lo(); g < labels.hi(); ++g) {
       labels.set(g, n - 1 - labels.get(g));
     }
     world.charge_compute(static_cast<double>(labels.local_size()));
+  }
+
+  if (stats) *stats = local_stats;
+  return labels;
+}
+
+}  // namespace
+
+std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
+                              const DistRcmOptions& options,
+                              DistRcmStats* stats) {
+  DRCM_CHECK(!a.has_self_loops(),
+             "dist_rcm expects an adjacency pattern (strip_diagonal first)");
+  const index_t n = a.n();
+
+  std::vector<index_t> balance;
+  const sparse::CsrMatrix* work = nullptr;
+  sparse::CsrMatrix relabeled;
+  balance_input(world, a, options, balance, relabeled, work);
+
+  dist::ProcGrid2D grid(world);
+  dist::DistDenseVec labels = dist_rcm_levels(world, grid, *work, options, stats);
+
+  // Replicate.
+  std::vector<index_t> global;
+  {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
     global = labels.to_global(world);
   }
 
@@ -94,8 +128,54 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
     world.charge_compute(static_cast<double>(n));
   }
 
-  if (stats) *stats = local_stats;
   return global;
+}
+
+dist::DistDenseVec dist_rcm_sharded(mps::Comm& world, dist::ProcGrid2D& grid,
+                                    const sparse::CsrMatrix& a,
+                                    const DistRcmOptions& options,
+                                    DistRcmStats* stats) {
+  DRCM_CHECK(!a.has_self_loops(),
+             "dist_rcm expects an adjacency pattern (strip_diagonal first)");
+  const index_t n = a.n();
+
+  std::vector<index_t> balance;
+  const sparse::CsrMatrix* work = nullptr;
+  sparse::CsrMatrix relabeled;
+  balance_input(world, a, options, balance, relabeled, work);
+
+  dist::DistDenseVec labels = dist_rcm_levels(world, grid, *work, options, stats);
+  if (balance.empty()) return labels;
+
+  // Map back through the load-balancing permutation WITHOUT replicating:
+  // original vertex v's label lives on the owner of its alias balance[v],
+  // and v's shard owner is arithmetic, so ONE alltoallv re-owns the whole
+  // vector. (`balance` itself is a shared-seed pre-distribution fixture,
+  // like the replicated input matrix — the ledger tracks pipeline state,
+  // and the sharded result keeps that state O(n/p).)
+  mps::PhaseScope scope(world, mps::Phase::kOther);
+  const auto vdist = labels.dist();
+  std::vector<std::vector<dist::VecEntry>> send(
+      static_cast<std::size_t>(world.size()));
+  for (index_t v = 0; v < n; ++v) {
+    const index_t u = balance[static_cast<std::size_t>(v)];
+    if (!labels.owns(u)) continue;
+    send[static_cast<std::size_t>(vdist.owner_rank(v))].push_back(
+        dist::VecEntry{v, labels.get(u)});
+  }
+  const auto recv = world.alltoallv(send);
+  dist::DistDenseVec out(vdist, grid, kNoVertex);
+  DRCM_CHECK(recv.size() == static_cast<std::size_t>(out.local_size()),
+             "relabel re-owning must deliver every element exactly once");
+  for (const auto& e : recv) {
+    // Receive-path range check (always on): set() indexes the owned slab.
+    DRCM_CHECK(out.owns(e.idx), "received label outside the owned range");
+    out.set(e.idx, e.val);
+  }
+  world.charge_compute(static_cast<double>(n) +
+                       static_cast<double>(recv.size()));
+  world.note_resident(6 * static_cast<std::uint64_t>(out.local_size()));
+  return out;
 }
 
 namespace {
@@ -108,9 +188,10 @@ namespace {
 /// slabs and the halo (O(n/p) each). The constants are deliberately loose
 /// — 2D block skew before the load-balancing relabel, halo width — but the
 /// formula contains NO O(n) or O(nnz/q) term: that absence is the contract
-/// this budget enforces. (The replicated pre-distribution fixtures and
-/// labels live OUTSIDE the ledger, exactly as before; distributing the
-/// label vector itself is the recorded ROADMAP follow-up.)
+/// this budget enforces. (The replicated pre-distribution fixtures — and,
+/// on this replicated-label path, the labels — live OUTSIDE the ledger;
+/// DistRcmOptions::sharded_labels moves the labels inside it too, under
+/// the slightly wider sharded budget below.)
 std::uint64_t resident_budget_one_shot(nnz_t nnz, int p, index_t n) {
   return 24 * static_cast<std::uint64_t>(nnz) / static_cast<std::uint64_t>(p) +
          48 * static_cast<std::uint64_t>(n) / static_cast<std::uint64_t>(p) +
@@ -126,8 +207,19 @@ std::uint64_t resident_budget_two_hop(nnz_t nnz, int q, index_t n) {
          10 * static_cast<std::uint64_t>(n) + 1024;
 }
 
+/// Budget of the sharded-label pipeline: the one-shot budget plus the
+/// O(n/q) label windows (and their in-flight exchange doubles) the
+/// two-sided relabel lookup holds during redistribution. Still no O(n)
+/// term anywhere — with the labels sharded, the ledger now covers the
+/// WHOLE pipeline state, replicated labels included.
+std::uint64_t resident_budget_sharded(nnz_t nnz, int p, int q, index_t n) {
+  return resident_budget_one_shot(nnz, p, n) +
+         16 * static_cast<std::uint64_t>(n) / static_cast<std::uint64_t>(q);
+}
+
 std::uint64_t resident_budget(const DistRcmOptions& options, nnz_t nnz, int p,
                               int q, index_t n) {
+  if (options.sharded_labels) return resident_budget_sharded(nnz, p, q, n);
   return options.one_shot_redistribute ? resident_budget_one_shot(nnz, p, n)
                                        : resident_budget_two_hop(nnz, q, n);
 }
@@ -142,17 +234,15 @@ struct RedistributeOut {
 /// one-shot path; the two-hop arm (permuted-2D intermediate, then re-own)
 /// remains callable for the equivalence wall and pays two. Both arms
 /// produce bit-identical row blocks. Collective; `labels` must be the
-/// replicated stage-1 output.
-RedistributeOut redistribute_stage(mps::Comm& world,
+/// replicated stage-1 output. The grid is built by the CALLER, outside the
+/// phase scope below: its two Comm::split calls are collectives of their
+/// own, and keeping them out pins the kRedistribute crossing count to
+/// exactly the redistribution traffic (one-shot: alltoallv + bandwidth
+/// allreduce = 4 crossings; two-hop: two alltoallvs + allreduce = 6).
+RedistributeOut redistribute_stage(mps::Comm& world, dist::ProcGrid2D& grid,
                                    const sparse::CsrMatrix& a,
                                    const std::vector<index_t>& labels,
                                    bool one_shot) {
-  // The grid is built OUTSIDE the phase scope: its two Comm::split calls
-  // are collectives of their own, and keeping them out pins the
-  // kRedistribute crossing count to exactly the redistribution traffic
-  // (one-shot: alltoallv + bandwidth allreduce = 4 crossings; two-hop:
-  // two alltoallvs + allreduce = 6).
-  dist::ProcGrid2D grid(world);
   mps::PhaseScope scope(world, mps::Phase::kRedistribute);
   RedistributeOut out;
   if (one_shot) {
@@ -206,13 +296,16 @@ struct SolveOut {
 /// O(n/p) 2D slab -> one alltoallv -> O(n/p) solver slab; the inverse
 /// labeling scan and the replicated permuted rhs of the old path are gone,
 /// and the solution never leaves slab form inside the SPMD body.
-/// Collective; `block` is the checkpointed stage-2 row block of this rank.
-SolveOut solve_stage(mps::Comm& world, const dist::RowBlockCsr& block,
+/// Collective; `block` is the checkpointed stage-2 row block of this rank,
+/// `grid` the caller's (its workspace stages the rhs exchange, so repeat
+/// solves on a persistent grid reallocate nothing). `label_slab`, when
+/// non-null, supplies the sharded labels instead of the replicated vector.
+SolveOut solve_stage(mps::Comm& world, dist::ProcGrid2D& grid, index_t n,
+                     const dist::RowBlockCsr& block,
                      const std::vector<index_t>& labels,
+                     const dist::DistDenseVec* label_slab,
                      std::span<const double> b, bool precondition,
                      const solver::CgOptions& cg_options) {
-  const index_t n = static_cast<index_t>(labels.size());
-  dist::ProcGrid2D grid(world);
   std::vector<double> b_local;
   {
     mps::PhaseScope scope(world, mps::Phase::kRedistribute);
@@ -223,7 +316,11 @@ SolveOut solve_stage(mps::Comm& world, const dist::RowBlockCsr& block,
       b_dist.set(g, b[static_cast<std::size_t>(g)]);
     }
     world.charge_compute(static_cast<double>(b_dist.local_size()));
-    b_local = dist::redistribute_to_row_slab(b_dist, labels, world);
+    b_local = label_slab
+                  ? dist::redistribute_to_row_slab(b_dist, *label_slab, world,
+                                                   &grid.workspace())
+                  : dist::redistribute_to_row_slab(b_dist, labels, world,
+                                                   &grid.workspace());
     world.note_resident(block.resident_elements() +
                         4 * static_cast<std::uint64_t>(b_dist.local_size()) +
                         4 * b_local.size());
@@ -259,11 +356,13 @@ std::vector<double> assemble_solution(
 
 }  // namespace
 
-OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
-                                 std::span<const double> b, bool precondition,
-                                 const DistRcmOptions& rcm_options,
-                                 const solver::CgOptions& cg_options,
-                                 const sparse::CsrMatrix* adjacency) {
+OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
+                                    const sparse::CsrMatrix& a,
+                                    std::span<const double> b,
+                                    bool precondition,
+                                    const DistRcmOptions& rcm_options,
+                                    const solver::CgOptions& cg_options,
+                                    const sparse::CsrMatrix* adjacency) {
   // A matrix with zero stored entries is vacuously valued: the degenerate
   // n = 0 input must flow through, not trip the precondition meant for
   // pattern-only matrices.
@@ -271,10 +370,50 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
              "ordered_solve needs a solver matrix with values");
   DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
   const index_t n = a.n();
-
-  dist::ProcGrid2D grid(world);
+  auto& world = grid.world();
 
   OrderedSolveResult out;
+
+  if (rcm_options.sharded_labels) {
+    // Fully sharded arm: the label vector never exists replicated inside
+    // the pipeline — ordering returns an O(n/p) slab, redistribution does
+    // the two-sided window lookup, the rhs relabel is a local slab read.
+    DRCM_CHECK(rcm_options.one_shot_redistribute,
+               "sharded labels require the one-shot redistribution");
+    dist::DistDenseVec labels =
+        adjacency
+            ? dist_rcm_sharded(world, grid, *adjacency, rcm_options)
+            : dist_rcm_sharded(world, grid, a.strip_diagonal(), rcm_options);
+
+    dist::OneShotRowBlocks fused;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kRedistribute);
+      fused = dist::redistribute_to_row_blocks(a, labels, grid);
+    }
+    out.permuted_bandwidth = fused.bandwidth;
+
+    auto solved = solve_stage(world, grid, n, fused.block, /*labels=*/{},
+                              &labels, b, precondition, cg_options);
+    out.cg = solved.cg;
+    out.x_local = std::move(solved.x_local);
+    out.x_lo = fused.block.lo;
+
+    // The contract is asserted BEFORE the result is packaged: with labels
+    // sharded, no O(n) structure existed at any point of the pipeline.
+    const auto peak = world.stats().peak_resident_elements();
+    DRCM_CHECK(peak <= resident_budget(rcm_options, a.nnz(), world.size(),
+                                       grid.q(), n),
+               "ordered_solve per-rank resident peak exceeded O(nnz/p + n/p)");
+
+    // Result packaging for the caller's checkpoint/cache, outside the
+    // asserted pipeline (exactly like the run_* wrappers' replicated x).
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOther);
+      out.labels = labels.to_global(world);
+    }
+    return out;
+  }
+
   // The ordering runs on the self-loop-free adjacency pattern. Callers
   // that know it (run_ordered_solve strips once outside the ranks) pass
   // it in; otherwise each rank strips its own transient copy.
@@ -284,12 +423,13 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
     out.labels = dist_rcm(world, a.strip_diagonal(), rcm_options);
   }
 
-  const auto redist = redistribute_stage(world, a, out.labels,
+  const auto redist = redistribute_stage(world, grid, a, out.labels,
                                          rcm_options.one_shot_redistribute);
   out.permuted_bandwidth = redist.bandwidth;
 
-  auto solved =
-      solve_stage(world, redist.block, out.labels, b, precondition, cg_options);
+  auto solved = solve_stage(world, grid, n, redist.block, out.labels,
+                            /*label_slab=*/nullptr, b, precondition,
+                            cg_options);
   out.cg = solved.cg;
   out.x_local = std::move(solved.x_local);
   out.x_lo = redist.block.lo;
@@ -301,6 +441,52 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
   // O(n) replicated vector exists at ANY stage inside the ranks. The
   // two-hop arm keeps its historic looser budget so the before/after
   // ledgers remain comparable.
+  const auto peak = world.stats().peak_resident_elements();
+  DRCM_CHECK(
+      peak <= resident_budget(rcm_options, a.nnz(), world.size(), grid.q(), n),
+      "ordered_solve per-rank resident peak exceeded O(nnz/p + n/p)");
+  return out;
+}
+
+OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
+                                 std::span<const double> b, bool precondition,
+                                 const DistRcmOptions& rcm_options,
+                                 const solver::CgOptions& cg_options,
+                                 const sparse::CsrMatrix* adjacency) {
+  dist::ProcGrid2D grid(world);
+  return ordered_solve_on(grid, a, b, precondition, rcm_options, cg_options,
+                          adjacency);
+}
+
+OrderedSolveResult ordered_solve_with_labels(
+    dist::ProcGrid2D& grid, const sparse::CsrMatrix& a,
+    const std::vector<index_t>& labels, std::span<const double> b,
+    bool precondition, const DistRcmOptions& rcm_options,
+    const solver::CgOptions& cg_options) {
+  DRCM_CHECK(a.has_values() || a.nnz() == 0,
+             "ordered_solve needs a solver matrix with values");
+  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
+  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
+             "labels must cover every vertex");
+  const index_t n = a.n();
+  auto& world = grid.world();
+
+  OrderedSolveResult out;
+  const auto redist = redistribute_stage(world, grid, a, labels,
+                                         rcm_options.one_shot_redistribute);
+  out.permuted_bandwidth = redist.bandwidth;
+
+  auto solved = solve_stage(world, grid, n, redist.block, labels,
+                            /*label_slab=*/nullptr, b, precondition,
+                            cg_options);
+  out.cg = solved.cg;
+  out.x_local = std::move(solved.x_local);
+  out.x_lo = redist.block.lo;
+
+  // Same per-rank contract as the full pipeline; the skipped ordering
+  // phases only make it easier to meet. `out.labels` stays EMPTY — the
+  // caller already holds the labels (that is why it could skip stage 1),
+  // and the no-gather body has no business replicating them again.
   const auto peak = world.stats().peak_resident_elements();
   DRCM_CHECK(
       peak <= resident_budget(rcm_options, a.nnz(), world.size(), grid.q(), n),
@@ -443,7 +629,8 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   run_stage(
       "redistribute",
       [&](mps::Comm& world) {
-        auto result = redistribute_stage(world, a, labels,
+        dist::ProcGrid2D grid(world);
+        auto result = redistribute_stage(world, grid, a, labels,
                                          rcm_options.one_shot_redistribute);
         blocks[static_cast<std::size_t>(world.rank())] =
             std::move(result.block);
@@ -486,9 +673,11 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   run_stage(
       "solve",
       [&](mps::Comm& world) {
+        dist::ProcGrid2D grid(world);
         auto result =
-            solve_stage(world, blocks[static_cast<std::size_t>(world.rank())],
-                        labels, b, precondition, cg_options);
+            solve_stage(world, grid, n,
+                        blocks[static_cast<std::size_t>(world.rank())], labels,
+                        /*label_slab=*/nullptr, b, precondition, cg_options);
         slabs[static_cast<std::size_t>(world.rank())] =
             std::move(result.x_local);
         if (world.rank() == 0) run.result.cg = result.cg;

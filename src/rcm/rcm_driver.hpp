@@ -52,6 +52,16 @@ struct DistRcmOptions {
   /// blocks; the two-hop arm is kept for the equivalence wall and the
   /// before/after ledger comparison.
   bool one_shot_redistribute = true;
+  /// Keep the label vector sharded O(n/p) per rank through the WHOLE
+  /// pipeline (ordered_solve_on only): ordering returns a distributed
+  /// slab, redistribution resolves labels through a two-sided window
+  /// lookup (one extra O(n/q) alltoallv), and the rhs relabel becomes a
+  /// local read. Removes the last replicated O(n) structure from the
+  /// ranks — the resident ledger then covers the complete pipeline state.
+  /// Requires one_shot_redistribute; bit-identical results. dist_rcm and
+  /// the run_* wrappers ignore it (their contract is a replicated label
+  /// vector).
+  bool sharded_labels = false;
   /// OpenMP threads per rank of the hybrid configuration (paper Fig. 6:
   /// one communicating thread per process, the others splitting the local
   /// SpMSpV). 0 resolves through the DRCM_THREADS environment variable,
@@ -79,6 +89,18 @@ struct DistRcmStats {
 std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                               const DistRcmOptions& options = {},
                               DistRcmStats* stats = nullptr);
+
+/// SPMD body, sharded output: the same ordering, but the result stays an
+/// O(n/p)-per-rank distributed label vector in the ORIGINAL numbering —
+/// labels.get(v) = new index of v for owned v — and no rank ever holds a
+/// replicated copy. With load balancing the map-back through the balance
+/// permutation happens via one alltoallv re-owning instead of a
+/// replicated scan. labels.to_global(world) of the result equals
+/// dist_rcm(...) bit for bit. Collective on the grid's world.
+dist::DistDenseVec dist_rcm_sharded(mps::Comm& world, dist::ProcGrid2D& grid,
+                                    const sparse::CsrMatrix& a,
+                                    const DistRcmOptions& options = {},
+                                    DistRcmStats* stats = nullptr);
 
 /// Convenience wrapper: launches `nranks` simulated ranks, runs dist_rcm,
 /// and returns labels plus the per-phase cost report (the data behind the
@@ -136,6 +158,34 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
                                  const DistRcmOptions& rcm_options = {},
                                  const solver::CgOptions& cg_options = {},
                                  const sparse::CsrMatrix* adjacency = nullptr);
+
+/// ordered_solve on a CALLER-OWNED grid: identical pipeline, but the
+/// ProcGrid2D (and with it the per-rank DistWorkspace staging every
+/// exchange) is constructed by the caller and survives the call. This is
+/// the serving-layer entry point — a persistent grid makes request N+1's
+/// collectives run against warmed buffer capacities, so its workspace
+/// realloc ledger stays flat. Honors DistRcmOptions::sharded_labels.
+/// Collective on grid.world().
+OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
+                                    const sparse::CsrMatrix& a,
+                                    std::span<const double> b,
+                                    bool precondition = true,
+                                    const DistRcmOptions& rcm_options = {},
+                                    const solver::CgOptions& cg_options = {},
+                                    const sparse::CsrMatrix* adjacency = nullptr);
+
+/// The ordering-cache hit path: skip stage 1 entirely and run
+/// redistribute + solve under KNOWN labels (a permutation of [0, n),
+/// e.g. recalled from a previous solve of the same sparsity pattern).
+/// Executes ZERO collectives in the five ordering phases — the property
+/// the serving layer's crossing ledger asserts per hit. The result's
+/// `labels` stays empty: the caller already holds them, and the no-gather
+/// body does not replicate them again. Collective on grid.world().
+OrderedSolveResult ordered_solve_with_labels(
+    dist::ProcGrid2D& grid, const sparse::CsrMatrix& a,
+    const std::vector<index_t>& labels, std::span<const double> b,
+    bool precondition = true, const DistRcmOptions& rcm_options = {},
+    const solver::CgOptions& cg_options = {});
 
 /// Convenience wrapper: launches `nranks` ranks, runs ordered_solve, and
 /// returns the result plus the cost/ledger report.

@@ -1,0 +1,78 @@
+#include "service/fingerprint.hpp"
+
+#include <algorithm>
+
+#include "dist/dist_vector.hpp"
+
+namespace drcm::service {
+
+namespace {
+
+/// splitmix64 finalizer: the avalanche that makes the additive combination
+/// collision-resistant (without it, sums of raw (row, col) pairs would
+/// collide for any pattern with the same coordinate totals).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Per-entry contribution; deliberately asymmetric in (row, col) so a
+/// pattern and a differently-oriented relative keep distinct hashes.
+std::uint64_t mix_entry(index_t row, index_t col) {
+  return mix64(static_cast<std::uint64_t>(row) * 0x9e3779b97f4a7c15ULL ^
+               static_cast<std::uint64_t>(col));
+}
+
+}  // namespace
+
+std::size_t PatternFingerprintHash::operator()(
+    const PatternFingerprint& f) const {
+  return static_cast<std::size_t>(
+      mix64(f.hash ^ mix64(static_cast<std::uint64_t>(f.n)) ^
+            mix64(static_cast<std::uint64_t>(f.nnz) * 0x517cc1b727220a95ULL)));
+}
+
+PatternFingerprint salt_ordering_options(PatternFingerprint fp,
+                                         bool load_balance,
+                                         std::uint64_t seed) {
+  if (load_balance) fp.hash ^= mix64(seed ^ 0xba1a2ce5eedULL);
+  return fp;
+}
+
+PatternFingerprint fingerprint_pattern(mps::Comm& world,
+                                       const sparse::CsrMatrix& a,
+                                       dist::ProcGrid2D& grid) {
+  mps::PhaseScope scope(world, mps::Phase::kOther);
+  const index_t n = a.n();
+  const dist::VectorDist vd(n, grid.q());
+  const index_t row_lo = vd.chunk_lo(grid.row());
+  const index_t row_hi = vd.chunk_lo(grid.row() + 1);
+  const index_t col_lo = vd.chunk_lo(grid.col());
+  const index_t col_hi = vd.chunk_lo(grid.col() + 1);
+
+  // Same window walk as the one-shot redistribution: this rank touches
+  // exactly its balanced-2D block, so the fingerprint costs O(nnz/p)
+  // compute and one scalar allreduce, independent of cache outcome.
+  std::uint64_t local = 0;
+  std::uint64_t block_nnz = 0;
+  for (index_t gr = row_lo; gr < row_hi; ++gr) {
+    const auto cols = a.row(gr);
+    const auto first = std::lower_bound(cols.begin(), cols.end(), col_lo);
+    for (auto it = first; it != cols.end() && *it < col_hi; ++it) {
+      local += mix_entry(gr, *it);
+      ++block_nnz;
+    }
+  }
+  world.charge_compute(static_cast<double>(block_nnz));
+
+  PatternFingerprint fp;
+  fp.n = n;
+  fp.nnz = a.nnz();
+  fp.hash = world.allreduce(
+      local, [](std::uint64_t x, std::uint64_t y) { return x + y; });
+  return fp;
+}
+
+}  // namespace drcm::service

@@ -1,0 +1,55 @@
+// Sparsity-pattern identity for the ordering cache.
+//
+// RCM depends only on the pattern of the matrix, so two requests whose
+// matrices share a pattern can share an ordering — the serving layer's
+// whole cache premise. The fingerprint is (n, nnz, structure hash), where
+// the hash is a wraparound SUM over all entries of a splitmix64-style mix
+// of each entry's (row, col). Summation is commutative and associative,
+// which makes the hash PARTITION-INVARIANT: any grid cut of the same
+// pattern — a 2x2 lane today, a 3x3 lane tomorrow — reduces to the same
+// value, so cache entries survive lane reshaping. Each rank mixes only its
+// own 2D window (O(nnz/p) work) and ONE allreduce combines the partials;
+// the collective is charged to Phase::kOther, so a cache probe never
+// touches the ordering-phase crossing ledger the hit path asserts on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "dist/proc_grid.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::service {
+
+struct PatternFingerprint {
+  index_t n = 0;
+  nnz_t nnz = 0;
+  std::uint64_t hash = 0;
+  friend bool operator==(const PatternFingerprint&,
+                         const PatternFingerprint&) = default;
+};
+
+/// Hash functor for unordered_map keys (mixes all three fields; the
+/// structure hash alone would collide for patterns that differ only in n,
+/// e.g. trailing isolated vertices).
+struct PatternFingerprintHash {
+  std::size_t operator()(const PatternFingerprint& f) const;
+};
+
+/// Collective on the grid's world: every rank mixes its 2D window of `a`
+/// (the same replicated fixture everywhere) and one allreduce returns the
+/// identical fingerprint on every rank.
+PatternFingerprint fingerprint_pattern(mps::Comm& world,
+                                       const sparse::CsrMatrix& a,
+                                       dist::ProcGrid2D& grid);
+
+/// Folds the ordering-salient options into the key. RCM labels depend on
+/// the load-balancing relabel (and its seed) but on NO other pipeline
+/// option — every sort / accumulator / fusion / redistribution arm is
+/// bit-identical — so the cache key is exactly (pattern, balance salt).
+/// Purely local (no collective); deterministic, so every rank derives the
+/// same salted key from the same allreduced fingerprint.
+PatternFingerprint salt_ordering_options(PatternFingerprint fp,
+                                         bool load_balance, std::uint64_t seed);
+
+}  // namespace drcm::service

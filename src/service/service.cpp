@@ -1,0 +1,377 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+#include "dist/proc_grid.hpp"
+
+namespace drcm::service {
+
+namespace {
+
+/// How a batch wave is carved onto the rank fleet: `nlanes` disjoint
+/// square sub-grids of `lane_size` ranks each, world ranks
+/// [lane * lane_size, (lane + 1) * lane_size); ranks past
+/// nlanes * lane_size sit the wave out (at most lane_size - 1 of them,
+/// only when the fleet size is not itself square).
+struct LanePlan {
+  int lane_size = 1;
+  int nlanes = 1;
+
+  int color_of(int world_rank) const {
+    const int lane = world_rank / lane_size;
+    return lane < nlanes ? lane : nlanes;  // color nlanes = idle
+  }
+};
+
+/// Carves lanes for `requests` concurrent requests on `ranks` ranks:
+/// as many lanes as there are requests (capped by max_lanes when set),
+/// each the LARGEST square grid fitting the per-lane share — a single
+/// request always gets the full largest-square lane, so the steady-state
+/// geometry (and with it the warmed workspace capacities) is stable.
+LanePlan plan_lanes(int ranks, std::size_t requests, int max_lanes) {
+  int desired = static_cast<int>(
+      std::min<std::size_t>(requests, static_cast<std::size_t>(ranks)));
+  desired = std::max(desired, 1);
+  if (max_lanes > 0) desired = std::min(desired, max_lanes);
+  LanePlan plan;
+  plan.lane_size = dist::largest_square_grid(std::max(ranks / desired, 1));
+  plan.nlanes = std::min(desired, ranks / plan.lane_size);
+  return plan;
+}
+
+/// Labels must be a permutation of [0, n) before they may touch the cache
+/// or index the solution assembly — a faulted or corrupted ordering must
+/// surface as a structured error, never as a poisoned cache entry.
+bool is_permutation(const std::vector<index_t>& labels, index_t n) {
+  if (labels.size() != static_cast<std::size_t>(n)) return false;
+  std::vector<char> seen(static_cast<std::size_t>(n), 0);
+  for (const index_t l : labels) {
+    if (l < 0 || l >= n) return false;
+    if (seen[static_cast<std::size_t>(l)]) return false;
+    seen[static_cast<std::size_t>(l)] = 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReorderingService::ReorderingService(const ServiceOptions& options)
+    : options_(options),
+      workspaces_(static_cast<std::size_t>(std::max(options.ranks, 1))) {
+  DRCM_CHECK(options_.ranks >= 1, "service needs at least one rank");
+  DRCM_CHECK(options_.threads_per_rank >= 1,
+             "service needs at least one thread per rank");
+  DRCM_CHECK(options_.max_relaunches >= 0, "negative relaunch budget");
+  cumulative_.machine = options_.machine;
+}
+
+OrderSolveResponse ReorderingService::submit(const OrderSolveRequest& request) {
+  auto responses = submit_batch(std::span<const OrderSolveRequest>(&request, 1));
+  return std::move(responses.front());
+}
+
+std::vector<OrderSolveResponse> ReorderingService::submit_batch(
+    std::span<const OrderSolveRequest> requests) {
+  const std::size_t nreq = requests.size();
+  std::vector<OrderSolveResponse> responses(nreq);
+  if (nreq == 0) return responses;
+
+  // Strip each adjacency ONCE outside the ranks (simulated ranks share an
+  // address space; run_ordered_solve does the same) and validate the
+  // fixtures up front, where a bad request is the caller's bug.
+  std::vector<sparse::CsrMatrix> adjacencies(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) {
+    const auto& rq = requests[i];
+    DRCM_CHECK(rq.matrix != nullptr, "request needs a matrix");
+    DRCM_CHECK(rq.b.size() == static_cast<std::size_t>(rq.matrix->n()),
+               "request rhs size mismatch");
+    adjacencies[i] = rq.matrix->strip_diagonal();
+  }
+
+  // Driver-side checkpoints, deposited by the ranks and read only after
+  // Runtime::run has joined every thread (it joins on faults too, so the
+  // deposits of completed requests survive an aborted launch).
+  std::vector<char> done(nreq, 0);
+  std::vector<std::vector<std::vector<double>>> slabs(nreq);
+  std::vector<std::vector<index_t>> pending_labels(nreq);
+
+  std::vector<std::size_t> remaining(nreq);
+  for (std::size_t i = 0; i < nreq; ++i) remaining[i] = i;
+
+  // Collect finalized miss orderings and insert at batch end: lanes only
+  // ever READ the cache while ranks run, and no insert can evict an entry
+  // a concurrent hit in the same batch is reading.
+  std::vector<std::pair<PatternFingerprint, std::vector<index_t>>> to_insert;
+
+  const int P = options_.ranks;
+  int relaunches = 0;
+  std::string last_error = "unknown failure";
+
+  // Finalizes every request the last launch completed: assemble the
+  // replicated solution outside the ranks (like run_ordered_solve), count
+  // the cache outcome, stage miss orderings for insertion, and drop the
+  // request from the work list.
+  const auto finalize_done = [&]() {
+    std::vector<std::size_t> still;
+    still.reserve(remaining.size());
+    for (const std::size_t req : remaining) {
+      if (!done[req]) {
+        still.push_back(req);
+        continue;
+      }
+      auto& resp = responses[req];
+      const index_t n = requests[req].matrix->n();
+      const std::vector<index_t>* labels = nullptr;
+      if (resp.cache_hit) {
+        ++cache_hits_;
+        labels = &cache_.at(resp.fingerprint).labels;
+      } else {
+        ++cache_misses_;
+        if (!is_permutation(pending_labels[req], n)) {
+          resp.status = RequestStatus::kFault;
+          resp.error = "ordering produced an invalid permutation";
+          continue;
+        }
+        labels = &pending_labels[req];
+      }
+      std::vector<double> x_perm;
+      x_perm.reserve(static_cast<std::size_t>(n));
+      for (auto& slab : slabs[req]) {
+        x_perm.insert(x_perm.end(), slab.begin(), slab.end());
+      }
+      DRCM_CHECK(x_perm.size() == static_cast<std::size_t>(n),
+                 "solution slabs must cover every permuted row exactly once");
+      resp.x.resize(static_cast<std::size_t>(n));
+      for (index_t v = 0; v < n; ++v) {
+        resp.x[static_cast<std::size_t>(v)] =
+            x_perm[static_cast<std::size_t>((*labels)[static_cast<std::size_t>(
+                v)])];
+      }
+      resp.status = RequestStatus::kOk;
+      resp.report.machine = options_.machine;
+      if (!resp.cache_hit) {
+        to_insert.emplace_back(resp.fingerprint,
+                               std::move(pending_labels[req]));
+      }
+    }
+    remaining.swap(still);
+  };
+
+  while (!remaining.empty()) {
+    const LanePlan plan = plan_lanes(P, remaining.size(), options_.max_lanes);
+
+    // Deal the surviving requests round-robin onto the lanes.
+    std::vector<std::vector<std::size_t>> lane_queue(
+        static_cast<std::size_t>(plan.nlanes));
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      lane_queue[i % static_cast<std::size_t>(plan.nlanes)].push_back(
+          remaining[i]);
+    }
+
+    // Fresh per-attempt deposit slots (an aborted attempt's partial
+    // deposits for unfinished requests must not leak into this one).
+    for (const std::size_t req : remaining) {
+      responses[req] = OrderSolveResponse{};
+      responses[req].report.ranks.resize(
+          static_cast<std::size_t>(plan.lane_size));
+      slabs[req].assign(static_cast<std::size_t>(plan.lane_size), {});
+      pending_labels[req].clear();
+    }
+
+    // Which request each world rank is inside, for fault attribution.
+    std::vector<int> current_request(static_cast<std::size_t>(P), -1);
+
+    const auto body = [&](mps::Comm& world) {
+      const int wr = world.rank();
+      const int color = plan.color_of(wr);
+      mps::Comm lane = world.split(color, wr);
+      if (color == plan.nlanes) return;  // idle this wave
+
+      // The lane grid adopts this WORLD rank's persistent workspace, so
+      // buffer capacities warmed by earlier requests (and earlier waves)
+      // carry over and the realloc ledger spans the whole stream.
+      dist::ProcGrid2D grid(lane, &workspaces_[static_cast<std::size_t>(wr)]);
+
+      for (const std::size_t req : lane_queue[static_cast<std::size_t>(color)]) {
+        current_request[static_cast<std::size_t>(wr)] = static_cast<int>(req);
+        const auto& rq = requests[req];
+
+        // Per-request ledger isolation: park the attempt's running totals,
+        // run the request on a zeroed recorder (peak_resident included, so
+        // the pipeline's per-rank budget asserts per request), then fold
+        // the request's segment back into the running totals.
+        const auto saved = lane.stats();
+        lane.stats().reset();
+        const auto realloc0 =
+            workspaces_[static_cast<std::size_t>(wr)].reallocations();
+
+        const PatternFingerprint fp =
+            salt_ordering_options(fingerprint_pattern(lane, *rq.matrix, grid),
+                                  rq.rcm.load_balance, rq.rcm.seed);
+        const CacheEntry* entry = cache_find(fp);
+
+        rcm::OrderedSolveResult result;
+        if (entry != nullptr) {
+          result = rcm::ordered_solve_with_labels(grid, *rq.matrix,
+                                                  entry->labels, rq.b,
+                                                  rq.precondition, rq.rcm,
+                                                  rq.cg);
+          DRCM_CHECK(mps::ordering_crossings(lane.stats()) == 0,
+                     "cache hit must skip every ordering collective");
+        } else {
+          result = rcm::ordered_solve_on(grid, *rq.matrix, rq.b,
+                                         rq.precondition, rq.rcm, rq.cg,
+                                         &adjacencies[req]);
+        }
+
+        const std::uint64_t my_crossings =
+            mps::ordering_crossings(lane.stats());
+        const std::uint64_t my_reallocs =
+            workspaces_[static_cast<std::size_t>(wr)].reallocations() -
+            realloc0;
+        const auto max_crossings = lane.allreduce(
+            my_crossings,
+            [](std::uint64_t x, std::uint64_t y) { return std::max(x, y); });
+        const auto sum_reallocs = lane.allreduce(
+            my_reallocs,
+            [](std::uint64_t x, std::uint64_t y) { return x + y; });
+
+        const auto mine = lane.stats();
+        lane.stats() = saved;
+        lane.stats().merge_from(mine);
+
+        // Deposit this rank's share. Lane rank 0 flips `done` LAST: the
+        // flip happens after both allreduces above, which every lane rank
+        // must have entered, and each rank's deposits precede its next
+        // collective — so done == 1 guarantees complete deposits by the
+        // time the runtime has joined the threads.
+        slabs[req][static_cast<std::size_t>(lane.rank())] =
+            std::move(result.x_local);
+        responses[req].report.ranks[static_cast<std::size_t>(lane.rank())] =
+            mine;
+        if (lane.rank() == 0) {
+          auto& resp = responses[req];
+          resp.cache_hit = entry != nullptr;
+          resp.fingerprint = fp;
+          resp.permuted_bandwidth = result.permuted_bandwidth;
+          resp.cg = result.cg;
+          resp.ordering_crossings = max_crossings;
+          resp.workspace_reallocations = sum_reallocs;
+          resp.lane = color;
+          resp.lane_ranks = plan.lane_size;
+          if (entry == nullptr) {
+            pending_labels[req] = std::move(result.labels);
+          }
+          done[req] = 1;
+        }
+        current_request[static_cast<std::size_t>(wr)] = -1;
+      }
+    };
+
+    mps::SpmdReport partial;
+    mps::RunOptions run_options;
+    run_options.machine = options_.machine;
+    run_options.threads_per_rank = options_.threads_per_rank;
+    run_options.faults = options_.faults;
+    run_options.watchdog_seconds = options_.watchdog_seconds;
+    run_options.report_on_error = &partial;
+
+    ++launches_;
+    try {
+      const auto report = mps::Runtime::run(P, body, run_options);
+      cumulative_.merge_from(report);
+      finalize_done();
+      DRCM_CHECK(remaining.empty(),
+                 "fault-free launch must complete every scheduled request");
+      break;
+    } catch (const mps::InjectedFault& f) {
+      // Attributable fault: the dying rank's in-flight request gets a
+      // structured kFault response; everyone else is relaunched from the
+      // driver's checkpoints (one-shot actions cannot re-fire).
+      cumulative_.merge_from(partial);
+      finalize_done();
+      last_error = std::string("injected ") + mps::fault_kind_name(f.kind()) +
+                   " on rank " + std::to_string(f.rank()) + " at collective " +
+                   std::to_string(f.ordinal());
+      const int victim = current_request[static_cast<std::size_t>(f.rank())];
+      if (victim >= 0 && !done[static_cast<std::size_t>(victim)]) {
+        auto& resp = responses[static_cast<std::size_t>(victim)];
+        resp.status = RequestStatus::kFault;
+        resp.error = last_error;
+        remaining.erase(std::remove(remaining.begin(), remaining.end(),
+                                    static_cast<std::size_t>(victim)),
+                        remaining.end());
+      }
+      ++relaunches;
+    } catch (const mps::InjectedAllocFailure& f) {
+      cumulative_.merge_from(partial);
+      finalize_done();
+      last_error = "injected alloc-failure on rank " +
+                   std::to_string(f.rank()) + " at collective " +
+                   std::to_string(f.ordinal());
+      const int victim = current_request[static_cast<std::size_t>(f.rank())];
+      if (victim >= 0 && !done[static_cast<std::size_t>(victim)]) {
+        auto& resp = responses[static_cast<std::size_t>(victim)];
+        resp.status = RequestStatus::kFault;
+        resp.error = last_error;
+        remaining.erase(std::remove(remaining.begin(), remaining.end(),
+                                    static_cast<std::size_t>(victim)),
+                        remaining.end());
+      }
+      ++relaunches;
+    } catch (const std::exception& e) {
+      // No rank attribution (corruption faults surface as downstream check
+      // failures; watchdog timeouts name no single request): retry every
+      // unfinished request — one-shot fault semantics still guarantee the
+      // relaunch makes progress.
+      cumulative_.merge_from(partial);
+      finalize_done();
+      last_error = e.what();
+      ++relaunches;
+    }
+
+    if (relaunches > options_.max_relaunches && !remaining.empty()) {
+      for (const std::size_t req : remaining) {
+        responses[req].status = RequestStatus::kFault;
+        responses[req].error = "relaunch budget exhausted: " + last_error;
+      }
+      remaining.clear();
+    }
+  }
+
+  for (auto& [fp, labels] : to_insert) {
+    cache_insert(fp, std::move(labels));
+  }
+  return responses;
+}
+
+std::uint64_t ReorderingService::workspace_reallocations() const {
+  std::uint64_t total = 0;
+  for (const auto& ws : workspaces_) total += ws.reallocations();
+  return total;
+}
+
+const ReorderingService::CacheEntry* ReorderingService::cache_find(
+    const PatternFingerprint& fp) const {
+  const auto it = cache_.find(fp);
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+void ReorderingService::cache_insert(const PatternFingerprint& fp,
+                                     std::vector<index_t> labels) {
+  if (options_.cache_capacity == 0) return;
+  // Duplicate patterns inside one batch both miss (they ran concurrently,
+  // blind to each other) and both arrive here; keep the first.
+  if (cache_.find(fp) != cache_.end()) return;
+  while (cache_.size() >= options_.cache_capacity) {
+    cache_.erase(cache_fifo_.front());
+    cache_fifo_.pop_front();
+  }
+  cache_.emplace(fp, CacheEntry{std::move(labels)});
+  cache_fifo_.push_back(fp);
+}
+
+}  // namespace drcm::service

@@ -1,0 +1,160 @@
+// Ordering-as-a-service: a batched, cached, concurrent request layer over
+// the distributed RCM pipeline.
+//
+// A ReorderingService owns a fleet of `ranks` simulated MPI ranks and
+// accepts a stream of OrderSolveRequests (matrix + rhs + options). Three
+// amortizations turn the one-shot pipeline into a serving layer:
+//
+//   * WORKSPACE REUSE — one DistWorkspace per world rank persists across
+//     requests (and across Runtime::run launches): every grid the service
+//     builds adopts it (ProcGrid2D's external-workspace constructor), so
+//     the realloc ledger extends across requests and steady-state repeats
+//     of a shape run the exchanges reallocation-free.
+//
+//   * ORDERING CACHE — requests are keyed by a partition-invariant
+//     sparsity-pattern fingerprint (service/fingerprint.hpp). A repeat
+//     pattern skips BFS + SORTPERM entirely and jumps straight to the
+//     value-carrying redistribution (rcm::ordered_solve_with_labels); the
+//     body asserts ZERO ordering-phase barrier crossings on every hit.
+//
+//   * BATCHED EXECUTION — independent requests of one batch run
+//     CONCURRENTLY on disjoint square sub-grids (lanes) carved from the
+//     parent world by one Comm::split; per-request SpmdReport ledgers come
+//     back with each response.
+//
+// Fault isolation: scripted FaultPlan failures are one-shot, so a killed
+// request returns a structured kFault response while its batch peers are
+// transparently relaunched from the driver's checkpoints and complete
+// bit-identically to a fault-free run. A faulted request NEVER leaves a
+// cache entry behind (labels are validated and inserted only after its
+// lane deposited a completed result).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/workspace.hpp"
+#include "mpsim/fault.hpp"
+#include "mpsim/runtime.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "service/fingerprint.hpp"
+
+namespace drcm::service {
+
+/// One unit of work: order `matrix` (replicated SPD fixture, values and
+/// diagonal included), then solve matrix * x = b in the permuted basis.
+struct OrderSolveRequest {
+  const sparse::CsrMatrix* matrix = nullptr;
+  std::span<const double> b;
+  bool precondition = true;
+  rcm::DistRcmOptions rcm{};
+  solver::CgOptions cg{};
+};
+
+enum class RequestStatus {
+  kOk,
+  kFault,  ///< killed by a fault (or relaunch budget exhausted); see `error`
+};
+
+struct OrderSolveResponse {
+  RequestStatus status = RequestStatus::kOk;
+  /// Structured failure description when status == kFault.
+  std::string error;
+  bool cache_hit = false;
+  PatternFingerprint fingerprint{};
+  index_t permuted_bandwidth = 0;
+  solver::CgResult cg{};
+  /// Replicated solution in the ORIGINAL numbering, assembled by the
+  /// driver outside the ranks (like run_ordered_solve).
+  std::vector<double> x;
+  /// Per-lane-rank ledgers of THIS request alone: each rank's recorder is
+  /// reset when the request starts and deposited when it completes, so the
+  /// report isolates the request from its batch peers and predecessors.
+  mps::SpmdReport report;
+  /// Max over lane ranks of this request's ordering-phase barrier
+  /// crossings. Asserted (and observed) to be 0 on every cache hit.
+  std::uint64_t ordering_crossings = 0;
+  /// Sum over lane ranks of workspace reallocations charged to this
+  /// request. 0 in the steady state (a growth performed by request k is
+  /// detected at the next checkout, so the ledger settles by request 3 of
+  /// a fixed shape).
+  std::uint64_t workspace_reallocations = 0;
+  int lane = -1;
+  int lane_ranks = 0;
+};
+
+struct ServiceOptions {
+  /// World size of the service's rank fleet. Need not be square — lanes
+  /// are carved as the largest square fitting the per-wave share.
+  int ranks = 4;
+  int threads_per_rank = 1;
+  mps::MachineParams machine{};
+  /// Scripted faults (one-shot actions), applied across ALL launches the
+  /// service performs; may be null.
+  mps::FaultPlan* faults = nullptr;
+  double watchdog_seconds = 0.0;
+  /// Relaunches (beyond the first launch) a batch may consume recovering
+  /// from faults before surviving requests are failed outright.
+  int max_relaunches = 3;
+  /// Ordering-cache capacity in patterns (FIFO eviction; 0 disables).
+  std::size_t cache_capacity = 64;
+  /// Cap on concurrent lanes per batch wave (0 = one lane per request,
+  /// as many as the fleet fits).
+  int max_lanes = 0;
+};
+
+class ReorderingService {
+ public:
+  explicit ReorderingService(const ServiceOptions& options);
+
+  /// Executes one request on the full fleet (one lane). Cache inserts are
+  /// visible to the next submit, so a repeated pattern hits from the
+  /// second submission on.
+  OrderSolveResponse submit(const OrderSolveRequest& request);
+
+  /// Executes a batch: requests are dealt round-robin onto disjoint
+  /// square lanes and run concurrently; responses come back in request
+  /// order. Cache lookups see the cache as of batch start (inserts land
+  /// at batch end — lanes only ever READ the cache while ranks run).
+  std::vector<OrderSolveResponse> submit_batch(
+      std::span<const OrderSolveRequest> requests);
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::size_t cache_size() const { return cache_.size(); }
+  /// Runtime::run launches performed (relaunches included).
+  int launches() const { return launches_; }
+  /// Ledger folded over every launch, abandoned attempts included.
+  const mps::SpmdReport& cumulative_report() const { return cumulative_; }
+  /// Sum over ranks of persistent-workspace reallocations since
+  /// construction (the cross-request warm-up metric).
+  std::uint64_t workspace_reallocations() const;
+
+ private:
+  struct CacheEntry {
+    std::vector<index_t> labels;
+  };
+
+  const CacheEntry* cache_find(const PatternFingerprint& fp) const;
+  void cache_insert(const PatternFingerprint& fp,
+                    std::vector<index_t> labels);
+
+  ServiceOptions options_;
+  /// One persistent workspace per WORLD rank — the cross-request, cross-
+  /// launch scratch the grids adopt. Indexed by world rank so a rank keeps
+  /// its warmed capacities even as lane geometry changes between waves.
+  std::vector<dist::DistWorkspace> workspaces_;
+  std::unordered_map<PatternFingerprint, CacheEntry, PatternFingerprintHash>
+      cache_;
+  std::deque<PatternFingerprint> cache_fifo_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  int launches_ = 0;
+  mps::SpmdReport cumulative_;
+};
+
+}  // namespace drcm::service

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "dist/level_kernel.hpp"
+#include "dist/sortperm.hpp"
 #include "mpsim/runtime.hpp"
 #include "rcm/rcm_driver.hpp"
 #include "rcm/trace_model.hpp"
@@ -324,6 +325,47 @@ TEST(CrossingLedger, OrderedSolvePerformsExactlyOneMatrixRedistribution) {
   EXPECT_EQ(legacy.report.aggregate(Phase::kRedistribute).max.barrier_crossings,
             8u)
       << "two-hop: permute alltoallv + allreduce + re-own + rhs alltoallv";
+}
+
+TEST(CrossingLedger, StandaloneSortpermCarriesThePackedHistogram) {
+  // The standalone sortperm_bucket regression pin: its histogram exchange
+  // rides the wire two-level packed (sortperm_pack_cells), like the fused
+  // ordering level, instead of the naive 4-word (bucket, degree, block,
+  // count) cells. Fixture: a FULL frontier of n = 128 vertices whose
+  // degrees are all distinct (degree = vertex id), so every histogram
+  // cell is a singleton and cells == elements == 128 — the degree-diverse
+  // worst case the compaction exists for. Under the naive carry the
+  // histogram allgatherv ALONE charges 4 * 128 = 512 words to every rank
+  // before a single element moves; packed, the whole sort phase — carry
+  // plus BOTH element alltoallvs (3-word deal records + 2-word ranked
+  // results) — must come in UNDER that line. Reverting the carry breaks
+  // this bound by the allgatherv alone.
+  constexpr index_t kN = 128;
+  constexpr index_t kBuckets = 4;
+  const auto report = Runtime::run(4, [&](Comm& world) {
+    dist::ProcGrid2D grid(world);
+    dist::VectorDist vdist(kN, grid.q());
+    dist::DistDenseVec degrees(vdist, grid, 0);
+    for (index_t g = degrees.lo(); g < degrees.hi(); ++g) {
+      degrees.set(g, g);  // all distinct: every cell a singleton
+    }
+    dist::DistSpVec frontier(vdist, grid);
+    std::vector<dist::VecEntry> mine;
+    for (index_t g = frontier.lo(); g < frontier.hi(); ++g) {
+      mine.push_back(dist::VecEntry{g, g % kBuckets});
+    }
+    frontier.assign(mine);
+    PhaseScope scope(world, Phase::kOrderingSort);
+    const auto ranked =
+        dist::sortperm_bucket(frontier, degrees, 0, kBuckets, grid);
+    EXPECT_EQ(ranked.entries().size(), mine.size());
+  });
+  const auto& sort = report.aggregate(Phase::kOrderingSort).max;
+  EXPECT_EQ(sort.barrier_crossings, 6u)
+      << "standalone SORTPERM: histogram allgatherv + deal + scatter-back";
+  EXPECT_GT(sort.words, 0u);
+  EXPECT_LT(sort.words, 4u * static_cast<std::uint64_t>(kN))
+      << "sort-phase words must undercut the naive histogram carry alone";
 }
 
 TEST(CostModel, DefaultParametersAreSane) {

@@ -1,0 +1,300 @@
+// The ordering cache of the reordering service: correctness of the hit
+// path, collision resistance of the fingerprint, fault hygiene of the
+// cache, and the steady-state zero-work contracts of a long stream.
+//
+//  * a repeat pattern HITS, skips every ordering collective (the ledger
+//    says exactly zero ordering-phase crossings), and still produces a
+//    solution bit-identical to the cold run and to run_ordered_solve;
+//  * a hit serves a DIFFERENT rhs correctly (the cache keys the pattern,
+//    not the problem);
+//  * same-shape different-pattern requests MUST miss (n and nnz equal,
+//    structure different), and ordering-salient options salt the key;
+//  * a mid-solve rank death returns a structured kFault and never leaves
+//    a poisoned cache entry behind;
+//  * a 50-request stream of one pattern runs with zero workspace
+//    reallocations and zero ordering crossings from request 3 on.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpsim/fault.hpp"
+#include "rcm/rcm_driver.hpp"
+#include "service/service.hpp"
+#include "sparse/generators.hpp"
+
+namespace drcm::service {
+namespace {
+
+namespace gen = sparse::gen;
+
+std::vector<double> wavy_rhs(index_t n, unsigned salt = 0) {
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    b[static_cast<std::size_t>(i)] =
+        1.0 +
+        0.5 * static_cast<double>(((i + salt) * 2654435761u) % 1000) / 1000.0;
+  }
+  return b;
+}
+
+void expect_bitwise_equal(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(a[i]),
+              std::bit_cast<std::uint64_t>(b[i]))
+        << "component " << i;
+  }
+}
+
+TEST(ServiceCache, RepeatPatternHitsAndSolvesBitIdentically) {
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(16, 16), 5), 0.02);
+  const auto b = wavy_rhs(m.n());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest request;
+  request.matrix = &m;
+  request.b = b;
+
+  const auto cold = service.submit(request);
+  ASSERT_EQ(cold.status, RequestStatus::kOk);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_GT(cold.ordering_crossings, 0u);
+
+  const auto warm = service.submit(request);
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.ordering_crossings, 0u)
+      << "a cache hit must skip every ordering collective";
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  EXPECT_EQ(warm.permuted_bandwidth, cold.permuted_bandwidth);
+  EXPECT_EQ(warm.cg.iterations, cold.cg.iterations);
+  expect_bitwise_equal(warm.x, cold.x);
+
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(service.cache_misses(), 1u);
+  EXPECT_EQ(service.cache_size(), 1u);
+
+  // Both must equal the one-call pipeline on the same four ranks.
+  const auto reference = rcm::run_ordered_solve(4, m, b);
+  ASSERT_TRUE(reference.result.cg.converged);
+  expect_bitwise_equal(cold.x, reference.result.x);
+
+  // The ledgers are per request: the hit's report must show zero
+  // crossings in all five ordering phases on every lane rank.
+  for (const auto& rank : warm.report.ranks) {
+    EXPECT_EQ(mps::ordering_crossings(rank), 0u);
+  }
+}
+
+TEST(ServiceCache, HitServesADifferentRhsCorrectly) {
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(14, 15), 9), 0.02);
+  const auto b1 = wavy_rhs(m.n(), 0);
+  const auto b2 = wavy_rhs(m.n(), 77);
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest request;
+  request.matrix = &m;
+  request.b = b1;
+  ASSERT_EQ(service.submit(request).status, RequestStatus::kOk);
+
+  request.b = b2;
+  const auto warm = service.submit(request);
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(warm.cache_hit);
+
+  const auto reference = rcm::run_ordered_solve(4, m, b2);
+  expect_bitwise_equal(warm.x, reference.result.x);
+}
+
+TEST(ServiceCache, SameShapeDifferentPatternMustMiss) {
+  // Relabelings of one graph: identical n, identical nnz, different
+  // structure. The structure hash must separate them — a false hit would
+  // order matrix B with matrix A's labels and silently destroy the
+  // bandwidth (or worse, the permutation property is the only thing the
+  // solver would notice).
+  const auto base = gen::grid2d(16, 16);
+  const auto a = gen::with_laplacian_values(gen::relabel_random(base, 1), 0.02);
+  const auto c = gen::with_laplacian_values(gen::relabel_random(base, 2), 0.02);
+  ASSERT_EQ(a.n(), c.n());
+  ASSERT_EQ(a.nnz(), c.nnz());
+  const auto b = wavy_rhs(a.n());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest ra;
+  ra.matrix = &a;
+  ra.b = b;
+  OrderSolveRequest rc;
+  rc.matrix = &c;
+  rc.b = b;
+
+  const auto first = service.submit(ra);
+  const auto second = service.submit(rc);
+  ASSERT_EQ(first.status, RequestStatus::kOk);
+  ASSERT_EQ(second.status, RequestStatus::kOk);
+  EXPECT_FALSE(second.cache_hit)
+      << "same (n, nnz) with different structure must not collide";
+  EXPECT_NE(first.fingerprint.hash, second.fingerprint.hash);
+  EXPECT_EQ(service.cache_misses(), 2u);
+
+  // Ordering-salient options salt the key: the load-balanced ordering of
+  // the SAME pattern is a different labeling, so it must miss too …
+  OrderSolveRequest balanced = ra;
+  balanced.rcm.load_balance = true;
+  const auto third = service.submit(balanced);
+  ASSERT_EQ(third.status, RequestStatus::kOk);
+  EXPECT_FALSE(third.cache_hit);
+
+  // … as must a different balance seed; but repeating the exact salted
+  // configuration hits.
+  OrderSolveRequest reseeded = balanced;
+  reseeded.rcm.seed = balanced.rcm.seed + 1;
+  EXPECT_FALSE(service.submit(reseeded).cache_hit);
+  EXPECT_TRUE(service.submit(balanced).cache_hit);
+}
+
+TEST(ServiceCache, FaultNeverPoisonsTheCache) {
+  const auto a = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(13, 14), 4), 0.02);
+  const auto c = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(13, 14), 8), 0.02);
+  const auto b = wavy_rhs(a.n());
+
+  mps::FaultPlan plan;
+  ServiceOptions options;
+  options.ranks = 4;
+  options.faults = &plan;
+  options.watchdog_seconds = 20.0;
+  ReorderingService service(options);
+
+  OrderSolveRequest ra;
+  ra.matrix = &a;
+  ra.b = b;
+  OrderSolveRequest rc;
+  rc.matrix = &c;
+  rc.b = b;
+
+  ASSERT_EQ(service.submit(ra).status, RequestStatus::kOk);
+  ASSERT_EQ(service.cache_size(), 1u);
+
+  // Kill rank 1 mid-ordering of pattern C's first submission. The request
+  // must come back as a structured fault — and the cache must NOT have
+  // gained an entry for C.
+  plan.die_at(1, 10);
+  const auto killed = service.submit(rc);
+  EXPECT_EQ(killed.status, RequestStatus::kFault);
+  EXPECT_NE(killed.error.find("rank-death"), std::string::npos)
+      << killed.error;
+  EXPECT_EQ(service.cache_size(), 1u)
+      << "a faulted request must not leave a cache entry";
+
+  // The retry (fault spent) is a MISS, completes, and only then caches;
+  // a fourth submission hits and matches the fault-free reference.
+  const auto retried = service.submit(rc);
+  ASSERT_EQ(retried.status, RequestStatus::kOk);
+  EXPECT_FALSE(retried.cache_hit);
+  EXPECT_EQ(service.cache_size(), 2u);
+
+  const auto warm = service.submit(rc);
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(warm.cache_hit);
+  const auto reference = rcm::run_ordered_solve(4, c, b);
+  expect_bitwise_equal(warm.x, reference.result.x);
+}
+
+TEST(ServiceCache, SteadyStateStreamRunsWithoutReallocationOrOrderingWork) {
+  // A 50-request stream of one pattern (rhs varies): request 1 is the cold
+  // miss that sizes every buffer, request 2's checkouts DETECT the growth
+  // request 1 performed (capacity deltas are recorded at the buffer's next
+  // checkout — see DistWorkspace), and from request 3 on the service must
+  // run allocation-free and ordering-free: zero workspace reallocations,
+  // zero ordering crossings, every request a hit.
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(12, 12), 6), 0.02);
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  std::uint64_t reallocs_after_warmup = 0;
+  std::vector<double> x2;
+  for (int k = 1; k <= 50; ++k) {
+    const auto b = wavy_rhs(m.n(), static_cast<unsigned>(k % 3));
+    OrderSolveRequest request;
+    request.matrix = &m;
+    request.b = b;
+    const auto resp = service.submit(request);
+    ASSERT_EQ(resp.status, RequestStatus::kOk) << "request " << k;
+    if (k == 1) {
+      EXPECT_FALSE(resp.cache_hit);
+      continue;
+    }
+    EXPECT_TRUE(resp.cache_hit) << "request " << k;
+    EXPECT_EQ(resp.ordering_crossings, 0u) << "request " << k;
+    if (k == 2) {
+      x2 = resp.x;
+      reallocs_after_warmup = service.workspace_reallocations();
+      continue;
+    }
+    EXPECT_EQ(resp.workspace_reallocations, 0u)
+        << "request " << k << " reallocated in the steady state";
+    // Same rhs cycle as request 2 -> bitwise the same solution.
+    if (k % 3 == 2 % 3) expect_bitwise_equal(resp.x, x2);
+  }
+  EXPECT_EQ(service.workspace_reallocations(), reallocs_after_warmup)
+      << "the workspace ledger must be flat from request 3 on";
+  EXPECT_EQ(service.cache_hits(), 49u);
+  EXPECT_EQ(service.cache_misses(), 1u);
+}
+
+TEST(ServiceCache, FifoEvictionAndCapacityZero) {
+  const auto base = gen::grid2d(10, 10);
+  const auto a = gen::with_laplacian_values(gen::relabel_random(base, 1), 0.02);
+  const auto c = gen::with_laplacian_values(gen::relabel_random(base, 2), 0.02);
+  const auto d = gen::with_laplacian_values(gen::relabel_random(base, 3), 0.02);
+  const auto b = wavy_rhs(a.n());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  options.cache_capacity = 2;
+  ReorderingService service(options);
+
+  OrderSolveRequest ra, rc, rd;
+  ra.matrix = &a;
+  ra.b = b;
+  rc.matrix = &c;
+  rc.b = b;
+  rd.matrix = &d;
+  rd.b = b;
+
+  EXPECT_FALSE(service.submit(ra).cache_hit);
+  EXPECT_FALSE(service.submit(rc).cache_hit);
+  EXPECT_FALSE(service.submit(rd).cache_hit);  // evicts A (FIFO)
+  EXPECT_EQ(service.cache_size(), 2u);
+  EXPECT_FALSE(service.submit(ra).cache_hit) << "A was evicted first-in";
+  EXPECT_TRUE(service.submit(rd).cache_hit) << "D is still resident";
+
+  ServiceOptions uncached = options;
+  uncached.cache_capacity = 0;
+  ReorderingService nocache(uncached);
+  EXPECT_FALSE(nocache.submit(ra).cache_hit);
+  EXPECT_FALSE(nocache.submit(ra).cache_hit);
+  EXPECT_EQ(nocache.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace drcm::service
