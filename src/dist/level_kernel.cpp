@@ -324,4 +324,21 @@ CmLevelResult cm_level_step_unfused(
   return res;
 }
 
+DistSpVec frontier_from_label_range(const DistDenseVec& labels,
+                                    index_t label_lo, index_t label_hi,
+                                    ProcGrid2D& grid,
+                                    mps::Phase other_phase) {
+  auto& world = grid.world();
+  mps::PhaseScope scope(world, other_phase);
+  std::vector<VecEntry> entries;
+  for (index_t g = labels.lo(); g < labels.hi(); ++g) {
+    const index_t l = labels.get(g);
+    if (l >= label_lo && l < label_hi) entries.push_back(VecEntry{g, l});
+  }
+  world.charge_compute(static_cast<double>(labels.local_size()));
+  DistSpVec out(labels.dist(), grid);
+  out.assign(std::move(entries));
+  return out;
+}
+
 }  // namespace drcm::dist

@@ -121,4 +121,17 @@ CmLevelResult cm_level_step_unfused(
     SpmspvAccumulator acc = SpmspvAccumulator::kAuto,
     DistWorkspace* ws = nullptr);
 
+/// Reconstructs a frontier from the dense label vector: the sparse vector
+/// of vertices whose label lies in [label_lo, label_hi), values = their
+/// labels. Because cm_level_step's SET stage refreshes frontier values
+/// from `labels` anyway, the result is interchangeable with the `next`
+/// frontier a prior cm_level_step would have returned for that level —
+/// the re-entry point the incremental-repair cone uses to resume a cached
+/// BFS mid-flight. LOCAL (each rank scans its owned slab; entries come
+/// out ascending by index); `other_phase` receives the scan charge.
+DistSpVec frontier_from_label_range(const DistDenseVec& labels,
+                                    index_t label_lo, index_t label_hi,
+                                    ProcGrid2D& grid,
+                                    mps::Phase other_phase);
+
 }  // namespace drcm::dist

@@ -12,13 +12,10 @@ index_t dist_cm_component(const dist::DistSpMat& a,
                           dist::DistDenseVec& labels, index_t root,
                           index_t next_label, dist::ProcGrid2D& grid,
                           SortKind sort, dist::SpmspvAccumulator acc,
-                          bool fuse_ordering) {
+                          bool fuse_ordering,
+                          std::vector<index_t>* level_starts) {
   DRCM_CHECK(root >= 0 && root < a.n(), "root out of range");
   auto& world = grid.world();
-  // The sample-sort baseline cannot ride the level collective (a comparison
-  // sort has no histogram to piggyback), so it always takes the reference
-  // chain.
-  const bool fused = fuse_ordering && sort == SortKind::kBucket;
 
   // R[r] <- nv (Algorithm 3 line 3).
   {
@@ -28,12 +25,28 @@ index_t dist_cm_component(const dist::DistSpMat& a,
       labels.set(root, next_label);
     }
   }
+  if (level_starts) level_starts->push_back(next_label);  // level 0 = root
   DistSpVec frontier(labels.dist(), grid);
   if (frontier.lo() <= root && root < frontier.hi()) {
     frontier.assign({VecEntry{root, next_label}});
   }
-  index_t frontier_nnz = 1;
-  next_label += 1;
+  return dist_cm_cone(a, degrees, labels, std::move(frontier),
+                      /*frontier_nnz=*/1, next_label + 1, grid, sort, acc,
+                      fuse_ordering, level_starts);
+}
+
+index_t dist_cm_cone(const dist::DistSpMat& a,
+                     const dist::DistDenseVec& degrees,
+                     dist::DistDenseVec& labels, DistSpVec frontier,
+                     index_t frontier_nnz, index_t next_label,
+                     dist::ProcGrid2D& grid, SortKind sort,
+                     dist::SpmspvAccumulator acc, bool fuse_ordering,
+                     std::vector<index_t>* level_starts, index_t label_cap) {
+  auto& world = grid.world();
+  // The sample-sort baseline cannot ride the level collective (a comparison
+  // sort has no histogram to piggyback), so it always takes the reference
+  // chain.
+  const bool fused = fuse_ordering && sort == SortKind::kBucket;
 
   while (frontier_nnz > 0) {
     // Labels of the current frontier form the contiguous range
@@ -58,7 +71,14 @@ index_t dist_cm_component(const dist::DistSpMat& a,
                     sort == SortKind::kSampleSort, acc);
     frontier_nnz = step.global_nnz;
     if (frontier_nnz == 0) break;
+    if (level_starts) level_starts->push_back(next_label);
     next_label += frontier_nnz;
+    // Escape detection for the repair cone: a level that pushes past the
+    // cap means this cone is labeling vertices outside its expected
+    // component (a delta merged components) — return the overshooting
+    // counter instead of flooding the merged blob. The level that crossed
+    // the cap HAS already written labels; the caller discards the vector.
+    if (label_cap >= 0 && next_label > label_cap) return next_label;
     frontier = step.next;
   }
   return next_label;

@@ -7,6 +7,7 @@
 #include <functional>
 #include <string>
 
+#include "dist/level_kernel.hpp"
 #include "dist/primitives.hpp"
 #include "dist/redistribute.hpp"
 #include "rcm/dist_peripheral.hpp"
@@ -52,7 +53,8 @@ void balance_input(mps::Comm& world, const sparse::CsrMatrix& a,
 dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
                                    const sparse::CsrMatrix& work,
                                    const DistRcmOptions& options,
-                                   DistRcmStats* stats) {
+                                   DistRcmStats* stats,
+                                   OrderingRecipe* recipe = nullptr) {
   const index_t n = work.n();
   dist::DistSpMat mat(grid, work);
   dist::DistDenseVec degrees = mat.degrees(grid);
@@ -72,10 +74,17 @@ dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
                                                    options.accumulator);
     local_stats.components += 1;
     local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
+    ComponentRecipe cr;
+    cr.seed = seed;
+    cr.root = peripheral.vertex;
     next_label = dist_cm_component(mat, degrees, labels, peripheral.vertex,
                                    next_label, grid, options.sort,
-                                   options.accumulator,
-                                   options.fuse_ordering);
+                                   options.accumulator, options.fuse_ordering,
+                                   recipe ? &cr.level_starts : nullptr);
+    if (recipe) {
+      cr.level_starts.push_back(next_label);  // one-past-the-end sentinel
+      recipe->components.push_back(std::move(cr));
+    }
   }
 
   // Reverse in place (RCM = reversed CM), still sharded.
@@ -95,7 +104,7 @@ dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
 
 std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                               const DistRcmOptions& options,
-                              DistRcmStats* stats) {
+                              DistRcmStats* stats, OrderingRecipe* recipe) {
   DRCM_CHECK(!a.has_self_loops(),
              "dist_rcm expects an adjacency pattern (strip_diagonal first)");
   const index_t n = a.n();
@@ -106,7 +115,8 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
   balance_input(world, a, options, balance, relabeled, work);
 
   dist::ProcGrid2D grid(world);
-  dist::DistDenseVec labels = dist_rcm_levels(world, grid, *work, options, stats);
+  dist::DistDenseVec labels =
+      dist_rcm_levels(world, grid, *work, options, stats, recipe);
 
   // Replicate.
   std::vector<index_t> global;
@@ -175,6 +185,265 @@ dist::DistDenseVec dist_rcm_sharded(mps::Comm& world, dist::ProcGrid2D& grid,
   world.charge_compute(static_cast<double>(n) +
                        static_cast<double>(recv.size()));
   world.note_resident(6 * static_cast<std::uint64_t>(out.local_size()));
+  return out;
+}
+
+RepairPlan plan_repair(const OrderingRecipe& recipe,
+                       const std::vector<index_t>& cached_labels,
+                       const std::vector<std::pair<index_t, index_t>>&
+                           changed_rows,
+                       index_t n) {
+  RepairPlan plan;
+  const auto ncomp = recipe.components.size();
+  if (ncomp == 0 || cached_labels.size() != static_cast<std::size_t>(n)) {
+    return plan;  // nothing to repair against
+  }
+  plan.components.resize(ncomp);
+
+  // Component lookup by CM label: components tile [0, n) in discovery
+  // order, so their lo() values are ascending.
+  std::vector<index_t> comp_lo(ncomp);
+  for (std::size_t k = 0; k < ncomp; ++k) {
+    comp_lo[k] = recipe.components[k].lo();
+  }
+
+  // Shallowest affected BFS level per component (kNoVertex = untouched).
+  std::vector<index_t> min_level(ncomp, kNoVertex);
+  for (const auto& [lo, hi] : changed_rows) {
+    DRCM_CHECK(0 <= lo && lo <= hi && hi <= n, "changed row range out of range");
+    for (index_t v = lo; v < hi; ++v) {
+      const index_t cm = n - 1 - cached_labels[static_cast<std::size_t>(v)];
+      const auto k = static_cast<std::size_t>(
+          std::upper_bound(comp_lo.begin(), comp_lo.end(), cm) -
+          comp_lo.begin() - 1);
+      const auto& starts = recipe.components[k].level_starts;
+      const auto level = static_cast<index_t>(
+          std::upper_bound(starts.begin(), starts.end(), cm) -
+          starts.begin() - 1);
+      if (min_level[k] == kNoVertex || level < min_level[k]) {
+        min_level[k] = level;
+      }
+    }
+  }
+
+  // Crossing arithmetic (see header): a reused component skips at least
+  // its peripheral search (>= 3 crossings) and terminal level step (3); a
+  // cone skips 5 per non-terminal step but adds the 2-crossing membership
+  // allreduce; a recompute only adds the membership allreduce.
+  for (std::size_t k = 0; k < ncomp; ++k) {
+    auto& cp = plan.components[k];
+    if (min_level[k] == kNoVertex) {
+      cp.action = RepairAction::kReuse;
+      plan.crossing_margin += 6;
+    } else if (min_level[k] >= 2) {
+      cp.action = RepairAction::kCone;
+      cp.cone_level = min_level[k];
+      plan.level_steps_skipped += min_level[k] - 1;
+      plan.crossing_margin += 5 * (min_level[k] - 1) - 2;
+    } else {
+      cp.action = RepairAction::kRecompute;
+      plan.crossing_margin -= 2;
+    }
+  }
+  plan.profitable = plan.crossing_margin > 0;
+  return plan;
+}
+
+RepairResult dist_rcm_repair(dist::ProcGrid2D& grid,
+                             const sparse::CsrMatrix& a,
+                             const std::vector<index_t>& cached_labels,
+                             const OrderingRecipe& recipe,
+                             const RepairPlan& plan,
+                             const DistRcmOptions& options) {
+  DRCM_CHECK(!options.load_balance,
+             "repair requires an unbalanced ordering: the load-balance "
+             "relabel would decouple the recipe numbering from the input");
+  DRCM_CHECK(!a.has_self_loops(),
+             "dist_rcm_repair expects an adjacency pattern");
+  const index_t n = a.n();
+  DRCM_CHECK(cached_labels.size() == static_cast<std::size_t>(n),
+             "cached labels must cover every vertex");
+  DRCM_CHECK(plan.components.size() == recipe.components.size(),
+             "repair plan must match the recipe it was built from");
+  auto& world = grid.world();
+
+  RepairResult out;
+  if (n == 0) {
+    out.ok = true;
+    return out;
+  }
+
+  // Same decomposition a cold run pays for: the delta'd pattern on the
+  // 2D grid plus its NEW degree vector (degrees of delta vertices changed;
+  // the ranking keys must be the new ones for bit-identity with cold).
+  dist::DistSpMat mat(grid, a);
+  dist::DistDenseVec degrees = mat.degrees(grid);
+  dist::DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+
+  // cached CM label of vertex v (the recipe's label space).
+  const auto cm_cached = [&](index_t v) {
+    return n - 1 - cached_labels[static_cast<std::size_t>(v)];
+  };
+
+  // Copies the cached CM labels of owned vertices whose cached label lies
+  // in [lo, hi) — the splice of untouched levels. Local.
+  const auto splice_cached = [&](index_t lo, index_t hi) {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    for (index_t g = labels.lo(); g < labels.hi(); ++g) {
+      const index_t cm = cm_cached(g);
+      if (cm >= lo && cm < hi) labels.set(g, cm);
+    }
+    world.charge_compute(static_cast<double>(labels.local_size()));
+  };
+
+  // True iff some vertex labeled into [comp_lo, comp_hi) does not belong
+  // to that cached component — a pattern delta merged components, so the
+  // cone (or recompute) absorbed foreign vertices and the splice is
+  // unsound. Collective (one allreduce, charged to the ordering ledger —
+  // repair's honesty tax).
+  const auto membership_violated = [&](index_t comp_lo, index_t comp_hi) {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    index_t bad = 0;
+    for (index_t g = labels.lo(); g < labels.hi(); ++g) {
+      const index_t l = labels.get(g);
+      if (l >= comp_lo && l < comp_hi) {
+        const index_t cm = cm_cached(g);
+        if (cm < comp_lo || cm >= comp_hi) bad = 1;
+      }
+    }
+    world.charge_compute(static_cast<double>(labels.local_size()));
+    return world.allreduce(
+               bad, [](index_t x, index_t y) { return std::max(x, y); }) != 0;
+  };
+
+  index_t next_label = 0;
+  for (std::size_t k = 0; k < recipe.components.size(); ++k) {
+    const auto& cr = recipe.components[k];
+    const auto& cp = plan.components[k];
+    const index_t comp_lo = cr.lo();
+    const index_t comp_hi = cr.hi();
+    DRCM_CHECK(comp_lo == next_label, "recipe components must tile [0, n)");
+
+    // The seed argmin a cold run would perform, on the NEW degrees. If it
+    // does not land in the expected cached component, the delta reordered
+    // component discovery (a changed degree now wins the argmin) and the
+    // whole cached label space is stale — fall back to cold.
+    index_t seed = kNoVertex;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kPeripheralOther);
+      seed = dist::argmin_unvisited(labels, degrees, world).second;
+    }
+    DRCM_CHECK(seed != kNoVertex, "unlabeled vertices must exist");
+    const index_t cm_seed = cm_cached(seed);
+    if (cm_seed < comp_lo || cm_seed >= comp_hi) {
+      out.reason = "component discovery order changed";
+      return out;
+    }
+
+    // A clean component whose seed matches needs no peripheral search: the
+    // component's edges are untouched, so the search is a memoized
+    // deterministic computation ending at the cached root. Everything
+    // else re-runs it on the new pattern, exactly like cold.
+    // (For a clean component the seed provably cannot differ once the
+    // range check above passed — its degrees are unchanged, so the cached
+    // winner still wins — but the degrade path below keeps repair honest
+    // rather than trusting that proof at runtime.)
+    RepairAction action = cp.action;
+    index_t root = cr.root;
+    if (!(action == RepairAction::kReuse && seed == cr.seed)) {
+      const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid,
+                                                     options.accumulator);
+      root = peripheral.vertex;
+      if (root != cr.root) {
+        // The delta moved the peripheral root: cached levels are the
+        // wrong BFS tree, so this component recomputes from the new root
+        // (still bit-identical to cold, which would do the same).
+        action = RepairAction::kRecompute;
+      } else if (action == RepairAction::kReuse) {
+        // Different seed, same root on an untouched component: the level
+        // structure is unchanged, the splice still applies.
+      }
+    }
+
+    ComponentRecipe ncr;
+    ncr.seed = seed;
+    ncr.root = root;
+
+    if (action == RepairAction::kReuse) {
+      splice_cached(comp_lo, comp_hi);
+      next_label = comp_hi;
+      ncr.level_starts = cr.level_starts;
+      out.reused += 1;
+    } else if (action == RepairAction::kCone) {
+      const index_t d = cp.cone_level;
+      DRCM_CHECK(d >= 2 && d < cr.levels(),
+                 "cone level must leave at least the root level cached "
+                 "and at least one level to re-run");
+      // Splice levels < d from the cache, rebuild the level-(d-1)
+      // frontier from the spliced labels, and resume the fused ordering
+      // loop mid-flight — the cone-restricted entry point.
+      splice_cached(comp_lo, cr.level_starts[static_cast<std::size_t>(d)]);
+      const index_t flo = cr.level_starts[static_cast<std::size_t>(d - 1)];
+      const index_t fhi = cr.level_starts[static_cast<std::size_t>(d)];
+      auto frontier = dist::frontier_from_label_range(
+          labels, flo, fhi, grid, mps::Phase::kOrderingOther);
+      std::vector<index_t> cone_starts;
+      next_label = dist_cm_cone(mat, degrees, labels, std::move(frontier),
+                                fhi - flo, fhi, grid, options.sort,
+                                options.accumulator, options.fuse_ordering,
+                                &cone_starts, /*label_cap=*/comp_hi);
+      if (next_label != comp_hi) {
+        out.reason = next_label > comp_hi
+                         ? "cone escaped its component (pattern merge)"
+                         : "cone exhausted early (pattern split)";
+        return out;
+      }
+      if (membership_violated(comp_lo, comp_hi)) {
+        out.reason = "cone absorbed foreign vertices (pattern merge)";
+        return out;
+      }
+      ncr.level_starts.assign(cr.level_starts.begin(),
+                              cr.level_starts.begin() + d);
+      ncr.level_starts.insert(ncr.level_starts.end(), cone_starts.begin(),
+                              cone_starts.end());
+      ncr.level_starts.push_back(comp_hi);
+      out.coned += 1;
+      out.level_steps_skipped += d - 1;
+    } else {
+      next_label = dist_cm_component(mat, degrees, labels, root, comp_lo,
+                                     grid, options.sort, options.accumulator,
+                                     options.fuse_ordering,
+                                     &ncr.level_starts);
+      if (next_label != comp_hi) {
+        out.reason = "recomputed component changed size (split or merge)";
+        return out;
+      }
+      if (cp.action != RepairAction::kReuse &&
+          membership_violated(comp_lo, comp_hi)) {
+        out.reason = "recomputed component absorbed foreign vertices";
+        return out;
+      }
+      ncr.level_starts.push_back(comp_hi);
+      out.recomputed += 1;
+    }
+    out.recipe.components.push_back(std::move(ncr));
+  }
+  DRCM_CHECK(next_label == n, "repair must label every vertex");
+
+  // Reverse in place (RCM = reversed CM), then replicate — the same tail
+  // as the cold path, charged to the same phases.
+  {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    for (index_t g = labels.lo(); g < labels.hi(); ++g) {
+      labels.set(g, n - 1 - labels.get(g));
+    }
+    world.charge_compute(static_cast<double>(labels.local_size()));
+  }
+  {
+    mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+    out.labels = labels.to_global(world);
+  }
+  out.ok = true;
   return out;
 }
 
@@ -362,7 +631,8 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
                                     bool precondition,
                                     const DistRcmOptions& rcm_options,
                                     const solver::CgOptions& cg_options,
-                                    const sparse::CsrMatrix* adjacency) {
+                                    const sparse::CsrMatrix* adjacency,
+                                    OrderingRecipe* recipe) {
   // A matrix with zero stored entries is vacuously valued: the degenerate
   // n = 0 input must flow through, not trip the precondition meant for
   // pattern-only matrices.
@@ -380,6 +650,8 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
     // the two-sided window lookup, the rhs relabel is a local slab read.
     DRCM_CHECK(rcm_options.one_shot_redistribute,
                "sharded labels require the one-shot redistribution");
+    DRCM_CHECK(recipe == nullptr,
+               "recipe capture requires the replicated-label arm");
     dist::DistDenseVec labels =
         adjacency
             ? dist_rcm_sharded(world, grid, *adjacency, rcm_options)
@@ -418,9 +690,10 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
   // that know it (run_ordered_solve strips once outside the ranks) pass
   // it in; otherwise each rank strips its own transient copy.
   if (adjacency) {
-    out.labels = dist_rcm(world, *adjacency, rcm_options);
+    out.labels = dist_rcm(world, *adjacency, rcm_options, nullptr, recipe);
   } else {
-    out.labels = dist_rcm(world, a.strip_diagonal(), rcm_options);
+    out.labels =
+        dist_rcm(world, a.strip_diagonal(), rcm_options, nullptr, recipe);
   }
 
   const auto redist = redistribute_stage(world, grid, a, out.labels,

@@ -18,6 +18,8 @@
 #pragma once
 
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mpsim/runtime.hpp"
@@ -82,13 +84,132 @@ struct DistRcmStats {
   int peripheral_bfs_sweeps = 0;
 };
 
+/// The memoized shape of one component's ordering run — what incremental
+/// repair needs to resume the BFS mid-flight instead of recomputing.
+/// All fields are in the WORK numbering and CM (pre-reversal) label space:
+/// callers holding the reversed RCM labels recover cm(v) = n - 1 - rcm(v).
+struct ComponentRecipe {
+  /// argmin_unvisited winner that opened the component (min degree, ties
+  /// to id, over the then-unlabeled vertices).
+  index_t seed = kNoVertex;
+  /// Pseudo-peripheral root the CM labeling started from.
+  index_t root = kNoVertex;
+  /// First CM label of every BFS level from the root, PLUS a trailing
+  /// one-past-the-end sentinel: level l occupies [starts[l], starts[l+1]),
+  /// so starts.front() is the component's first label and starts.back()
+  /// one past its last.
+  std::vector<index_t> level_starts;
+
+  index_t lo() const { return level_starts.front(); }
+  index_t hi() const { return level_starts.back(); }
+  index_t levels() const {
+    return static_cast<index_t>(level_starts.size()) - 1;
+  }
+};
+
+/// Level structure of a whole ordering, one entry per component in
+/// discovery order (components tile [0, n) contiguously). Captured for
+/// free during a cold run (the level starts are the SORTPERM bucket
+/// boundaries the fused kernel already walks) and cached by the serving
+/// layer next to the labels.
+struct OrderingRecipe {
+  std::vector<ComponentRecipe> components;
+  bool empty() const { return components.empty(); }
+};
+
+/// What the repair will do with one cached component.
+enum class RepairAction {
+  kReuse,      ///< untouched by the delta: copy the cached labels, skip
+               ///< the peripheral search and every level step
+  kCone,       ///< delta confined to levels >= cone_level >= 2: re-run the
+               ///< peripheral search, copy levels < cone_level, re-level
+               ///< only the cone below
+  kRecompute,  ///< delta reaches level 0 or 1: full component recompute
+               ///< (still cheaper than cold when other components reuse)
+};
+
+struct ComponentRepairPlan {
+  RepairAction action = RepairAction::kReuse;
+  /// First level the cone re-runs (kCone only); levels < cone_level are
+  /// spliced from the cache.
+  index_t cone_level = 0;
+};
+
+/// Driver-side classification of a pattern delta against a cached
+/// ordering: which components are touched, how deep, and whether repair
+/// is guaranteed to cost strictly fewer ordering-phase barrier crossings
+/// than a cold recompute.
+struct RepairPlan {
+  std::vector<ComponentRepairPlan> components;
+  /// Non-terminal cm_level_step collectives the plan skips (5 crossings
+  /// each); reused components additionally skip their peripheral search
+  /// and terminal steps.
+  index_t level_steps_skipped = 0;
+  /// Conservative crossing margin of repair vs cold: reuse >= +6 per
+  /// component, cone +5*(cone_level-1) - 2 (the membership-check
+  /// allreduce), recompute -2. Repair is only worth launching when > 0.
+  index_t crossing_margin = 0;
+  bool profitable = false;
+};
+
+/// Classifies `changed_rows` (half-open row ranges whose pattern hashes
+/// changed, e.g. from the refined-fingerprint window diff) against a
+/// cached ordering. `cached_labels` are the REVERSED (RCM) labels the
+/// cache stores; `recipe` the structure captured when they were computed.
+/// Pure driver-side arithmetic — no collective, no charge.
+RepairPlan plan_repair(const OrderingRecipe& recipe,
+                       const std::vector<index_t>& cached_labels,
+                       const std::vector<std::pair<index_t, index_t>>&
+                           changed_rows,
+                       index_t n);
+
+/// Outcome of dist_rcm_repair. `ok == false` means a structural change
+/// (component split/merge/reorder) was detected mid-repair: `labels` is
+/// empty, nothing was poisoned, and the caller must fall back to a cold
+/// recompute. `ok == true` guarantees `labels` is BIT-IDENTICAL to what
+/// dist_rcm would return on the new pattern (DRCM_CHECK-able, and checked
+/// by the equivalence wall in tests/test_service_repair.cpp).
+struct RepairResult {
+  bool ok = false;
+  std::string reason;  ///< why not ok (structured, for logs)
+  std::vector<index_t> labels;  ///< replicated RCM labels when ok
+  OrderingRecipe recipe;        ///< refreshed recipe matching `labels`
+  int reused = 0;
+  int coned = 0;
+  int recomputed = 0;
+  index_t level_steps_skipped = 0;
+};
+
+/// SPMD body: repairs a cached ordering against the delta'd pattern `a`
+/// (replicated, self-loop-free) instead of recomputing it. Walks the
+/// cached components in discovery order, re-verifying at every decision
+/// point exactly what a cold run would have computed — the seed argmin
+/// must land in the expected component, a dirty component's re-run
+/// peripheral search must return the cached root for the cone splice to
+/// apply (otherwise the component honestly recomputes), and every cone is
+/// count- and membership-checked against the cached component before the
+/// splice stands. Any violated check returns ok == false with labels
+/// untouched. Requires options.load_balance == false (the balance
+/// relabel would decouple the recipe's numbering from the caller's).
+/// Collective on grid.world().
+RepairResult dist_rcm_repair(dist::ProcGrid2D& grid,
+                             const sparse::CsrMatrix& a,
+                             const std::vector<index_t>& cached_labels,
+                             const OrderingRecipe& recipe,
+                             const RepairPlan& plan,
+                             const DistRcmOptions& options = {});
+
 /// SPMD body: computes RCM labels on an already-running communicator.
 /// `a` must be the same replicated symmetric self-loop-free pattern on all
 /// ranks. Returns the replicated label vector (labels[v] = new index of v
-/// in the ORIGINAL numbering). Collective.
+/// in the ORIGINAL numbering). `recipe`, when non-null, receives the
+/// per-component level structure (in the WORK numbering — identical to
+/// the original numbering iff load_balance is off, which is what the
+/// incremental-repair consumer requires). Collective.
 std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                               const DistRcmOptions& options = {},
-                              DistRcmStats* stats = nullptr);
+                              DistRcmStats* stats = nullptr,
+                              OrderingRecipe* recipe = nullptr);
 
 /// SPMD body, sharded output: the same ordering, but the result stays an
 /// O(n/p)-per-rank distributed label vector in the ORIGINAL numbering —
@@ -172,7 +293,8 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
                                     bool precondition = true,
                                     const DistRcmOptions& rcm_options = {},
                                     const solver::CgOptions& cg_options = {},
-                                    const sparse::CsrMatrix* adjacency = nullptr);
+                                    const sparse::CsrMatrix* adjacency = nullptr,
+                                    OrderingRecipe* recipe = nullptr);
 
 /// The ordering-cache hit path: skip stage 1 entirely and run
 /// redistribute + solve under KNOWN labels (a permutation of [0, n),

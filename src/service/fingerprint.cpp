@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "dist/dist_vector.hpp"
 
 namespace drcm::service {
@@ -25,6 +26,38 @@ std::uint64_t mix_entry(index_t row, index_t col) {
                static_cast<std::uint64_t>(col));
 }
 
+/// Local partial of the refined fingerprint over a 2D window of `a`:
+/// windows[K] carries the total so the combined payload is one array.
+/// The lower_bound probe only finds this rank's column slice when the
+/// row's indices are sorted; CsrMatrix's constructor enforces that, and
+/// the in-walk check keeps the guarantee local to this loop so a future
+/// in-place mutation of col_idx can't silently split one pattern into
+/// p different per-rank views (satellite: unsorted-CSR fingerprints).
+std::array<std::uint64_t, kFingerprintWindows + 1> window_partial(
+    const sparse::CsrMatrix& a, index_t row_lo, index_t row_hi,
+    index_t col_lo, index_t col_hi, std::uint64_t* touched_nnz) {
+  std::array<std::uint64_t, kFingerprintWindows + 1> acc{};
+  const index_t n = a.n();
+  std::uint64_t count = 0;
+  for (index_t gr = row_lo; gr < row_hi; ++gr) {
+    const auto cols = a.row(gr);
+    const auto first = std::lower_bound(cols.begin(), cols.end(), col_lo);
+    const int w = fingerprint_window_of(gr, n);
+    index_t prev = col_lo - 1;
+    for (auto it = first; it != cols.end() && *it < col_hi; ++it) {
+      DRCM_CHECK(*it > prev,
+                 "fingerprint requires strictly sorted column indices");
+      prev = *it;
+      const std::uint64_t h = mix_entry(gr, *it);
+      acc[static_cast<std::size_t>(w)] += h;
+      acc[kFingerprintWindows] += h;
+      ++count;
+    }
+  }
+  if (touched_nnz != nullptr) *touched_nnz = count;
+  return acc;
+}
+
 }  // namespace
 
 std::size_t PatternFingerprintHash::operator()(
@@ -37,13 +70,26 @@ std::size_t PatternFingerprintHash::operator()(
 PatternFingerprint salt_ordering_options(PatternFingerprint fp,
                                          bool load_balance,
                                          std::uint64_t seed) {
-  if (load_balance) fp.hash ^= mix64(seed ^ 0xba1a2ce5eedULL);
+  // Audit note (see header): seed only reaches the ordering through
+  // balance_input's random relabel, so it is salient iff load_balance.
+  // The balance bit gets its own constant term so a balanced entry can
+  // never alias the unbalanced one, whatever mix64(seed ^ ...) returns.
+  if (load_balance) {
+    fp.hash ^= mix64(0xba1a2ce5eedULL);
+    fp.hash ^= mix64(seed ^ 0x10adba1aceULL);
+  }
   return fp;
 }
 
 PatternFingerprint fingerprint_pattern(mps::Comm& world,
                                        const sparse::CsrMatrix& a,
                                        dist::ProcGrid2D& grid) {
+  return fingerprint_pattern_refined(world, a, grid).fp;
+}
+
+RefinedFingerprint fingerprint_pattern_refined(mps::Comm& world,
+                                               const sparse::CsrMatrix& a,
+                                               dist::ProcGrid2D& grid) {
   mps::PhaseScope scope(world, mps::Phase::kOther);
   const index_t n = a.n();
   const dist::VectorDist vd(n, grid.q());
@@ -54,25 +100,43 @@ PatternFingerprint fingerprint_pattern(mps::Comm& world,
 
   // Same window walk as the one-shot redistribution: this rank touches
   // exactly its balanced-2D block, so the fingerprint costs O(nnz/p)
-  // compute and one scalar allreduce, independent of cache outcome.
-  std::uint64_t local = 0;
+  // compute and one array allreduce (K+1 words), independent of cache
+  // outcome. The window sub-sums re-bucket the identical per-entry
+  // terms by row, so windows[K] == the legacy scalar hash bit for bit.
   std::uint64_t block_nnz = 0;
-  for (index_t gr = row_lo; gr < row_hi; ++gr) {
-    const auto cols = a.row(gr);
-    const auto first = std::lower_bound(cols.begin(), cols.end(), col_lo);
-    for (auto it = first; it != cols.end() && *it < col_hi; ++it) {
-      local += mix_entry(gr, *it);
-      ++block_nnz;
-    }
-  }
+  const auto local =
+      window_partial(a, row_lo, row_hi, col_lo, col_hi, &block_nnz);
   world.charge_compute(static_cast<double>(block_nnz));
 
-  PatternFingerprint fp;
-  fp.n = n;
-  fp.nnz = a.nnz();
-  fp.hash = world.allreduce(
-      local, [](std::uint64_t x, std::uint64_t y) { return x + y; });
-  return fp;
+  const auto total = world.allreduce(
+      local,
+      [](std::array<std::uint64_t, kFingerprintWindows + 1> x,
+         const std::array<std::uint64_t, kFingerprintWindows + 1>& y) {
+        for (std::size_t i = 0; i < x.size(); ++i) x[i] += y[i];
+        return x;
+      });
+
+  RefinedFingerprint rf;
+  rf.fp.n = n;
+  rf.fp.nnz = a.nnz();
+  rf.fp.hash = total[kFingerprintWindows];
+  std::copy(total.begin(), total.begin() + kFingerprintWindows,
+            rf.windows.begin());
+  return rf;
+}
+
+RefinedFingerprint fingerprint_pattern_serial(const sparse::CsrMatrix& a) {
+  // The "one rank owns everything" cut of the same sum: bit-equal to the
+  // collective value because summation is partition-invariant.
+  const index_t n = a.n();
+  const auto total = window_partial(a, 0, n, 0, n, nullptr);
+  RefinedFingerprint rf;
+  rf.fp.n = n;
+  rf.fp.nnz = a.nnz();
+  rf.fp.hash = total[kFingerprintWindows];
+  std::copy(total.begin(), total.begin() + kFingerprintWindows,
+            rf.windows.begin());
+  return rf;
 }
 
 }  // namespace drcm::service

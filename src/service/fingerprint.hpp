@@ -11,15 +11,31 @@
 // own 2D window (O(nnz/p) work) and ONE allreduce combines the partials;
 // the collective is charged to Phase::kOther, so a cache probe never
 // touches the ordering-phase crossing ledger the hit path asserts on.
+//
+// DELTA REFINEMENT (incremental repair): the same sum is also kept per
+// contiguous ROW WINDOW — kFingerprintWindows sub-sums whose total IS the
+// structure hash (summation re-associates freely). A near-miss pattern is
+// diffed window-by-window against a cached entry, which tells the repair
+// path WHICH row ranges changed without storing the pattern itself; the
+// windows ride the same single allreduce as the total (a K+1-word payload
+// instead of 1). Because the stored pattern is symmetric, both endpoints
+// of every changed entry live in a changed window — the property the
+// BFS-cone bound in rcm::dist_rcm_repair relies on.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "dist/proc_grid.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::service {
+
+/// Row-window count of the refined fingerprint. Fixed so every cache
+/// entry's window vector is comparable regardless of when it was inserted.
+inline constexpr int kFingerprintWindows = 16;
 
 struct PatternFingerprint {
   index_t n = 0;
@@ -28,6 +44,31 @@ struct PatternFingerprint {
   friend bool operator==(const PatternFingerprint&,
                          const PatternFingerprint&) = default;
 };
+
+/// The per-row-window refinement: `fp` plus the K window sub-sums it is
+/// the total of. Windows partition the ORIGINAL row space evenly
+/// (row r -> window r * K / n), so two refined fingerprints of the same n
+/// are diffed element-wise.
+struct RefinedFingerprint {
+  PatternFingerprint fp{};
+  std::array<std::uint64_t, kFingerprintWindows> windows{};
+};
+
+/// Window of row `r` for dimension `n` (n > 0, 0 <= r < n).
+inline int fingerprint_window_of(index_t r, index_t n) {
+  return static_cast<int>((static_cast<std::int64_t>(r) *
+                           kFingerprintWindows) /
+                          (n > 0 ? n : 1));
+}
+
+/// Row range [lo, hi) of window `w` for dimension `n`.
+inline std::pair<index_t, index_t> fingerprint_window_rows(int w, index_t n) {
+  const auto lo = static_cast<index_t>(
+      (static_cast<std::int64_t>(w) * n) / kFingerprintWindows);
+  const auto hi = static_cast<index_t>(
+      (static_cast<std::int64_t>(w + 1) * n) / kFingerprintWindows);
+  return {lo, hi};
+}
 
 /// Hash functor for unordered_map keys (mixes all three fields; the
 /// structure hash alone would collide for patterns that differ only in n,
@@ -43,12 +84,34 @@ PatternFingerprint fingerprint_pattern(mps::Comm& world,
                                        const sparse::CsrMatrix& a,
                                        dist::ProcGrid2D& grid);
 
-/// Folds the ordering-salient options into the key. RCM labels depend on
-/// the load-balancing relabel (and its seed) but on NO other pipeline
-/// option — every sort / accumulator / fusion / redistribution arm is
-/// bit-identical — so the cache key is exactly (pattern, balance salt).
-/// Purely local (no collective); deterministic, so every rank derives the
-/// same salted key from the same allreduced fingerprint.
+/// The refined collective: identical total hash, plus the K row-window
+/// sub-sums, still in ONE allreduce (K+1 carried words). fp.hash equals
+/// fingerprint_pattern's bit for bit — the windows merely re-bucket the
+/// same per-entry terms by row.
+RefinedFingerprint fingerprint_pattern_refined(mps::Comm& world,
+                                               const sparse::CsrMatrix& a,
+                                               dist::ProcGrid2D& grid);
+
+/// Driver-side (non-collective) twin of fingerprint_pattern_refined: one
+/// full-matrix walk producing the SAME value the lanes allreduce — the
+/// summation is partition-invariant, so "one rank owning everything" is
+/// just another cut. The serving layer uses it to classify a batch
+/// (coalescing, repair candidates) BEFORE any lane launches; the lanes
+/// recompute it collectively (charged) and DRCM_CHECK agreement.
+RefinedFingerprint fingerprint_pattern_serial(const sparse::CsrMatrix& a);
+
+/// Folds the ordering-salient options into the key. Seed-salience audit
+/// (PR 9): DistRcmOptions::seed is consumed in exactly one place — the
+/// load-balancing random relabel in balance_input — and the peripheral
+/// finder, CM levels and SORTPERM are seed-free deterministic, so with
+/// load_balance=false two differently-seeded requests DO share one
+/// ordering and MUST share one cache slot (pinned by
+/// ServiceCache.UnbalancedSeedIsNotSalient). With load_balance=true the
+/// seed is salient and both the balance bit and the seed are folded in;
+/// the bit is salted through its own constant so a balanced entry cannot
+/// collide with the unbalanced one even for a seed whose mix happens to
+/// vanish. Purely local (no collective); deterministic, so every rank
+/// derives the same salted key from the same allreduced fingerprint.
 PatternFingerprint salt_ordering_options(PatternFingerprint fp,
                                          bool load_balance, std::uint64_t seed);
 

@@ -56,6 +56,16 @@ bool is_permutation(const std::vector<index_t>& labels, index_t n) {
   return true;
 }
 
+/// One rank's ordering-phase wall: the cost a cache entry remembers for
+/// cost/recency eviction (same five phases as mps::ordering_crossings).
+double ordering_wall(const mps::StatsRecorder& stats) {
+  return stats.phase(mps::Phase::kPeripheralSpmspv).wall_seconds +
+         stats.phase(mps::Phase::kPeripheralOther).wall_seconds +
+         stats.phase(mps::Phase::kOrderingSpmspv).wall_seconds +
+         stats.phase(mps::Phase::kOrderingSort).wall_seconds +
+         stats.phase(mps::Phase::kOrderingOther).wall_seconds;
+}
+
 }  // namespace
 
 ReorderingService::ReorderingService(const ServiceOptions& options)
@@ -65,6 +75,9 @@ ReorderingService::ReorderingService(const ServiceOptions& options)
   DRCM_CHECK(options_.threads_per_rank >= 1,
              "service needs at least one thread per rank");
   DRCM_CHECK(options_.max_relaunches >= 0, "negative relaunch budget");
+  DRCM_CHECK(options_.repair_max_windows >= 1 &&
+                 options_.repair_max_windows <= kFingerprintWindows,
+             "repair_max_windows out of range");
   cumulative_.machine = options_.machine;
 }
 
@@ -80,15 +93,25 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
   if (nreq == 0) return responses;
 
   // Strip each adjacency ONCE outside the ranks (simulated ranks share an
-  // address space; run_ordered_solve does the same) and validate the
-  // fixtures up front, where a bad request is the caller's bug.
+  // address space; run_ordered_solve does the same), validate the fixtures
+  // up front, and take each request's DRIVER-SIDE refined fingerprint: the
+  // serial twin of the lane collective (partition-invariant, so one rank
+  // owning everything is just another cut). Scheduling — coalescing,
+  // repair candidacy — classifies on the serial value BEFORE any rank
+  // launches; the lanes recompute the fingerprint collectively (so the
+  // probe is charged to the ledger) and DRCM_CHECK agreement.
   std::vector<sparse::CsrMatrix> adjacencies(nreq);
+  std::vector<RefinedFingerprint> refined(nreq);
+  std::vector<PatternFingerprint> salted(nreq);
   for (std::size_t i = 0; i < nreq; ++i) {
     const auto& rq = requests[i];
     DRCM_CHECK(rq.matrix != nullptr, "request needs a matrix");
     DRCM_CHECK(rq.b.size() == static_cast<std::size_t>(rq.matrix->n()),
                "request rhs size mismatch");
     adjacencies[i] = rq.matrix->strip_diagonal();
+    refined[i] = fingerprint_pattern_serial(*rq.matrix);
+    salted[i] = salt_ordering_options(refined[i].fp, rq.rcm.load_balance,
+                                      rq.rcm.seed);
   }
 
   // Driver-side checkpoints, deposited by the ranks and read only after
@@ -97,88 +120,129 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
   std::vector<char> done(nreq, 0);
   std::vector<std::vector<std::vector<double>>> slabs(nreq);
   std::vector<std::vector<index_t>> pending_labels(nreq);
+  std::vector<rcm::OrderingRecipe> pending_recipes(nreq);
+  /// Coalescing memo: the request sat out a wave behind an identical
+  /// in-flight fingerprint (reported as OrderSolveResponse::coalesced).
+  std::vector<char> was_deferred(nreq, 0);
+  /// A fault killed this request mid-repair: the relaunch runs it COLD —
+  /// the opportunistic path lost its chance, the request did not.
+  std::vector<char> no_repair(nreq, 0);
 
   std::vector<std::size_t> remaining(nreq);
   for (std::size_t i = 0; i < nreq; ++i) remaining[i] = i;
 
-  // Collect finalized miss orderings and insert at batch end: lanes only
-  // ever READ the cache while ranks run, and no insert can evict an entry
-  // a concurrent hit in the same batch is reading.
-  std::vector<std::pair<PatternFingerprint, std::vector<index_t>>> to_insert;
+  // Entries a request of THIS batch was served from (hits and repair
+  // sources) are pinned: wave-end inserts may never evict them while the
+  // batch is in flight (satellite: coalesced twins land exactly here).
+  PinnedSet pinned;
+
+  // Finalized miss orderings, applied to the cache at WAVE end — after
+  // the launch joined (lanes only ever READ the cache while ranks run)
+  // and before the next wave schedules, so a deferred twin hits the
+  // entry its sibling just computed.
+  std::vector<std::pair<PatternFingerprint, CacheEntry>> to_insert;
 
   const int P = options_.ranks;
   int relaunches = 0;
   std::string last_error = "unknown failure";
 
-  // Finalizes every request the last launch completed: assemble the
-  // replicated solution outside the ranks (like run_ordered_solve), count
-  // the cache outcome, stage miss orderings for insertion, and drop the
-  // request from the work list.
-  const auto finalize_done = [&]() {
-    std::vector<std::size_t> still;
-    still.reserve(remaining.size());
-    for (const std::size_t req : remaining) {
-      if (!done[req]) {
-        still.push_back(req);
-        continue;
-      }
-      auto& resp = responses[req];
-      const index_t n = requests[req].matrix->n();
-      const std::vector<index_t>* labels = nullptr;
-      if (resp.cache_hit) {
-        ++cache_hits_;
-        labels = &cache_.at(resp.fingerprint).labels;
-      } else {
-        ++cache_misses_;
-        if (!is_permutation(pending_labels[req], n)) {
-          resp.status = RequestStatus::kFault;
-          resp.error = "ordering produced an invalid permutation";
-          continue;
+  while (!remaining.empty()) {
+    // ---- Wave scheduling: coalescing -------------------------------
+    // Exact hits all run (they share the entry read-only). Of the
+    // misses, only the FIRST occurrence of each salted fingerprint runs
+    // this wave; twins wait a wave and are served from the insert.
+    std::vector<std::size_t> wave;
+    std::vector<std::size_t> deferred;
+    {
+      PinnedSet inflight;
+      for (const std::size_t req : remaining) {
+        if (cache_.find(salted[req]) != cache_.end() ||
+            inflight.insert(salted[req]).second) {
+          wave.push_back(req);
+        } else {
+          deferred.push_back(req);
+          was_deferred[req] = 1;
         }
-        labels = &pending_labels[req];
-      }
-      std::vector<double> x_perm;
-      x_perm.reserve(static_cast<std::size_t>(n));
-      for (auto& slab : slabs[req]) {
-        x_perm.insert(x_perm.end(), slab.begin(), slab.end());
-      }
-      DRCM_CHECK(x_perm.size() == static_cast<std::size_t>(n),
-                 "solution slabs must cover every permuted row exactly once");
-      resp.x.resize(static_cast<std::size_t>(n));
-      for (index_t v = 0; v < n; ++v) {
-        resp.x[static_cast<std::size_t>(v)] =
-            x_perm[static_cast<std::size_t>((*labels)[static_cast<std::size_t>(
-                v)])];
-      }
-      resp.status = RequestStatus::kOk;
-      resp.report.machine = options_.machine;
-      if (!resp.cache_hit) {
-        to_insert.emplace_back(resp.fingerprint,
-                               std::move(pending_labels[req]));
       }
     }
-    remaining.swap(still);
-  };
 
-  while (!remaining.empty()) {
-    const LanePlan plan = plan_lanes(P, remaining.size(), options_.max_lanes);
+    // ---- Wave scheduling: hit / repair / cold classification -------
+    enum class Mode { kCold, kHit, kRepair };
+    std::vector<Mode> mode(nreq, Mode::kCold);
+    std::vector<rcm::RepairPlan> plans(nreq);
+    std::vector<const CacheEntry*> sources(nreq, nullptr);
+    std::vector<PatternFingerprint> source_fp(nreq);
+    std::vector<int> diff_windows(nreq, 0);
+    for (const std::size_t req : wave) {
+      const auto& rq = requests[req];
+      if (cache_.find(salted[req]) != cache_.end()) {
+        mode[req] = Mode::kHit;
+        continue;
+      }
+      if (!options_.enable_repair || no_repair[req] || rq.rcm.load_balance) {
+        continue;
+      }
+      // Repair candidate: the repair-eligible entry of the same n with
+      // the FEWEST differing row windows (ties to most recently used —
+      // a deterministic tie-break; map order is not), under the cap.
+      const CacheEntry* best = nullptr;
+      PatternFingerprint best_fp{};
+      int best_diff = 0;
+      std::uint64_t best_tick = 0;
+      for (const auto& [fp, entry] : cache_) {
+        if (!entry.repair_eligible || entry.rf.fp.n != refined[req].fp.n) {
+          continue;
+        }
+        int diff = 0;
+        for (int w = 0; w < kFingerprintWindows; ++w) {
+          diff += entry.rf.windows[static_cast<std::size_t>(w)] !=
+                  refined[req].windows[static_cast<std::size_t>(w)];
+        }
+        if (diff < 1 || diff > options_.repair_max_windows) continue;
+        if (best == nullptr || diff < best_diff ||
+            (diff == best_diff && entry.last_use_tick > best_tick)) {
+          best = &entry;
+          best_fp = fp;
+          best_diff = diff;
+          best_tick = entry.last_use_tick;
+        }
+      }
+      if (best == nullptr) continue;
+      std::vector<std::pair<index_t, index_t>> changed;
+      for (int w = 0; w < kFingerprintWindows; ++w) {
+        if (best->rf.windows[static_cast<std::size_t>(w)] !=
+            refined[req].windows[static_cast<std::size_t>(w)]) {
+          changed.push_back(fingerprint_window_rows(w, refined[req].fp.n));
+        }
+      }
+      rcm::RepairPlan repair_plan = rcm::plan_repair(
+          best->recipe, best->labels, changed, refined[req].fp.n);
+      if (!repair_plan.profitable) continue;
+      mode[req] = Mode::kRepair;
+      plans[req] = std::move(repair_plan);
+      sources[req] = best;
+      source_fp[req] = best_fp;
+      diff_windows[req] = best_diff;
+    }
 
-    // Deal the surviving requests round-robin onto the lanes.
+    const LanePlan plan = plan_lanes(P, wave.size(), options_.max_lanes);
+
+    // Deal the wave's requests round-robin onto the lanes.
     std::vector<std::vector<std::size_t>> lane_queue(
         static_cast<std::size_t>(plan.nlanes));
-    for (std::size_t i = 0; i < remaining.size(); ++i) {
-      lane_queue[i % static_cast<std::size_t>(plan.nlanes)].push_back(
-          remaining[i]);
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      lane_queue[i % static_cast<std::size_t>(plan.nlanes)].push_back(wave[i]);
     }
 
     // Fresh per-attempt deposit slots (an aborted attempt's partial
     // deposits for unfinished requests must not leak into this one).
-    for (const std::size_t req : remaining) {
+    for (const std::size_t req : wave) {
       responses[req] = OrderSolveResponse{};
       responses[req].report.ranks.resize(
           static_cast<std::size_t>(plan.lane_size));
       slabs[req].assign(static_cast<std::size_t>(plan.lane_size), {});
       pending_labels[req].clear();
+      pending_recipes[req] = rcm::OrderingRecipe{};
     }
 
     // Which request each world rank is inside, for fault attribution.
@@ -208,23 +272,71 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
         const auto realloc0 =
             workspaces_[static_cast<std::size_t>(wr)].reallocations();
 
-        const PatternFingerprint fp =
-            salt_ordering_options(fingerprint_pattern(lane, *rq.matrix, grid),
-                                  rq.rcm.load_balance, rq.rcm.seed);
-        const CacheEntry* entry = cache_find(fp);
+        // The lane's collective fingerprint (charged to kOther) must
+        // reproduce the driver's serial classification value bit for bit
+        // — partition invariance is the property the whole schedule
+        // rests on.
+        const RefinedFingerprint rf =
+            fingerprint_pattern_refined(lane, *rq.matrix, grid);
+        const PatternFingerprint fp = salt_ordering_options(
+            rf.fp, rq.rcm.load_balance, rq.rcm.seed);
+        DRCM_CHECK(fp == salted[req] && rf.windows == refined[req].windows,
+                   "lane fingerprint must match the driver's serial twin");
+
+        // Recipe capture (rank 0 only — the vector is driver-side) is
+        // what makes a cold entry repair-eligible; balanced orderings
+        // skip it (their work numbering is decoupled by the relabel).
+        rcm::OrderingRecipe* recipe_sink =
+            (lane.rank() == 0 && !rq.rcm.load_balance) ? &pending_recipes[req]
+                                                       : nullptr;
 
         rcm::OrderedSolveResult result;
-        if (entry != nullptr) {
+        rcm::RepairResult rep;
+        bool repaired = false;
+        if (mode[req] == Mode::kHit) {
+          const CacheEntry* entry = cache_find(fp);
+          DRCM_CHECK(entry != nullptr, "scheduled hit lost its entry");
           result = rcm::ordered_solve_with_labels(grid, *rq.matrix,
                                                   entry->labels, rq.b,
                                                   rq.precondition, rq.rcm,
                                                   rq.cg);
           DRCM_CHECK(mps::ordering_crossings(lane.stats()) == 0,
                      "cache hit must skip every ordering collective");
+        } else if (mode[req] == Mode::kRepair) {
+          const CacheEntry* src = sources[req];
+          rep = rcm::dist_rcm_repair(grid, adjacencies[req], src->labels,
+                                     src->recipe, plans[req], rq.rcm);
+          if (rep.ok) {
+            if (options_.verify_repair) {
+              // Stats-isolated cross-check: the cold ordering must agree
+              // bit for bit, but its collectives must not pollute this
+              // request's ledger (or the crossing comparison the repair
+              // exists to win).
+              const auto parked = lane.stats();
+              lane.stats().reset();
+              const auto cold = rcm::dist_rcm(lane, adjacencies[req], rq.rcm);
+              lane.stats() = parked;
+              DRCM_CHECK(cold == rep.labels,
+                         "repair must be bit-identical to a cold recompute");
+            }
+            result = rcm::ordered_solve_with_labels(grid, *rq.matrix,
+                                                    rep.labels, rq.b,
+                                                    rq.precondition, rq.rcm,
+                                                    rq.cg);
+            result.labels = std::move(rep.labels);
+            repaired = true;
+          } else {
+            // Structural change detected mid-repair (component
+            // split/merge/reorder): honest cold fallback, recipe
+            // captured so the fresh entry is itself repair-eligible.
+            result = rcm::ordered_solve_on(grid, *rq.matrix, rq.b,
+                                           rq.precondition, rq.rcm, rq.cg,
+                                           &adjacencies[req], recipe_sink);
+          }
         } else {
           result = rcm::ordered_solve_on(grid, *rq.matrix, rq.b,
                                          rq.precondition, rq.rcm, rq.cg,
-                                         &adjacencies[req]);
+                                         &adjacencies[req], recipe_sink);
         }
 
         const std::uint64_t my_crossings =
@@ -254,7 +366,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
             mine;
         if (lane.rank() == 0) {
           auto& resp = responses[req];
-          resp.cache_hit = entry != nullptr;
+          resp.cache_hit = mode[req] == Mode::kHit;
+          // A repair only counts as a HIT when it actually skipped work;
+          // one that degraded to a full recompute is honest about it.
+          resp.repair_hit =
+              repaired && (rep.reused >= 1 || rep.level_steps_skipped >= 1);
+          resp.level_steps_skipped = repaired ? rep.level_steps_skipped : 0;
+          resp.changed_windows =
+              mode[req] == Mode::kRepair ? diff_windows[req] : 0;
           resp.fingerprint = fp;
           resp.permuted_bandwidth = result.permuted_bandwidth;
           resp.cg = result.cg;
@@ -262,13 +381,90 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
           resp.workspace_reallocations = sum_reallocs;
           resp.lane = color;
           resp.lane_ranks = plan.lane_size;
-          if (entry == nullptr) {
+          if (mode[req] != Mode::kHit) {
             pending_labels[req] = std::move(result.labels);
+            if (repaired) pending_recipes[req] = std::move(rep.recipe);
           }
           done[req] = 1;
         }
         current_request[static_cast<std::size_t>(wr)] = -1;
       }
+    };
+
+    // Finalizes every request the launch completed: assemble the
+    // replicated solution outside the ranks (like run_ordered_solve),
+    // count the cache outcome, bump/pin served entries, stage miss
+    // orderings for the wave-end insert, and drop the request from the
+    // wave.
+    const auto finalize_wave = [&]() {
+      std::vector<std::size_t> still;
+      still.reserve(wave.size());
+      for (const std::size_t req : wave) {
+        if (!done[req]) {
+          still.push_back(req);
+          continue;
+        }
+        auto& resp = responses[req];
+        const index_t n = requests[req].matrix->n();
+        resp.coalesced = was_deferred[req] != 0;
+        const std::vector<index_t>* labels = nullptr;
+        if (resp.cache_hit) {
+          ++cache_hits_;
+          if (resp.coalesced) ++coalesced_served_;
+          const auto it = cache_.find(resp.fingerprint);
+          DRCM_CHECK(it != cache_.end(), "hit entry vanished mid-batch");
+          it->second.last_use_tick = ++tick_;
+          pinned.insert(resp.fingerprint);
+          labels = &it->second.labels;
+        } else {
+          ++cache_misses_;
+          if (!is_permutation(pending_labels[req], n)) {
+            resp.status = RequestStatus::kFault;
+            resp.error = "ordering produced an invalid permutation";
+            continue;
+          }
+          labels = &pending_labels[req];
+          if (resp.repair_hit) {
+            ++repair_hits_;
+            // The repair source was served FROM: recency-bump and pin it
+            // like a hit (a wave-end insert must not evict it either).
+            const auto it = cache_.find(source_fp[req]);
+            if (it != cache_.end()) {
+              it->second.last_use_tick = ++tick_;
+              pinned.insert(source_fp[req]);
+            }
+          }
+        }
+        std::vector<double> x_perm;
+        x_perm.reserve(static_cast<std::size_t>(n));
+        for (auto& slab : slabs[req]) {
+          x_perm.insert(x_perm.end(), slab.begin(), slab.end());
+        }
+        DRCM_CHECK(x_perm.size() == static_cast<std::size_t>(n),
+                   "solution slabs must cover every permuted row exactly once");
+        resp.x.resize(static_cast<std::size_t>(n));
+        for (index_t v = 0; v < n; ++v) {
+          resp.x[static_cast<std::size_t>(v)] =
+              x_perm[static_cast<std::size_t>((*labels)[static_cast<std::size_t>(
+                  v)])];
+        }
+        resp.status = RequestStatus::kOk;
+        resp.report.machine = options_.machine;
+        if (!resp.cache_hit) {
+          CacheEntry entry;
+          entry.labels = std::move(pending_labels[req]);
+          entry.rf = refined[req];
+          entry.recipe = std::move(pending_recipes[req]);
+          entry.repair_eligible =
+              !requests[req].rcm.load_balance && !entry.recipe.empty();
+          for (const auto& rank_stats : resp.report.ranks) {
+            entry.cost_wall =
+                std::max(entry.cost_wall, ordering_wall(rank_stats));
+          }
+          to_insert.emplace_back(salted[req], std::move(entry));
+        }
+      }
+      wave.swap(still);
     };
 
     mps::SpmdReport partial;
@@ -280,46 +476,58 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
     run_options.report_on_error = &partial;
 
     ++launches_;
+    bool wave_clean = false;
     try {
       const auto report = mps::Runtime::run(P, body, run_options);
       cumulative_.merge_from(report);
-      finalize_done();
-      DRCM_CHECK(remaining.empty(),
+      finalize_wave();
+      DRCM_CHECK(wave.empty(),
                  "fault-free launch must complete every scheduled request");
-      break;
+      wave_clean = true;
     } catch (const mps::InjectedFault& f) {
       // Attributable fault: the dying rank's in-flight request gets a
-      // structured kFault response; everyone else is relaunched from the
-      // driver's checkpoints (one-shot actions cannot re-fire).
+      // structured kFault response — unless it died mid-REPAIR, in which
+      // case the request survives and relaunches cold (the cache is
+      // untouched either way; inserts only follow validated deposits).
+      // Everyone else is relaunched from the driver's checkpoints
+      // (one-shot actions cannot re-fire).
       cumulative_.merge_from(partial);
-      finalize_done();
+      finalize_wave();
       last_error = std::string("injected ") + mps::fault_kind_name(f.kind()) +
                    " on rank " + std::to_string(f.rank()) + " at collective " +
                    std::to_string(f.ordinal());
       const int victim = current_request[static_cast<std::size_t>(f.rank())];
       if (victim >= 0 && !done[static_cast<std::size_t>(victim)]) {
-        auto& resp = responses[static_cast<std::size_t>(victim)];
-        resp.status = RequestStatus::kFault;
-        resp.error = last_error;
-        remaining.erase(std::remove(remaining.begin(), remaining.end(),
-                                    static_cast<std::size_t>(victim)),
-                        remaining.end());
+        if (mode[static_cast<std::size_t>(victim)] == Mode::kRepair) {
+          no_repair[static_cast<std::size_t>(victim)] = 1;
+        } else {
+          auto& resp = responses[static_cast<std::size_t>(victim)];
+          resp.status = RequestStatus::kFault;
+          resp.error = last_error;
+          wave.erase(std::remove(wave.begin(), wave.end(),
+                                 static_cast<std::size_t>(victim)),
+                     wave.end());
+        }
       }
       ++relaunches;
     } catch (const mps::InjectedAllocFailure& f) {
       cumulative_.merge_from(partial);
-      finalize_done();
+      finalize_wave();
       last_error = "injected alloc-failure on rank " +
                    std::to_string(f.rank()) + " at collective " +
                    std::to_string(f.ordinal());
       const int victim = current_request[static_cast<std::size_t>(f.rank())];
       if (victim >= 0 && !done[static_cast<std::size_t>(victim)]) {
-        auto& resp = responses[static_cast<std::size_t>(victim)];
-        resp.status = RequestStatus::kFault;
-        resp.error = last_error;
-        remaining.erase(std::remove(remaining.begin(), remaining.end(),
-                                    static_cast<std::size_t>(victim)),
-                        remaining.end());
+        if (mode[static_cast<std::size_t>(victim)] == Mode::kRepair) {
+          no_repair[static_cast<std::size_t>(victim)] = 1;
+        } else {
+          auto& resp = responses[static_cast<std::size_t>(victim)];
+          resp.status = RequestStatus::kFault;
+          resp.error = last_error;
+          wave.erase(std::remove(wave.begin(), wave.end(),
+                                 static_cast<std::size_t>(victim)),
+                     wave.end());
+        }
       }
       ++relaunches;
     } catch (const std::exception& e) {
@@ -328,12 +536,24 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
       // unfinished request — one-shot fault semantics still guarantee the
       // relaunch makes progress.
       cumulative_.merge_from(partial);
-      finalize_done();
+      finalize_wave();
       last_error = e.what();
       ++relaunches;
     }
 
-    if (relaunches > options_.max_relaunches && !remaining.empty()) {
+    // Wave-end inserts: after the launch joined (lanes never see the
+    // cache move) and before the next wave schedules — a deferred twin's
+    // next classification finds its sibling's entry and HITS.
+    for (auto& [fp, entry] : to_insert) {
+      cache_insert(fp, std::move(entry), pinned);
+    }
+    to_insert.clear();
+
+    remaining = std::move(wave);
+    remaining.insert(remaining.end(), deferred.begin(), deferred.end());
+
+    if (!wave_clean && relaunches > options_.max_relaunches &&
+        !remaining.empty()) {
       for (const std::size_t req : remaining) {
         responses[req].status = RequestStatus::kFault;
         responses[req].error = "relaunch budget exhausted: " + last_error;
@@ -342,9 +562,6 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
     }
   }
 
-  for (auto& [fp, labels] : to_insert) {
-    cache_insert(fp, std::move(labels));
-  }
   return responses;
 }
 
@@ -361,17 +578,41 @@ const ReorderingService::CacheEntry* ReorderingService::cache_find(
 }
 
 void ReorderingService::cache_insert(const PatternFingerprint& fp,
-                                     std::vector<index_t> labels) {
+                                     CacheEntry entry,
+                                     const PinnedSet& pinned) {
   if (options_.cache_capacity == 0) return;
-  // Duplicate patterns inside one batch both miss (they ran concurrently,
-  // blind to each other) and both arrive here; keep the first.
+  // A pattern can race into to_insert twice across waves (a relaunched
+  // miss whose twin already landed); keep the first — it is the entry
+  // twins were served from.
   if (cache_.find(fp) != cache_.end()) return;
   while (cache_.size() >= options_.cache_capacity) {
-    cache_.erase(cache_fifo_.front());
-    cache_fifo_.pop_front();
+    // Cost/recency eviction: the victim minimizes cost_wall / age
+    // (age in ticks since last insert-or-hit), ties to least recently
+    // used — an expensive ordering outlives a stream of cheap one-offs.
+    // Pinned entries (served to the batch in flight) are exempt; when
+    // everything resident is pinned the cache briefly overflows rather
+    // than invalidate an entry a same-batch twin was served from.
+    auto victim = cache_.end();
+    double victim_score = 0.0;
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (pinned.find(it->first) != pinned.end()) continue;
+      const double age =
+          static_cast<double>(tick_ - it->second.last_use_tick) + 1.0;
+      const double score = it->second.cost_wall / age;
+      if (victim == cache_.end() || score < victim_score ||
+          (score == victim_score &&
+           it->second.last_use_tick < victim->second.last_use_tick)) {
+        victim = it;
+        victim_score = score;
+      }
+    }
+    if (victim == cache_.end()) break;  // everything pinned: overflow
+    DRCM_CHECK(pinned.find(victim->first) == pinned.end(),
+               "eviction must never take an entry the batch was served from");
+    cache_.erase(victim);
   }
-  cache_.emplace(fp, CacheEntry{std::move(labels)});
-  cache_fifo_.push_back(fp);
+  entry.last_use_tick = ++tick_;
+  cache_.emplace(fp, std::move(entry));
 }
 
 }  // namespace drcm::service

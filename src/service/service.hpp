@@ -16,11 +16,27 @@
 //     pattern skips BFS + SORTPERM entirely and jumps straight to the
 //     value-carrying redistribution (rcm::ordered_solve_with_labels); the
 //     body asserts ZERO ordering-phase barrier crossings on every hit.
+//     Eviction is COST/RECENCY weighted: each entry remembers the measured
+//     ordering wall that produced it, and the evictee minimizes
+//     cost / age — an expensive ordering survives a stream of cheap
+//     one-offs that would have FIFO'd it out.
+//
+//   * INCREMENTAL REPAIR — a near-miss (same n, small pattern delta) is
+//     detected by diffing the refined fingerprint's row-window sub-sums
+//     against cached entries. When rcm::plan_repair prices the repair
+//     under a cold recompute, the lane runs rcm::dist_rcm_repair — reuse
+//     untouched components, re-level only the affected BFS cone, splice —
+//     and falls back to a cold ordering the moment any structural check
+//     fails. Repair hits are priced strictly between a cache hit
+//     (0 ordering crossings) and a cold run.
 //
 //   * BATCHED EXECUTION — independent requests of one batch run
 //     CONCURRENTLY on disjoint square sub-grids (lanes) carved from the
 //     parent world by one Comm::split; per-request SpmdReport ledgers come
-//     back with each response.
+//     back with each response. Identical fingerprints in one batch are
+//     COALESCED: the first occurrence computes, twins wait a wave and are
+//     served from the freshly inserted entry — the ordering runs exactly
+//     once per distinct pattern per batch.
 //
 // Fault isolation: scripted FaultPlan failures are one-shot, so a killed
 // request returns a structured kFault response while its batch peers are
@@ -31,10 +47,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "dist/workspace.hpp"
@@ -65,6 +81,21 @@ struct OrderSolveResponse {
   /// Structured failure description when status == kFault.
   std::string error;
   bool cache_hit = false;
+  /// Produced by incremental repair (component reuse + cone re-level +
+  /// splice) from a near-miss cached entry, with at least one level step
+  /// or component actually skipped. Mutually exclusive with cache_hit;
+  /// a repair that degraded all the way to a full recompute (or fell back
+  /// cold) reports false.
+  bool repair_hit = false;
+  /// This request waited out at least one wave because an identical
+  /// fingerprint was already computing in the same batch (coalescing).
+  bool coalesced = false;
+  /// Refined-fingerprint row windows that differed from the repair
+  /// source's (repair attempts only; 0 otherwise).
+  int changed_windows = 0;
+  /// Non-terminal ordering level steps the repair skipped (repair hits
+  /// only; each is 5 barrier crossings a cold run would have paid).
+  index_t level_steps_skipped = 0;
   PatternFingerprint fingerprint{};
   index_t permuted_bandwidth = 0;
   solver::CgResult cg{};
@@ -100,11 +131,28 @@ struct ServiceOptions {
   /// Relaunches (beyond the first launch) a batch may consume recovering
   /// from faults before surviving requests are failed outright.
   int max_relaunches = 3;
-  /// Ordering-cache capacity in patterns (FIFO eviction; 0 disables).
+  /// Ordering-cache capacity in patterns (cost/recency-weighted
+  /// eviction; 0 disables caching AND repair). The capacity may be
+  /// briefly exceeded when every resident entry is pinned by the batch
+  /// in flight — served entries are never evicted mid-batch.
   std::size_t cache_capacity = 64;
   /// Cap on concurrent lanes per batch wave (0 = one lane per request,
   /// as many as the fleet fits).
   int max_lanes = 0;
+  /// Attempt incremental repair on near-miss patterns: a miss whose
+  /// refined fingerprint differs from a repair-eligible cached entry in
+  /// at most repair_max_windows row windows is repaired (component
+  /// reuse + cone re-level + splice) when rcm::plan_repair prices that
+  /// strictly under a cold recompute.
+  bool enable_repair = true;
+  /// Window-diff cap for repair candidacy (1..kFingerprintWindows; a
+  /// delta touching more windows than this recomputes cold).
+  int repair_max_windows = 8;
+  /// Debug cross-check: after every successful repair, run a
+  /// stats-isolated cold ordering on the lane and DRCM_CHECK the repaired
+  /// labels are bit-identical. Doubles the ordering cost of repairs (the
+  /// cross-check is excluded from ledgers, but not from host wall time).
+  bool verify_repair = false;
 };
 
 class ReorderingService {
@@ -125,6 +173,11 @@ class ReorderingService {
 
   std::uint64_t cache_hits() const { return cache_hits_; }
   std::uint64_t cache_misses() const { return cache_misses_; }
+  /// Misses served by incremental repair (counted inside cache_misses).
+  std::uint64_t repair_hits() const { return repair_hits_; }
+  /// Requests served from an entry a same-batch twin inserted (counted
+  /// inside cache_hits).
+  std::uint64_t coalesced_served() const { return coalesced_served_; }
   std::size_t cache_size() const { return cache_.size(); }
   /// Runtime::run launches performed (relaunches included).
   int launches() const { return launches_; }
@@ -137,11 +190,32 @@ class ReorderingService {
  private:
   struct CacheEntry {
     std::vector<index_t> labels;
+    /// Unsalted refined fingerprint of the pattern the labels order —
+    /// the row-window sub-sums near-miss classification diffs against.
+    RefinedFingerprint rf{};
+    /// Level structure captured when the labels were computed (empty for
+    /// entries that cannot seed repairs, e.g. balanced orderings).
+    rcm::OrderingRecipe recipe;
+    /// Computed with load_balance == false AND carrying a recipe: the
+    /// recipe's work numbering matches the original numbering, so the
+    /// entry can seed dist_rcm_repair.
+    bool repair_eligible = false;
+    /// Max over lane ranks of the ordering-phase wall that produced the
+    /// labels — the numerator of the cost/recency eviction score.
+    double cost_wall = 0.0;
+    /// Logical clock of the last insert-or-hit (eviction recency).
+    std::uint64_t last_use_tick = 0;
   };
 
+  using PinnedSet =
+      std::unordered_set<PatternFingerprint, PatternFingerprintHash>;
+
   const CacheEntry* cache_find(const PatternFingerprint& fp) const;
-  void cache_insert(const PatternFingerprint& fp,
-                    std::vector<index_t> labels);
+  /// Inserts under cost/recency eviction. `pinned` entries (served to a
+  /// request of the batch in flight) are never chosen as victims; when
+  /// everything is pinned the cache temporarily overflows capacity.
+  void cache_insert(const PatternFingerprint& fp, CacheEntry entry,
+                    const PinnedSet& pinned);
 
   ServiceOptions options_;
   /// One persistent workspace per WORLD rank — the cross-request, cross-
@@ -150,9 +224,12 @@ class ReorderingService {
   std::vector<dist::DistWorkspace> workspaces_;
   std::unordered_map<PatternFingerprint, CacheEntry, PatternFingerprintHash>
       cache_;
-  std::deque<PatternFingerprint> cache_fifo_;
+  /// Logical clock behind last_use_tick: bumped on every insert and hit.
+  std::uint64_t tick_ = 0;
   std::uint64_t cache_hits_ = 0;
   std::uint64_t cache_misses_ = 0;
+  std::uint64_t repair_hits_ = 0;
+  std::uint64_t coalesced_served_ = 0;
   int launches_ = 0;
   mps::SpmdReport cumulative_;
 };

@@ -1,0 +1,95 @@
+#include "sparse/pattern_delta.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "sparse/coo.hpp"
+
+namespace drcm::sparse {
+
+namespace {
+
+u64 edge_key(index_t u, index_t v) {
+  const auto lo = static_cast<u64>(std::min(u, v));
+  const auto hi = static_cast<u64>(std::max(u, v));
+  return (hi << 32) | lo;
+}
+
+}  // namespace
+
+CsrMatrix apply_pattern_delta(const CsrMatrix& a, const PatternDelta& d) {
+  const index_t n = a.n();
+  std::unordered_set<u64> removed;
+  removed.reserve(d.remove.size() * 2);
+  std::unordered_set<u64> touched;  // duplicate-edge detection across both sets
+  touched.reserve(d.size() * 2);
+  for (const auto& [u, v] : d.remove) {
+    DRCM_CHECK(u != v, "pattern delta must not touch the diagonal");
+    DRCM_CHECK(a.has_entry(u, v), "remove edge must be present in the pattern");
+    DRCM_CHECK(touched.insert(edge_key(u, v)).second,
+               "pattern delta lists an edge twice");
+    removed.insert(edge_key(u, v));
+  }
+
+  CooBuilder b(n);
+  for (index_t r = 0; r < n; ++r) {
+    for (const index_t c : a.row(r)) {
+      // Each undirected edge appears twice in the symmetric CSR; emit the
+      // (r < c) orientation once and let add_symmetric mirror it.
+      if (r < c && removed.count(edge_key(r, c)) == 0) b.add_symmetric(r, c);
+    }
+  }
+  for (const auto& [u, v] : d.add) {
+    DRCM_CHECK(u != v, "pattern delta must not touch the diagonal");
+    DRCM_CHECK(u >= 0 && u < n && v >= 0 && v < n, "add edge out of range");
+    DRCM_CHECK(!a.has_entry(u, v), "add edge must be absent from the pattern");
+    DRCM_CHECK(touched.insert(edge_key(u, v)).second,
+               "pattern delta lists an edge twice");
+    b.add_symmetric(u, v);
+  }
+  return b.to_csr(false);
+}
+
+PatternDelta random_pattern_delta(const CsrMatrix& a, index_t n_add,
+                                  index_t n_remove, u64 seed, index_t row_lo,
+                                  index_t row_hi) {
+  const index_t n = a.n();
+  if (row_hi < 0) row_hi = n;
+  DRCM_CHECK(0 <= row_lo && row_lo < row_hi && row_hi <= n,
+             "delta row range must be a non-empty slice of [0, n)");
+  const index_t span = row_hi - row_lo;
+
+  PatternDelta d;
+  Rng rng(seed);
+
+  // Removals: collect the in-range edges once, sample without replacement.
+  std::vector<std::pair<index_t, index_t>> candidates;
+  for (index_t r = row_lo; r < row_hi; ++r) {
+    for (const index_t c : a.row(r)) {
+      if (r < c && c < row_hi && c >= row_lo) candidates.emplace_back(r, c);
+    }
+  }
+  DRCM_CHECK(static_cast<index_t>(candidates.size()) >= n_remove,
+             "not enough in-range edges to remove");
+  rng.shuffle(candidates.begin(), candidates.end());
+  d.remove.assign(candidates.begin(), candidates.begin() + n_remove);
+
+  // Additions: rejection-sample distinct in-range non-edges. The removed
+  // edges stay "present" for rejection purposes so add/remove never alias.
+  DRCM_CHECK(span >= 2 || n_add == 0, "range too small to add edges");
+  std::unordered_set<u64> chosen;
+  chosen.reserve(static_cast<std::size_t>(n_add) * 2);
+  while (static_cast<index_t>(d.add.size()) < n_add) {
+    const auto u =
+        row_lo + static_cast<index_t>(rng.next_below(static_cast<u64>(span)));
+    const auto v =
+        row_lo + static_cast<index_t>(rng.next_below(static_cast<u64>(span)));
+    if (u == v || a.has_entry(u, v)) continue;
+    if (!chosen.insert(edge_key(u, v)).second) continue;
+    d.add.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  return d;
+}
+
+}  // namespace drcm::sparse

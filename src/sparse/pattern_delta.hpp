@@ -1,0 +1,45 @@
+// Symmetric pattern deltas: the near-miss workload of incremental repair.
+//
+// The serving layer's repair path (PR 9) targets streams where a matrix
+// re-arrives with a handful of edges added or removed — a remeshed patch,
+// a contact pair opening, a circuit element switched. These helpers
+// produce such deltas deterministically for tests and benches: a
+// `PatternDelta` is a set of undirected edges to add plus a set to
+// remove, and `apply_pattern_delta` yields the perturbed pattern with the
+// same symmetry/sortedness invariants CsrMatrix enforces.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace drcm::sparse {
+
+/// An undirected edge set to add and one to remove, each stored once as
+/// (min, max) endpoint pairs. Applying keeps the pattern symmetric.
+struct PatternDelta {
+  std::vector<std::pair<index_t, index_t>> add;
+  std::vector<std::pair<index_t, index_t>> remove;
+
+  std::size_t size() const { return add.size() + remove.size(); }
+};
+
+/// Returns `a`'s pattern with the delta applied (pattern-only CSR, values
+/// dropped). DRCM_CHECKs the delta is well-formed: no self loops, no
+/// duplicate edges within the delta, every `add` edge absent from `a`,
+/// every `remove` edge present in `a`.
+CsrMatrix apply_pattern_delta(const CsrMatrix& a, const PatternDelta& d);
+
+/// Deterministically samples a delta against `a`: `n_add` distinct
+/// non-edges and `n_remove` distinct existing edges, all with BOTH
+/// endpoints in [row_lo, row_hi) (pass row_hi = -1 for "up to n").
+/// Restricting the endpoint range lets tests aim the delta at a known
+/// region of the cached level structure (deep cone vs near the root).
+/// DRCM_CHECKs the requested counts are satisfiable in the range.
+PatternDelta random_pattern_delta(const CsrMatrix& a, index_t n_add,
+                                  index_t n_remove, u64 seed,
+                                  index_t row_lo = 0, index_t row_hi = -1);
+
+}  // namespace drcm::sparse

@@ -12,7 +12,9 @@
 #include "mpsim/runtime.hpp"
 #include "rcm/rcm_driver.hpp"
 #include "rcm/trace_model.hpp"
+#include "service/service.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/pattern_delta.hpp"
 
 namespace drcm::mps {
 namespace {
@@ -366,6 +368,70 @@ TEST(CrossingLedger, StandaloneSortpermCarriesThePackedHistogram) {
   EXPECT_GT(sort.words, 0u);
   EXPECT_LT(sort.words, 4u * static_cast<std::uint64_t>(kN))
       << "sort-phase words must undercut the naive histogram carry alone";
+}
+
+TEST(CrossingLedger, RepairHitIsPricedStrictlyBetweenHitAndCold) {
+  // The incremental-repair pricing pin: on a near-miss pattern the
+  // service's repair path must land strictly between the two existing
+  // price points — a cache hit's ZERO ordering crossings and a cold
+  // recompute's full BFS + SORTPERM bill. Fixture: a two-component graph
+  // with the delta confined to the small component, so the big component
+  // reuses (peripheral search + every level step skipped) and the plan is
+  // deterministically profitable. plan_repair's conservative margin
+  // arithmetic (+6 per reused component, +5*(cone_level-1) - 2 per cone,
+  // -2 per recompute) guarantees the strict inequality whenever a repair
+  // is scheduled; this test keeps that guarantee tied to the ledger.
+  // Window-aligned sizes (n = 400, window width 25): the small component
+  // fills windows 14..15 exactly, so its dirty windows never bleed onto
+  // the big component's rows.
+  const auto big = sparse::gen::grid2d(14, 25);
+  const auto small = sparse::gen::grid2d(5, 10);
+  const auto adjacency = sparse::gen::disjoint_union({big, small});
+  const auto delta = sparse::random_pattern_delta(adjacency, 1, 0, 42,
+                                                  big.n(), adjacency.n());
+  const auto base = sparse::gen::with_laplacian_values(adjacency, 0.02);
+  const auto perturbed = sparse::gen::with_laplacian_values(
+      sparse::apply_pattern_delta(adjacency, delta), 0.02);
+  std::vector<double> b(static_cast<std::size_t>(base.n()));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] = 1.0 + static_cast<double>(i % 7);
+  }
+
+  service::ServiceOptions options;
+  options.ranks = 4;
+  service::ReorderingService service(options);
+
+  service::OrderSolveRequest seed_rq;
+  seed_rq.matrix = &base;
+  seed_rq.b = b;
+  const auto cold_base = service.submit(seed_rq);
+  ASSERT_EQ(cold_base.status, service::RequestStatus::kOk);
+  EXPECT_GT(cold_base.ordering_crossings, 0u);
+
+  service::OrderSolveRequest delta_rq;
+  delta_rq.matrix = &perturbed;
+  delta_rq.b = b;
+  const auto repaired = service.submit(delta_rq);
+  ASSERT_EQ(repaired.status, service::RequestStatus::kOk);
+  ASSERT_TRUE(repaired.repair_hit) << "the fixture must schedule a repair";
+
+  service::ServiceOptions cold_options;
+  cold_options.ranks = 4;
+  cold_options.enable_repair = false;
+  service::ReorderingService cold(cold_options);
+  const auto reference = cold.submit(delta_rq);
+  ASSERT_EQ(reference.status, service::RequestStatus::kOk);
+
+  EXPECT_GT(repaired.ordering_crossings, 0u)
+      << "a repair is not a hit: the cone re-level pays real collectives";
+  EXPECT_LT(repaired.ordering_crossings, reference.ordering_crossings)
+      << "a repair hit must cost strictly fewer ordering-phase crossings "
+         "than the cold recompute it replaced";
+
+  const auto rehit = service.submit(delta_rq);
+  ASSERT_EQ(rehit.status, service::RequestStatus::kOk);
+  EXPECT_TRUE(rehit.cache_hit);
+  EXPECT_EQ(rehit.ordering_crossings, 0u);
 }
 
 TEST(CostModel, DefaultParametersAreSane) {

@@ -11,8 +11,12 @@
 //    batch peer completes bit-identically to a fault-free batch — and the
 //    victim leaves no cache entry;
 //  * more requests than lanes round-robin onto the available lanes
-//    (max_lanes = 1 serializes the whole batch through one lane), and
-//    duplicate patterns inside one batch both miss by design, then hit.
+//    (max_lanes = 1 serializes the whole batch through one lane);
+//  * duplicate patterns inside one batch COALESCE: the first occurrence
+//    computes the ordering exactly once, twins wait a wave and are served
+//    from the freshly inserted entry;
+//  * a wave-end insert may never evict an entry a request of the same
+//    batch was served from — the cache overflows capacity instead.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -220,11 +224,11 @@ TEST(ServiceBatch, MoreRequestsThanRanksRoundRobinOntoLanes) {
   }
 }
 
-TEST(ServiceBatch, DuplicatePatternsInOneBatchBothMissThenHit) {
-  // Two requests for the SAME pattern land on different lanes, blind to
-  // each other: both miss by design (the cache is read-only while ranks
-  // run), the first finalized ordering is kept, and the next submission
-  // hits.
+TEST(ServiceBatch, DuplicatePatternsInOneBatchComputeOnceAndCoalesce) {
+  // Two requests for the SAME pattern: the first occurrence computes, the
+  // twin is deferred a wave (coalescing) and served from the entry its
+  // sibling inserted at wave end — the ordering runs EXACTLY once, and
+  // the twin's ledger shows a pure hit (zero ordering crossings).
   const auto m = gen::with_laplacian_values(
       gen::relabel_random(gen::grid2d(12, 13), 3), 0.02);
   const auto b = wavy_rhs(m.n());
@@ -238,12 +242,62 @@ TEST(ServiceBatch, DuplicatePatternsInOneBatchBothMissThenHit) {
   ReorderingService service(options);
   const auto responses = service.submit_batch(twice);
   ASSERT_EQ(responses.size(), 2u);
+  ASSERT_EQ(responses[0].status, RequestStatus::kOk);
+  ASSERT_EQ(responses[1].status, RequestStatus::kOk);
   EXPECT_FALSE(responses[0].cache_hit);
-  EXPECT_FALSE(responses[1].cache_hit);
+  EXPECT_FALSE(responses[0].coalesced);
+  EXPECT_TRUE(responses[1].cache_hit)
+      << "the twin must be served from its sibling's ordering";
+  EXPECT_TRUE(responses[1].coalesced);
+  EXPECT_EQ(responses[1].ordering_crossings, 0u);
   EXPECT_EQ(responses[0].fingerprint, responses[1].fingerprint);
   expect_bitwise_equal(responses[0].x, responses[1].x);
   EXPECT_EQ(service.cache_size(), 1u);
+  EXPECT_EQ(service.cache_misses(), 1u)
+      << "duplicate patterns in one batch must compute the ordering once";
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(service.coalesced_served(), 1u);
+  EXPECT_EQ(service.launches(), 2) << "compute wave, then the serve wave";
   EXPECT_TRUE(service.submit(request).cache_hit);
+}
+
+TEST(ServiceBatch, WaveEndInsertNeverEvictsAnEntryTheBatchWasServedFrom) {
+  // Capacity 1 with entry A resident. A batch of [hit-on-A, miss-B]:
+  // B's wave-end insert needs a victim, but A was served to a request of
+  // the SAME batch — it is pinned, and the cache briefly overflows
+  // capacity rather than invalidate what a twin just read.
+  const auto a = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(11, 12), 1), 0.02);
+  const auto c = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(11, 12), 2), 0.02);
+  const auto b = wavy_rhs(a.n());
+
+  ServiceOptions options;
+  options.ranks = 16;
+  options.cache_capacity = 1;
+  options.enable_repair = false;  // isolate the eviction policy
+  ReorderingService service(options);
+
+  OrderSolveRequest ra;
+  ra.matrix = &a;
+  ra.b = b;
+  OrderSolveRequest rc;
+  rc.matrix = &c;
+  rc.b = b;
+
+  EXPECT_FALSE(service.submit(ra).cache_hit);
+  ASSERT_EQ(service.cache_size(), 1u);
+
+  const std::vector<OrderSolveRequest> batch{ra, rc};
+  const auto responses = service.submit_batch(batch);
+  ASSERT_EQ(responses[0].status, RequestStatus::kOk);
+  ASSERT_EQ(responses[1].status, RequestStatus::kOk);
+  EXPECT_TRUE(responses[0].cache_hit);
+  EXPECT_FALSE(responses[1].cache_hit);
+  EXPECT_EQ(service.cache_size(), 2u)
+      << "the insert must overflow capacity, not evict the served entry";
+  EXPECT_TRUE(service.submit(ra).cache_hit) << "A survived its own batch";
+  EXPECT_TRUE(service.submit(rc).cache_hit);
 }
 
 }  // namespace

@@ -12,7 +12,10 @@
 //  * a mid-solve rank death returns a structured kFault and never leaves
 //    a poisoned cache entry behind;
 //  * a 50-request stream of one pattern runs with zero workspace
-//    reallocations and zero ordering crossings from request 3 on.
+//    reallocations and zero ordering crossings from request 3 on;
+//  * eviction is cost/recency-weighted (an expensive ordering survives
+//    cheap churn), an ordering-irrelevant seed does not split the key,
+//    and unsorted CSR input is rejected before it can be fingerprinted.
 #include <gtest/gtest.h>
 
 #include <bit>
@@ -20,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "mpsim/fault.hpp"
 #include "rcm/rcm_driver.hpp"
 #include "service/service.hpp"
@@ -261,39 +265,99 @@ TEST(ServiceCache, SteadyStateStreamRunsWithoutReallocationOrOrderingWork) {
   EXPECT_EQ(service.cache_misses(), 1u);
 }
 
-TEST(ServiceCache, FifoEvictionAndCapacityZero) {
-  const auto base = gen::grid2d(10, 10);
-  const auto a = gen::with_laplacian_values(gen::relabel_random(base, 1), 0.02);
-  const auto c = gen::with_laplacian_values(gen::relabel_random(base, 2), 0.02);
-  const auto d = gen::with_laplacian_values(gen::relabel_random(base, 3), 0.02);
-  const auto b = wavy_rhs(a.n());
+TEST(ServiceCache, CostRecencyEvictionKeepsTheExpensiveEntry) {
+  // Capacity 2 with cost/recency eviction: BIG's ordering wall is orders
+  // of magnitude above the small patterns', so when a third entry needs a
+  // slot the victim is the cheap older entry — under the old FIFO policy
+  // BIG (first in) would have been thrown away and recomputed.
+  const auto big = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(48, 48), 1), 0.02);
+  const auto s1 = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(6, 6), 2), 0.02);
+  const auto s2 = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(6, 6), 3), 0.02);
+  const auto b_big = wavy_rhs(big.n());
+  const auto b_small = wavy_rhs(s1.n());
 
   ServiceOptions options;
   options.ranks = 4;
   options.cache_capacity = 2;
+  options.enable_repair = false;  // isolate the eviction policy
   ReorderingService service(options);
 
-  OrderSolveRequest ra, rc, rd;
-  ra.matrix = &a;
-  ra.b = b;
-  rc.matrix = &c;
-  rc.b = b;
-  rd.matrix = &d;
-  rd.b = b;
+  OrderSolveRequest rbig, rs1, rs2;
+  rbig.matrix = &big;
+  rbig.b = b_big;
+  rs1.matrix = &s1;
+  rs1.b = b_small;
+  rs2.matrix = &s2;
+  rs2.b = b_small;
 
-  EXPECT_FALSE(service.submit(ra).cache_hit);
-  EXPECT_FALSE(service.submit(rc).cache_hit);
-  EXPECT_FALSE(service.submit(rd).cache_hit);  // evicts A (FIFO)
+  EXPECT_FALSE(service.submit(rbig).cache_hit);
+  EXPECT_FALSE(service.submit(rs1).cache_hit);
+  EXPECT_FALSE(service.submit(rs2).cache_hit);  // needs a slot
   EXPECT_EQ(service.cache_size(), 2u);
-  EXPECT_FALSE(service.submit(ra).cache_hit) << "A was evicted first-in";
-  EXPECT_TRUE(service.submit(rd).cache_hit) << "D is still resident";
+  EXPECT_TRUE(service.submit(rbig).cache_hit)
+      << "the expensive ordering must survive the cheap churn";
+  EXPECT_FALSE(service.submit(rs1).cache_hit)
+      << "the cheap older entry was the cost/recency victim";
 
   ServiceOptions uncached = options;
   uncached.cache_capacity = 0;
   ReorderingService nocache(uncached);
-  EXPECT_FALSE(nocache.submit(ra).cache_hit);
-  EXPECT_FALSE(nocache.submit(ra).cache_hit);
+  EXPECT_FALSE(nocache.submit(rs1).cache_hit);
+  EXPECT_FALSE(nocache.submit(rs1).cache_hit);
   EXPECT_EQ(nocache.cache_size(), 0u);
+}
+
+TEST(ServiceCache, UnbalancedSeedIsNotSalient) {
+  // Seed-salience audit (service/fingerprint.hpp): with load_balance off,
+  // DistRcmOptions::seed never reaches the ordering — the peripheral
+  // finder, CM levels and SORTPERM are seed-free deterministic. Two
+  // differently-seeded unbalanced requests therefore compute the SAME
+  // labeling and MUST share one cache slot; separate slots would just
+  // recompute the identical ordering (the pre-audit behavior).
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(13, 13), 7), 0.02);
+  const auto b = wavy_rhs(m.n());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest first;
+  first.matrix = &m;
+  first.b = b;
+  first.rcm.seed = 123;
+  const auto cold = service.submit(first);
+  ASSERT_EQ(cold.status, RequestStatus::kOk);
+  EXPECT_FALSE(cold.cache_hit);
+
+  OrderSolveRequest reseeded = first;
+  reseeded.rcm.seed = 456;
+  const auto warm = service.submit(reseeded);
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(warm.cache_hit)
+      << "an ordering-irrelevant seed must not split the cache key";
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+  EXPECT_EQ(service.cache_size(), 1u);
+  expect_bitwise_equal(warm.x, cold.x);
+}
+
+TEST(ServiceCache, UnsortedCsrCannotReachTheFingerprint) {
+  // The fingerprint walks each row assuming strictly sorted columns; an
+  // unsorted CSR would be silently mis-fingerprinted (entries outside the
+  // probed window skipped), letting two distinct patterns collide. The
+  // CsrMatrix constructor rejects such input at ingestion — pinned here
+  // so the fingerprint's precondition can never be relaxed by accident —
+  // and fingerprint_pattern keeps its own in-walk sortedness check as
+  // defense in depth.
+  std::vector<nnz_t> row_ptr{0, 2, 3, 4};
+  std::vector<index_t> unsorted_cols{2, 1, 0, 0};  // row 0: {2, 1}
+  EXPECT_THROW(sparse::CsrMatrix(3, row_ptr, unsorted_cols), CheckError);
+
+  std::vector<index_t> duplicate_cols{1, 1, 0, 0};  // row 0: {1, 1}
+  EXPECT_THROW(sparse::CsrMatrix(3, row_ptr, duplicate_cols), CheckError);
 }
 
 }  // namespace
