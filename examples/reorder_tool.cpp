@@ -2,7 +2,18 @@
 // reorderer — reads a Matrix Market file, computes the requested ordering,
 // and writes the permuted matrix plus the permutation vector.
 //
-//   $ ./examples/reorder_tool input.mtx [rcm|sloan|nosort] [output.mtx]
+//   $ ./examples/reorder_tool input.mtx [--algo=ALGO] [output.mtx]
+//
+// ALGO is one of the portfolio arms rcm|sloan|gps|auto (the same names
+// rcm::OrderingAlgorithm dispatches on; `sloan` is the level-synchronous
+// variant rcm::dist_order distributes), plus the serial-only extras
+// nosort (the no-sorting ablation) and sloan-classic (Sloan's original
+// priority-queue formulation). A bare ALGO without the --algo= prefix is
+// accepted in the same position for backwards compatibility.
+//
+// `--algo=auto` runs the portfolio selector: it prints the O(n + nnz)
+// proxies the decision was made from (the same evidence an
+// OrderSolveResponse records) and the chosen arm, then orders with it.
 //
 // Run without arguments it demonstrates itself on a generated matrix
 // written to /tmp. Unsymmetric inputs are symmetrized (A + A^T pattern),
@@ -13,8 +24,10 @@
 #include <fstream>
 #include <string>
 
+#include "order/gps.hpp"
 #include "order/rcm_serial.hpp"
 #include "order/sloan.hpp"
+#include "rcm/ordering.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/metrics.hpp"
@@ -23,10 +36,33 @@
 int main(int argc, char** argv) {
   using namespace drcm;
 
-  std::string input = argc > 1 ? argv[1] : "";
-  const std::string method = argc > 2 ? argv[2] : "rcm";
-  const std::string output =
-      argc > 3 ? argv[3] : (input.empty() ? "/tmp/demo_rcm.mtx" : input + ".rcm.mtx");
+  // Positional args (input, output) with --algo= allowed anywhere; a bare
+  // method name in the second slot keeps the old CLI working.
+  std::string input, method = "rcm", output;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
+      method = argv[i] + 7;
+    } else if (positional == 0) {
+      input = argv[i];
+      ++positional;
+    } else if (positional == 1 &&
+               (std::strcmp(argv[i], "rcm") == 0 ||
+                std::strcmp(argv[i], "sloan") == 0 ||
+                std::strcmp(argv[i], "gps") == 0 ||
+                std::strcmp(argv[i], "auto") == 0 ||
+                std::strcmp(argv[i], "nosort") == 0 ||
+                std::strcmp(argv[i], "sloan-classic") == 0)) {
+      method = argv[i];
+      ++positional;
+    } else {
+      output = argv[i];
+      ++positional;
+    }
+  }
+  if (output.empty()) {
+    output = input.empty() ? "/tmp/demo_rcm.mtx" : input + ".rcm.mtx";
+  }
 
   if (input.empty()) {
     input = "/tmp/demo_input.mtx";
@@ -53,15 +89,35 @@ int main(int argc, char** argv) {
   }
   if (pattern.has_self_loops()) pattern = pattern.strip_diagonal();
 
+  if (method == "auto") {
+    const auto choice = rcm::select_ordering(pattern);
+    const auto& p = choice.proxies;
+    std::printf("selector proxies: n=%lld nnz=%lld avg_degree=%.2f "
+                "density=%.2e bandwidth=%lld rms_wavefront=%.1f "
+                "components=%lld\n",
+                static_cast<long long>(p.n), static_cast<long long>(p.nnz),
+                p.avg_degree, p.density,
+                static_cast<long long>(p.bandwidth), p.rms_wavefront,
+                static_cast<long long>(p.components));
+    method = rcm::ordering_algorithm_name(choice.algorithm);
+    std::printf("selector choice: %s\n", method.c_str());
+  }
+
   std::vector<index_t> labels;
   if (method == "rcm") {
     labels = order::rcm_serial(pattern);
   } else if (method == "sloan") {
+    labels = order::sloan_levels(pattern);
+  } else if (method == "gps") {
+    labels = order::gps(pattern);
+  } else if (method == "sloan-classic") {
     labels = order::sloan(pattern);
   } else if (method == "nosort") {
     labels = order::rcm_nosort(pattern);
   } else {
-    std::fprintf(stderr, "unknown method '%s' (use rcm|sloan|nosort)\n",
+    std::fprintf(stderr,
+                 "unknown method '%s' (use rcm|sloan|gps|auto|nosort|"
+                 "sloan-classic)\n",
                  method.c_str());
     return 1;
   }

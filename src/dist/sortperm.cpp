@@ -215,10 +215,13 @@ SortPlan sortperm_plan(std::span<const SortHistCell> cells, int p, index_t nb,
   // Receive-path range checks (always on): the cell table was exchanged
   // over the wire, and every field below becomes a counting-pass bin index
   // or a bin count — a corrupted cell must throw here, not index counters
-  // out of bounds or size them absurdly.
+  // out of bounds or size them absurdly. The "degree" field is a generic
+  // ranking key: plain degrees for RCM, Sloan priorities (bounded by
+  // w1*(dmax+1) + w2*ecc < 3n + 3 with the default weights) for the Sloan
+  // arm — still linear in n, so the counting bins stay O(n).
   for (const auto& c : cells) {
     DRCM_CHECK(c.block >= 0 && c.block < p && c.bucket >= 0 && c.bucket < nb &&
-                   c.degree >= 0 && c.degree <= n && c.count >= 0,
+                   c.degree >= 0 && c.degree <= 3 * n + 3 && c.count >= 0,
                "received histogram cell out of range");
   }
   auto& table = ws.hist_table();
@@ -267,10 +270,11 @@ std::vector<SortRec>& sortperm_replay(std::span<const SortRec> recv,
              "replay needs one count per source rank");
   // Receive-path range checks (always on): bucket and degree size the
   // counting-sort bins downstream and idx becomes an owner-route index, so
-  // a corrupted triple must throw here instead.
+  // a corrupted triple must throw here instead. The degree field admits
+  // any linear ranking key (Sloan priorities reach ~3n; see sortperm_plan).
   for (const auto& rec : recv) {
     DRCM_CHECK(rec.bucket >= 0 && rec.bucket < nb && rec.degree >= 0 &&
-                   rec.degree <= n && rec.idx >= 0 && rec.idx < n,
+                   rec.degree <= 3 * n + 3 && rec.idx >= 0 && rec.idx < n,
                "received sort triple out of range");
   }
   // Per-source offsets from the workspace counter buffer (dead before any

@@ -1,11 +1,21 @@
-// George-Liu pseudo-peripheral vertex finder (paper Algorithm 2).
+// Pseudo-peripheral vertex finders (paper Algorithm 2 and the RCM++
+// bi-criteria refinement).
 //
 // RCM quality depends strongly on the start vertex; the standard heuristic
-// starts from a vertex of near-maximal eccentricity. The iteration below is
-// the reference the distributed finder (rcm/dist_peripheral.hpp, paper
+// starts from a vertex of near-maximal eccentricity. The iterations below
+// are the references the distributed finder (rcm/dist_peripheral.hpp, paper
 // Algorithm 4) must match bit-for-bit, so every tie is broken identically:
 // the candidate in the last BFS level is the minimum-degree vertex, ties to
 // the smallest vertex id.
+//
+// kGeorgeLiu is the classic iteration: keep sweeping while the eccentricity
+// grows. kBiCriteria (RCM++, arXiv 2409.04171) scores each sweep by BOTH
+// eccentricity and the width of the last BFS level: a candidate is accepted
+// when it grows the eccentricity or keeps it while shrinking the last
+// level, and the iteration continues only while a sweep improves both.
+// Because the bi-criteria continuation condition implies George-Liu's, it
+// never performs more BFS sweeps — strictly fewer whenever a George-Liu
+// sweep grows the eccentricity without shrinking the last level.
 #pragma once
 
 #include "common/types.hpp"
@@ -13,14 +23,23 @@
 
 namespace drcm::order {
 
+/// Which pseudo-peripheral iteration seeds each component's ordering.
+enum class PeripheralMode {
+  kGeorgeLiu,   ///< paper Algorithm 2: continue while eccentricity grows
+  kBiCriteria,  ///< RCM++: continue while eccentricity grows AND the last
+                ///< BFS level shrinks; accept ties that shrink the level
+};
+
 struct PeripheralResult {
   index_t vertex = kNoVertex;   ///< the pseudo-peripheral vertex
   index_t eccentricity = 0;     ///< its BFS depth (pseudo-diameter estimate)
   int bfs_sweeps = 0;           ///< number of full BFS traversals performed
+  index_t last_width = 0;       ///< size of the last BFS level from `vertex`
 };
 
-/// Runs George-Liu iteration from `start` within its connected component.
-PeripheralResult pseudo_peripheral_vertex(const sparse::CsrMatrix& a,
-                                          index_t start);
+/// Runs the selected iteration from `start` within its connected component.
+PeripheralResult pseudo_peripheral_vertex(
+    const sparse::CsrMatrix& a, index_t start,
+    PeripheralMode mode = PeripheralMode::kGeorgeLiu);
 
 }  // namespace drcm::order

@@ -6,12 +6,7 @@
 
 namespace drcm::order {
 
-namespace {
-
-using sparse::CsrMatrix;
-
-/// Next unvisited component seed: minimum degree, ties to smallest id.
-index_t next_component_seed(const CsrMatrix& a,
+index_t next_component_seed(const sparse::CsrMatrix& a,
                             const std::vector<index_t>& labels) {
   index_t best = kNoVertex;
   for (index_t v = 0; v < a.n(); ++v) {
@@ -21,12 +16,17 @@ index_t next_component_seed(const CsrMatrix& a,
   return best;
 }
 
+namespace {
+
+using sparse::CsrMatrix;
+
 /// Labels one component starting from `root` with consecutive labels from
-/// `next_label`, in CM order. `sort_by_degree=false` is the no-sort
-/// ablation. Returns the first unused label.
-template <bool kSortByDegree>
-index_t cm_component(const CsrMatrix& a, index_t root, index_t next_label,
-                     std::vector<index_t>& labels) {
+/// `next_label`, level order ranked by (parent label, key_of(v), v).
+/// Returns the first unused label.
+template <class KeyOf>
+index_t cm_component_ranked(const CsrMatrix& a, index_t root,
+                            index_t next_label, std::vector<index_t>& labels,
+                            const KeyOf& key_of) {
   labels[static_cast<std::size_t>(root)] = next_label++;
   std::vector<index_t> current{root};
   std::vector<index_t> next;
@@ -62,7 +62,7 @@ index_t cm_component(const CsrMatrix& a, index_t root, index_t next_label,
           parent_label = lu;
         }
       }
-      keys.push_back({parent_label, kSortByDegree ? a.degree(v) : 0, v});
+      keys.push_back({parent_label, key_of(v), v});
     }
     std::sort(keys.begin(), keys.end(), [](const Key& x, const Key& y) {
       if (x.parent_label != y.parent_label) return x.parent_label < y.parent_label;
@@ -78,18 +78,30 @@ index_t cm_component(const CsrMatrix& a, index_t root, index_t next_label,
   return next_label;
 }
 
+/// Labels one component in CM order (`sort_by_degree=false` is the no-sort
+/// ablation). Returns the first unused label.
+template <bool kSortByDegree>
+index_t cm_component(const CsrMatrix& a, index_t root, index_t next_label,
+                     std::vector<index_t>& labels) {
+  return cm_component_ranked(a, root, next_label, labels, [&](index_t v) {
+    return kSortByDegree ? a.degree(v) : 0;
+  });
+}
+
 template <bool kSortByDegree>
 std::vector<index_t> cm_all_components(const CsrMatrix& a,
-                                       OrderingStats* stats) {
+                                       OrderingStats* stats,
+                                       PeripheralMode mode) {
   std::vector<index_t> labels(static_cast<std::size_t>(a.n()), kNoVertex);
   index_t next_label = 0;
   OrderingStats local;
   while (next_label < a.n()) {
     const index_t seed = next_component_seed(a, labels);
     DRCM_CHECK(seed != kNoVertex, "labels/next_label inconsistency");
-    const auto peripheral = pseudo_peripheral_vertex(a, seed);
+    const auto peripheral = pseudo_peripheral_vertex(a, seed, mode);
     local.components += 1;
     local.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
+    local.ordering_levels += peripheral.eccentricity + 1;
     next_label =
         cm_component<kSortByDegree>(a, peripheral.vertex, next_label, labels);
   }
@@ -99,12 +111,24 @@ std::vector<index_t> cm_all_components(const CsrMatrix& a,
 
 }  // namespace
 
-std::vector<index_t> cm_serial(const CsrMatrix& a, OrderingStats* stats) {
-  return cm_all_components<true>(a, stats);
+index_t cm_component_keyed(const sparse::CsrMatrix& a, index_t root,
+                           index_t next_label, std::span<const index_t> keys,
+                           std::vector<index_t>& labels) {
+  DRCM_CHECK(keys.size() == static_cast<std::size_t>(a.n()),
+             "ranking keys must cover every vertex");
+  return cm_component_ranked(a, root, next_label, labels, [&](index_t v) {
+    return keys[static_cast<std::size_t>(v)];
+  });
 }
 
-std::vector<index_t> rcm_serial(const CsrMatrix& a, OrderingStats* stats) {
-  auto labels = cm_serial(a, stats);
+std::vector<index_t> cm_serial(const CsrMatrix& a, OrderingStats* stats,
+                               PeripheralMode mode) {
+  return cm_all_components<true>(a, stats, mode);
+}
+
+std::vector<index_t> rcm_serial(const CsrMatrix& a, OrderingStats* stats,
+                                PeripheralMode mode) {
+  auto labels = cm_serial(a, stats, mode);
   reverse_labels(labels);
   return labels;
 }
@@ -145,7 +169,7 @@ std::vector<index_t> cm_classic(const CsrMatrix& a) {
 }
 
 std::vector<index_t> rcm_nosort(const CsrMatrix& a) {
-  auto labels = cm_all_components<false>(a, nullptr);
+  auto labels = cm_all_components<false>(a, nullptr, PeripheralMode::kGeorgeLiu);
   reverse_labels(labels);
   return labels;
 }

@@ -18,9 +18,11 @@
 // labeling, as in the paper ("return R in reverse order").
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
+#include "order/pseudo_peripheral.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::order {
@@ -28,17 +30,44 @@ namespace drcm::order {
 /// Per-run statistics (exposed for the experiment harness).
 struct OrderingStats {
   int components = 0;
-  int peripheral_bfs_sweeps = 0;  ///< total George-Liu sweeps over all comps
+  int peripheral_bfs_sweeps = 0;  ///< total peripheral sweeps over all comps
+  /// Total BFS levels labeled over all components (each component
+  /// contributes root eccentricity + 1) — in the distributed setting every
+  /// level is one fused 5-crossing collective, so this is the latency
+  /// figure the bi-criteria start finder tries to shrink.
+  index_t ordering_levels = 0;
 };
 
 /// Cuthill-McKee labels (labels[v] = new index), level-synchronous
 /// formulation. If `stats` is non-null it receives run statistics.
+/// `mode` selects the pseudo-peripheral iteration seeding each component.
 std::vector<index_t> cm_serial(const sparse::CsrMatrix& a,
-                               OrderingStats* stats = nullptr);
+                               OrderingStats* stats = nullptr,
+                               PeripheralMode mode = PeripheralMode::kGeorgeLiu);
 
 /// Reverse Cuthill-McKee: cm_serial with labels reversed.
 std::vector<index_t> rcm_serial(const sparse::CsrMatrix& a,
-                                OrderingStats* stats = nullptr);
+                                OrderingStats* stats = nullptr,
+                                PeripheralMode mode = PeripheralMode::kGeorgeLiu);
+
+/// Labels one component in CM level order under an ARBITRARY ranking key:
+/// starting from `root` (which must be unlabeled), each discovered level is
+/// labeled in lexicographic (min labeled-neighbor label, keys[v], v) order
+/// with consecutive labels from `next_label`; returns the first unused
+/// label. With keys[v] = degree(v) this is exactly the CM expansion;
+/// order::sloan_levels passes the static Sloan priority instead. This is
+/// the serial reference of the distributed level kernel, which ranks by the
+/// same triple through SORTPERM.
+index_t cm_component_keyed(const sparse::CsrMatrix& a, index_t root,
+                           index_t next_label, std::span<const index_t> keys,
+                           std::vector<index_t>& labels);
+
+/// Next unvisited component seed: minimum degree, ties to smallest id
+/// (kNoVertex when every vertex is labeled). The shared component-seeding
+/// rule of every portfolio ordering — exported so the level-synchronous
+/// Sloan and the distributed drivers agree on component discovery order.
+index_t next_component_seed(const sparse::CsrMatrix& a,
+                            const std::vector<index_t>& labels);
 
 /// Textbook queue-based Cuthill-McKee (paper Algorithm 1) with the same
 /// tie-breaking; used to cross-validate cm_serial.

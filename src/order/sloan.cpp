@@ -3,6 +3,7 @@
 #include <queue>
 
 #include "order/pseudo_peripheral.hpp"
+#include "order/rcm_serial.hpp"
 #include "sparse/graph_algo.hpp"
 
 namespace drcm::order {
@@ -117,6 +118,46 @@ std::vector<index_t> sloan(const CsrMatrix& a, SloanOptions opt) {
     next_label = sloan_component(a, seed, next_label, opt, labels);
   }
   return labels;
+}
+
+std::vector<index_t> sloan_levels(const CsrMatrix& a, SloanOptions opt,
+                                  PeripheralMode mode) {
+  DRCM_CHECK(opt.w1 >= 0 && opt.w2 >= 0, "Sloan weights must be non-negative");
+  std::vector<index_t> labels(static_cast<std::size_t>(a.n()), kNoVertex);
+  std::vector<index_t> keys(static_cast<std::size_t>(a.n()), 0);
+  index_t next_label = 0;
+  while (next_label < a.n()) {
+    const index_t seed = next_component_seed(a, labels);
+    DRCM_CHECK(seed != kNoVertex, "labels/next_label inconsistency");
+    // The same pseudo-diameter pair classic Sloan computes: s = peripheral
+    // vertex, e = min-degree (ties id) vertex of s's last BFS level.
+    const auto ps = pseudo_peripheral_vertex(a, seed, mode);
+    const index_t s = ps.vertex;
+    const auto bfs_from_s = sparse::bfs(a, s);
+    index_t e = kNoVertex;
+    for (index_t v = 0; v < a.n(); ++v) {
+      if (bfs_from_s.level[static_cast<std::size_t>(v)] != ps.eccentricity)
+        continue;
+      if (e == kNoVertex || a.degree(v) < a.degree(e)) e = v;
+    }
+    DRCM_CHECK(e != kNoVertex, "BFS last level cannot be empty");
+    const auto dist_to_e = sparse::bfs(a, e);
+    const index_t ecc_e = dist_to_e.eccentricity();
+
+    // Static key = the negated initial Sloan priority, shifted by
+    // w2 * ecc(e) so it is non-negative (dist <= ecc(e) within the
+    // component). Bounded by w1 * n + w2 * (n - 1) < 3n with the default
+    // weights — the bound the distributed SORTPERM's receive-path range
+    // checks admit for ranking keys.
+    for (index_t v = 0; v < a.n(); ++v) {
+      const index_t lev = dist_to_e.level[static_cast<std::size_t>(v)];
+      if (lev == kNoVertex) continue;  // other component
+      keys[static_cast<std::size_t>(v)] =
+          opt.w1 * (a.degree(v) + 1) + opt.w2 * (ecc_e - lev);
+    }
+    next_label = cm_component_keyed(a, s, next_label, keys, labels);
+  }
+  return labels;  // Sloan numbers front-to-back: no reversal
 }
 
 }  // namespace drcm::order

@@ -31,6 +31,7 @@ DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
   }
   res.last_frontier = frontier;
   res.reached = 1;
+  res.last_width = 1;  // the root level, until a deeper level replaces it
 
   index_t depth = 0;
   while (true) {
@@ -52,6 +53,7 @@ DistBfsResult dist_bfs(const dist::DistSpMat& a, index_t root,
       dist::scatter_into_dense(levels, step.next, world);
     }
     res.reached += step.global_nnz;
+    res.last_width = step.global_nnz;
     frontier = step.next;
     res.last_frontier = step.next;
   }

@@ -15,6 +15,7 @@ namespace drcm::rcm {
 struct DistBfsResult {
   index_t eccentricity = 0;       ///< depth of the last non-empty level
   index_t reached = 0;            ///< vertices visited (including the root)
+  index_t last_width = 0;         ///< global size of the deepest level
   dist::DistSpVec last_frontier;  ///< the deepest non-empty level
 };
 

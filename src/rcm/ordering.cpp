@@ -1,0 +1,90 @@
+#include "rcm/ordering.hpp"
+
+#include <cmath>
+
+#include "sparse/graph_algo.hpp"
+#include "sparse/metrics.hpp"
+#include "sparse/wavefront.hpp"
+
+namespace drcm::rcm {
+
+const char* ordering_algorithm_name(OrderingAlgorithm algorithm) {
+  switch (algorithm) {
+    case OrderingAlgorithm::kRcm:
+      return "rcm";
+    case OrderingAlgorithm::kSloan:
+      return "sloan";
+    case OrderingAlgorithm::kGps:
+      return "gps";
+    case OrderingAlgorithm::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+const char* peripheral_mode_name(PeripheralMode mode) {
+  switch (mode) {
+    case PeripheralMode::kGeorgeLiu:
+      return "george-liu";
+    case PeripheralMode::kBiCriteria:
+      return "bi-criteria";
+  }
+  return "?";
+}
+
+OrderingProxies ordering_proxies(const sparse::CsrMatrix& a) {
+  OrderingProxies p;
+  p.n = a.n();
+  p.nnz = a.nnz();
+  if (p.n > 0) {
+    p.avg_degree = static_cast<double>(p.nnz) / static_cast<double>(p.n);
+    p.density = static_cast<double>(p.nnz) /
+                (static_cast<double>(p.n) * static_cast<double>(p.n));
+    p.bandwidth = sparse::bandwidth(a);
+    p.rms_wavefront = sparse::wavefront(a).rms_wavefront;
+    p.components = sparse::connected_components(a).count;
+  }
+  return p;
+}
+
+OrderingChoice select_ordering(const sparse::CsrMatrix& a) {
+  OrderingChoice choice;
+  choice.proxies = ordering_proxies(a);
+  const OrderingProxies& p = choice.proxies;
+
+  // Calibration (fig3_matrix_suite scoreboard at --scale 1.0 and 0.5; CI
+  // re-checks the chosen-vs-RCM bandwidth inequality from BENCH_5.json on
+  // every run):
+  //
+  //  * RCM is the bandwidth-safest default everywhere — it is the only arm
+  //    the gate allows unconditionally, and it wins or ties outright on
+  //    sparse meshes, banded and multi-component patterns.
+  //  * Dense single-component patterns whose natural bandwidth is already
+  //    ~n (avg_degree >= 12: the nuclear-CI random graphs and the
+  //    randomly-relabeled 27-point meshes) take the level-synchronous
+  //    Sloan. Measured: bandwidth EXACTLY ties RCM on every cigraph_*
+  //    point at both presets (the level structure, not the in-level rank,
+  //    fixes it there) and beats RCM slightly on the scattered dense
+  //    meshes at half scale (shell3d 19 vs 20, fem3d 48 vs 51) while
+  //    tying at full scale — gate-safe with a small upside. Its RMS
+  //    wavefront trails RCM by ~5-12% (the frozen static key forfeits
+  //    classic Sloan's dynamic-wavefront edge), which the bandwidth gate
+  //    tolerates; flipping the objective axis is a calibration follow-up.
+  //  * GPS wins bandwidth outright on several mesh rows (solid3d 180 vs
+  //    331 at full scale) but its distributed arm is the replicated
+  //    serial placeholder, so auto-selecting it would silently serialize
+  //    distributed requests — excluded from kAuto until the arm is real.
+  //
+  // Everything else: RCM. The rule must stay deterministic and depend on
+  // the PROXIES only (never on rank count or timing), so the same matrix
+  // resolves identically on every rank of every grid — the property the
+  // selector-determinism wall pins at p = 1/4/9.
+  choice.algorithm = OrderingAlgorithm::kRcm;
+  if (p.components == 1 && p.avg_degree >= 12.0 && p.n > 0 &&
+      static_cast<double>(p.bandwidth) >= 0.9 * static_cast<double>(p.n - 1)) {
+    choice.algorithm = OrderingAlgorithm::kSloan;
+  }
+  return choice;
+}
+
+}  // namespace drcm::rcm

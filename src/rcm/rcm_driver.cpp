@@ -10,6 +10,9 @@
 #include "dist/level_kernel.hpp"
 #include "dist/primitives.hpp"
 #include "dist/redistribute.hpp"
+#include "order/gps.hpp"
+#include "order/sloan.hpp"
+#include "rcm/dist_bfs.hpp"
 #include "rcm/dist_peripheral.hpp"
 #include "solver/dist_cg.hpp"
 #include "sparse/permute.hpp"
@@ -70,10 +73,12 @@ dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
       seed = dist::argmin_unvisited(labels, degrees, world).second;
     }
     DRCM_CHECK(seed != kNoVertex, "unlabeled vertices must exist");
-    const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid,
-                                                   options.accumulator);
+    const auto peripheral =
+        dist_pseudo_peripheral(mat, degrees, seed, grid, options.accumulator,
+                               options.ordering.peripheral_mode);
     local_stats.components += 1;
     local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
+    local_stats.ordering_levels += peripheral.eccentricity + 1;
     ComponentRecipe cr;
     cr.seed = seed;
     cr.root = peripheral.vertex;
@@ -100,30 +105,135 @@ dist::DistDenseVec dist_rcm_levels(mps::Comm& world, dist::ProcGrid2D& grid,
   return labels;
 }
 
+/// The kSloan arm: level-synchronous Sloan over the same fused level
+/// kernel, bit-identical to order::sloan_levels (the serial twin). Per
+/// component: distributed pseudo-peripheral s, REDUCE of s's last BFS
+/// level to the end vertex e (min degree, ties id — the same rule serial
+/// Sloan applies), one more BFS for distances to e, then CM-style level
+/// expansion from s with the static Sloan key substituted for the degree
+/// as the SORTPERM ranking key. No reversal (Sloan numbers front-to-back).
+dist::DistDenseVec dist_sloan_levels(mps::Comm& world, dist::ProcGrid2D& grid,
+                                     const sparse::CsrMatrix& work,
+                                     const DistRcmOptions& options,
+                                     DistRcmStats* stats) {
+  const index_t n = work.n();
+  dist::DistSpMat mat(grid, work);
+  dist::DistDenseVec degrees = mat.degrees(grid);
+  dist::DistDenseVec labels(mat.vec_dist(), grid, kNoVertex);
+  dist::DistDenseVec keys(mat.vec_dist(), grid, 0);
+  dist::DistDenseVec levels(mat.vec_dist(), grid, kNoVertex);
+  const order::SloanOptions weights{};  // w1 = 2, w2 = 1, as serial
+
+  DistRcmStats local_stats;
+  index_t next_label = 0;
+  while (next_label < n) {
+    index_t seed = kNoVertex;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kPeripheralOther);
+      seed = dist::argmin_unvisited(labels, degrees, world).second;
+    }
+    DRCM_CHECK(seed != kNoVertex, "unlabeled vertices must exist");
+    const auto peripheral =
+        dist_pseudo_peripheral(mat, degrees, seed, grid, options.accumulator,
+                               options.ordering.peripheral_mode);
+    local_stats.components += 1;
+    local_stats.peripheral_bfs_sweeps += peripheral.bfs_sweeps;
+    local_stats.ordering_levels += peripheral.eccentricity + 1;
+    const index_t s = peripheral.vertex;
+
+    // Pseudo-diameter end vertex e: REDUCE(last level of s's BFS, D).
+    auto bfs_s = dist_bfs(mat, s, levels, grid, mps::Phase::kPeripheralSpmspv,
+                          mps::Phase::kPeripheralOther, options.accumulator);
+    index_t e = kNoVertex;
+    {
+      mps::PhaseScope scope(world, mps::Phase::kPeripheralOther);
+      e = dist::reduce_argmin(bfs_s.last_frontier, degrees, world).second;
+    }
+    DRCM_CHECK(e != kNoVertex, "last BFS level cannot be empty");
+    const auto bfs_e =
+        dist_bfs(mat, e, levels, grid, mps::Phase::kPeripheralSpmspv,
+                 mps::Phase::kPeripheralOther, options.accumulator);
+
+    // Static key = w1*(deg+1) + w2*(ecc(e) - dist(v, e)), non-negative and
+    // < 3n with the default weights — within the widened ranking-key bound
+    // the SORTPERM receive-path checks admit. Owned writes only; vertices
+    // of other components keep stale keys that no expansion ever reads.
+    {
+      mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+      for (index_t g = keys.lo(); g < keys.hi(); ++g) {
+        const index_t lev = levels.get(g);
+        if (lev == kNoVertex) continue;
+        keys.set(g, weights.w1 * (degrees.get(g) + 1) +
+                        weights.w2 * (bfs_e.eccentricity - lev));
+      }
+      world.charge_compute(static_cast<double>(keys.local_size()));
+    }
+    next_label = dist_cm_component(mat, keys, labels, s, next_label, grid,
+                                   options.sort, options.accumulator,
+                                   options.fuse_ordering, nullptr);
+  }
+  if (stats) *stats = local_stats;
+  return labels;  // no reversal
+}
+
+/// The kGps arm, v1: each rank runs the replicated serial GPS on the
+/// (balanced) pattern, charged as compute under the ordering ledger. An
+/// honest placeholder — GPS's combined-level-structure phase has no
+/// distributed formulation here yet, so no crossing count is claimed.
+std::vector<index_t> gps_replicated(mps::Comm& world,
+                                    const sparse::CsrMatrix& work) {
+  mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
+  auto labels = order::gps(work);
+  // Every rank pays the full serial walk — that is what "replicated serial
+  // arm" costs, and the ledger should say so.
+  world.charge_compute(static_cast<double>(work.nnz() + work.n()));
+  return labels;
+}
+
 }  // namespace
 
-std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
-                              const DistRcmOptions& options,
-                              DistRcmStats* stats, OrderingRecipe* recipe) {
+std::vector<index_t> dist_order(mps::Comm& world, const sparse::CsrMatrix& a,
+                                const DistRcmOptions& options,
+                                DistRcmStats* stats, OrderingRecipe* recipe) {
   DRCM_CHECK(!a.has_self_loops(),
-             "dist_rcm expects an adjacency pattern (strip_diagonal first)");
+             "dist_order expects an adjacency pattern (strip_diagonal first)");
   const index_t n = a.n();
+
+  // Resolve kAuto BEFORE any collective: the selector is a deterministic
+  // function of the replicated pattern, so every rank lands on the same
+  // concrete arm without communicating.
+  DistRcmOptions resolved = options;
+  if (resolved.ordering.algorithm == OrderingAlgorithm::kAuto) {
+    mps::PhaseScope scope(world, mps::Phase::kOther);
+    resolved.ordering.algorithm = select_ordering(a).algorithm;
+    world.charge_compute(static_cast<double>(a.nnz() + a.n()));
+  }
+  DRCM_CHECK(recipe == nullptr ||
+                 resolved.ordering.algorithm == OrderingAlgorithm::kRcm,
+             "ordering recipes are captured on the kRcm arm only "
+             "(Sloan/GPS orderings are not repair-eligible in v1)");
 
   std::vector<index_t> balance;
   const sparse::CsrMatrix* work = nullptr;
   sparse::CsrMatrix relabeled;
-  balance_input(world, a, options, balance, relabeled, work);
+  balance_input(world, a, resolved, balance, relabeled, work);
 
-  dist::ProcGrid2D grid(world);
-  dist::DistDenseVec labels =
-      dist_rcm_levels(world, grid, *work, options, stats, recipe);
-
-  // Replicate.
+  DistRcmStats local_stats;
   std::vector<index_t> global;
-  {
+  if (resolved.ordering.algorithm == OrderingAlgorithm::kGps) {
+    global = gps_replicated(world, *work);
+  } else {
+    dist::ProcGrid2D grid(world);
+    dist::DistDenseVec labels =
+        resolved.ordering.algorithm == OrderingAlgorithm::kSloan
+            ? dist_sloan_levels(world, grid, *work, resolved, &local_stats)
+            : dist_rcm_levels(world, grid, *work, resolved, &local_stats,
+                              recipe);
+    // Replicate.
     mps::PhaseScope scope(world, mps::Phase::kOrderingOther);
     global = labels.to_global(world);
   }
+  local_stats.algorithm = resolved.ordering.algorithm;
 
   // Map back through the load-balancing permutation: the label of original
   // vertex v is the label its relabeled alias balance[v] received.
@@ -138,7 +248,18 @@ std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
     world.charge_compute(static_cast<double>(n));
   }
 
+  if (stats) *stats = local_stats;
   return global;
+}
+
+std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
+                              const DistRcmOptions& options,
+                              DistRcmStats* stats, OrderingRecipe* recipe) {
+  // The name is the contract: always RCM, whatever the spec says (the
+  // peripheral_mode knob is still honored — it tunes RCM, not replaces it).
+  DistRcmOptions pinned = options;
+  pinned.ordering.algorithm = OrderingAlgorithm::kRcm;
+  return dist_order(world, a, pinned, stats, recipe);
 }
 
 dist::DistDenseVec dist_rcm_sharded(mps::Comm& world, dist::ProcGrid2D& grid,
@@ -258,6 +379,9 @@ RepairResult dist_rcm_repair(dist::ProcGrid2D& grid,
   DRCM_CHECK(!options.load_balance,
              "repair requires an unbalanced ordering: the load-balance "
              "relabel would decouple the recipe numbering from the input");
+  DRCM_CHECK(options.ordering.algorithm == OrderingAlgorithm::kRcm,
+             "repair is RCM-only in v1: Sloan/GPS runs capture no recipe, "
+             "so there is nothing sound to splice against");
   DRCM_CHECK(!a.has_self_loops(),
              "dist_rcm_repair expects an adjacency pattern");
   const index_t n = a.n();
@@ -351,8 +475,9 @@ RepairResult dist_rcm_repair(dist::ProcGrid2D& grid,
     RepairAction action = cp.action;
     index_t root = cr.root;
     if (!(action == RepairAction::kReuse && seed == cr.seed)) {
-      const auto peripheral = dist_pseudo_peripheral(mat, degrees, seed, grid,
-                                                     options.accumulator);
+      const auto peripheral =
+          dist_pseudo_peripheral(mat, degrees, seed, grid, options.accumulator,
+                                 options.ordering.peripheral_mode);
       root = peripheral.vertex;
       if (root != cr.root) {
         // The delta moved the peripheral root: cached levels are the
@@ -625,36 +750,77 @@ std::vector<double> assemble_solution(
 
 }  // namespace
 
-OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
-                                    const sparse::CsrMatrix& a,
-                                    std::span<const double> b,
-                                    bool precondition,
-                                    const DistRcmOptions& rcm_options,
-                                    const solver::CgOptions& cg_options,
-                                    const sparse::CsrMatrix* adjacency,
-                                    OrderingRecipe* recipe) {
+OrderedSolveResult ordered_solve_spec(dist::ProcGrid2D& grid,
+                                      const OrderedSolveSpec& spec) {
+  DRCM_CHECK(spec.matrix != nullptr, "ordered_solve needs a matrix");
+  const sparse::CsrMatrix& a = *spec.matrix;
   // A matrix with zero stored entries is vacuously valued: the degenerate
   // n = 0 input must flow through, not trip the precondition meant for
   // pattern-only matrices.
   DRCM_CHECK(a.has_values() || a.nnz() == 0,
              "ordered_solve needs a solver matrix with values");
-  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
+  DRCM_CHECK(spec.b.size() == static_cast<std::size_t>(a.n()),
+             "rhs size mismatch");
   const index_t n = a.n();
   auto& world = grid.world();
+  const DistRcmOptions& rcm_options = spec.rcm;
 
   OrderedSolveResult out;
+
+  if (spec.labels != nullptr) {
+    // The ordering-cache HIT path: stage 1 skipped, redistribution runs
+    // under the KNOWN labels.
+    DRCM_CHECK(spec.labels->size() == static_cast<std::size_t>(n),
+               "labels must cover every vertex");
+    DRCM_CHECK(!rcm_options.sharded_labels,
+               "the hit path takes replicated labels");
+    const auto redist = redistribute_stage(world, grid, a, *spec.labels,
+                                           rcm_options.one_shot_redistribute);
+    out.permuted_bandwidth = redist.bandwidth;
+
+    auto solved = solve_stage(world, grid, n, redist.block, *spec.labels,
+                              /*label_slab=*/nullptr, spec.b,
+                              spec.precondition, spec.cg);
+    out.cg = solved.cg;
+    out.x_local = std::move(solved.x_local);
+    out.x_lo = redist.block.lo;
+
+    // Same per-rank contract as the full pipeline; the skipped ordering
+    // phases only make it easier to meet. `out.labels` stays EMPTY — the
+    // caller already holds the labels (that is why it could skip stage 1),
+    // and the no-gather body has no business replicating them again.
+    const auto peak = world.stats().peak_resident_elements();
+    DRCM_CHECK(peak <= resident_budget(rcm_options, a.nnz(), world.size(),
+                                       grid.q(), n),
+               "ordered_solve per-rank resident peak exceeded O(nnz/p + n/p)");
+    return out;
+  }
 
   if (rcm_options.sharded_labels) {
     // Fully sharded arm: the label vector never exists replicated inside
     // the pipeline — ordering returns an O(n/p) slab, redistribution does
     // the two-sided window lookup, the rhs relabel is a local slab read.
+    // RCM-only in v1: dist_rcm_sharded is the only sharded ordering body,
+    // so a portfolio request must resolve to kRcm to take this arm.
     DRCM_CHECK(rcm_options.one_shot_redistribute,
                "sharded labels require the one-shot redistribution");
-    DRCM_CHECK(recipe == nullptr,
+    DRCM_CHECK(spec.recipe == nullptr,
                "recipe capture requires the replicated-label arm");
+    {
+      OrderingSpec resolved = rcm_options.ordering;
+      if (resolved.algorithm == OrderingAlgorithm::kAuto) {
+        mps::PhaseScope scope(world, mps::Phase::kOther);
+        resolved.algorithm =
+            select_ordering(spec.adjacency ? *spec.adjacency : a).algorithm;
+        world.charge_compute(static_cast<double>(a.nnz() + a.n()));
+      }
+      DRCM_CHECK(resolved.algorithm == OrderingAlgorithm::kRcm,
+                 "sharded labels are RCM-only in v1 (Sloan/GPS arms return "
+                 "replicated labels)");
+    }
     dist::DistDenseVec labels =
-        adjacency
-            ? dist_rcm_sharded(world, grid, *adjacency, rcm_options)
+        spec.adjacency
+            ? dist_rcm_sharded(world, grid, *spec.adjacency, rcm_options)
             : dist_rcm_sharded(world, grid, a.strip_diagonal(), rcm_options);
 
     dist::OneShotRowBlocks fused;
@@ -665,7 +831,7 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
     out.permuted_bandwidth = fused.bandwidth;
 
     auto solved = solve_stage(world, grid, n, fused.block, /*labels=*/{},
-                              &labels, b, precondition, cg_options);
+                              &labels, spec.b, spec.precondition, spec.cg);
     out.cg = solved.cg;
     out.x_local = std::move(solved.x_local);
     out.x_lo = fused.block.lo;
@@ -688,12 +854,15 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
 
   // The ordering runs on the self-loop-free adjacency pattern. Callers
   // that know it (run_ordered_solve strips once outside the ranks) pass
-  // it in; otherwise each rank strips its own transient copy.
-  if (adjacency) {
-    out.labels = dist_rcm(world, *adjacency, rcm_options, nullptr, recipe);
-  } else {
+  // it in; otherwise each rank strips its own transient copy. dist_order
+  // dispatches on spec.rcm.ordering — the whole portfolio flows through
+  // the one pipeline.
+  if (spec.adjacency) {
     out.labels =
-        dist_rcm(world, a.strip_diagonal(), rcm_options, nullptr, recipe);
+        dist_order(world, *spec.adjacency, rcm_options, nullptr, spec.recipe);
+  } else {
+    out.labels = dist_order(world, a.strip_diagonal(), rcm_options, nullptr,
+                            spec.recipe);
   }
 
   const auto redist = redistribute_stage(world, grid, a, out.labels,
@@ -701,8 +870,8 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
   out.permuted_bandwidth = redist.bandwidth;
 
   auto solved = solve_stage(world, grid, n, redist.block, out.labels,
-                            /*label_slab=*/nullptr, b, precondition,
-                            cg_options);
+                            /*label_slab=*/nullptr, spec.b, spec.precondition,
+                            spec.cg);
   out.cg = solved.cg;
   out.x_local = std::move(solved.x_local);
   out.x_lo = redist.block.lo;
@@ -721,6 +890,25 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
   return out;
 }
 
+OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
+                                    const sparse::CsrMatrix& a,
+                                    std::span<const double> b,
+                                    bool precondition,
+                                    const DistRcmOptions& rcm_options,
+                                    const solver::CgOptions& cg_options,
+                                    const sparse::CsrMatrix* adjacency,
+                                    OrderingRecipe* recipe) {
+  OrderedSolveSpec spec;
+  spec.matrix = &a;
+  spec.b = b;
+  spec.precondition = precondition;
+  spec.rcm = rcm_options;
+  spec.cg = cg_options;
+  spec.adjacency = adjacency;
+  spec.recipe = recipe;
+  return ordered_solve_spec(grid, spec);
+}
+
 OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
                                  std::span<const double> b, bool precondition,
                                  const DistRcmOptions& rcm_options,
@@ -736,35 +924,14 @@ OrderedSolveResult ordered_solve_with_labels(
     const std::vector<index_t>& labels, std::span<const double> b,
     bool precondition, const DistRcmOptions& rcm_options,
     const solver::CgOptions& cg_options) {
-  DRCM_CHECK(a.has_values() || a.nnz() == 0,
-             "ordered_solve needs a solver matrix with values");
-  DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
-  DRCM_CHECK(labels.size() == static_cast<std::size_t>(a.n()),
-             "labels must cover every vertex");
-  const index_t n = a.n();
-  auto& world = grid.world();
-
-  OrderedSolveResult out;
-  const auto redist = redistribute_stage(world, grid, a, labels,
-                                         rcm_options.one_shot_redistribute);
-  out.permuted_bandwidth = redist.bandwidth;
-
-  auto solved = solve_stage(world, grid, n, redist.block, labels,
-                            /*label_slab=*/nullptr, b, precondition,
-                            cg_options);
-  out.cg = solved.cg;
-  out.x_local = std::move(solved.x_local);
-  out.x_lo = redist.block.lo;
-
-  // Same per-rank contract as the full pipeline; the skipped ordering
-  // phases only make it easier to meet. `out.labels` stays EMPTY — the
-  // caller already holds the labels (that is why it could skip stage 1),
-  // and the no-gather body has no business replicating them again.
-  const auto peak = world.stats().peak_resident_elements();
-  DRCM_CHECK(
-      peak <= resident_budget(rcm_options, a.nnz(), world.size(), grid.q(), n),
-      "ordered_solve per-rank resident peak exceeded O(nnz/p + n/p)");
-  return out;
+  OrderedSolveSpec spec;
+  spec.matrix = &a;
+  spec.b = b;
+  spec.precondition = precondition;
+  spec.rcm = rcm_options;
+  spec.cg = cg_options;
+  spec.labels = &labels;
+  return ordered_solve_spec(grid, spec);
 }
 
 OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
@@ -797,9 +964,13 @@ OrderedSolveRun run_ordered_solve(int nranks, const sparse::CsrMatrix& a,
 }
 
 OrderedSolveRecoverableRun run_ordered_solve_recoverable(
-    int nranks, const sparse::CsrMatrix& a, std::span<const double> b,
-    bool precondition, const DistRcmOptions& rcm_options,
-    const solver::CgOptions& cg_options, const RecoveryOptions& recovery) {
+    int nranks, const OrderedSolveSpec& spec, const RecoveryOptions& recovery) {
+  DRCM_CHECK(spec.matrix != nullptr, "ordered_solve needs a matrix");
+  const sparse::CsrMatrix& a = *spec.matrix;
+  const std::span<const double> b = spec.b;
+  const bool precondition = spec.precondition;
+  const DistRcmOptions& rcm_options = spec.rcm;
+  const solver::CgOptions& cg_options = spec.cg;
   DRCM_CHECK(a.has_values() || a.nnz() == 0,
              "ordered_solve needs a solver matrix with values");
   DRCM_CHECK(b.size() == static_cast<std::size_t>(a.n()), "rhs size mismatch");
@@ -809,7 +980,13 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   DRCM_CHECK(q * q == nranks, "world size must be a perfect square");
   const std::uint64_t budget = resident_budget(rcm_options, a.nnz(), nranks, q, n);
   const int threads = resolve_threads(rcm_options.threads);
-  const auto adjacency = a.strip_diagonal();
+  // The runner owns its own checkpoints: spec.labels / spec.recipe are not
+  // consumed here (documented in the header), and the adjacency is stripped
+  // once outside the ranks when the caller did not supply it.
+  sparse::CsrMatrix stripped;
+  if (!spec.adjacency) stripped = a.strip_diagonal();
+  const sparse::CsrMatrix& adjacency =
+      spec.adjacency ? *spec.adjacency : stripped;
 
   OrderedSolveRecoverableRun run;
 
@@ -869,12 +1046,13 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
     }
   };
 
-  // Stage 1: ordering. Checkpoint: the replicated label vector.
+  // Stage 1: ordering — via dist_order, so the whole portfolio (RCM,
+  // Sloan, GPS, auto) is recoverable. Checkpoint: the replicated labels.
   std::vector<index_t> labels;
   run_stage(
       "ordering",
       [&](mps::Comm& world) {
-        auto result = dist_rcm(world, adjacency, rcm_options);
+        auto result = dist_order(world, adjacency, rcm_options);
         if (world.rank() == 0) labels = std::move(result);
       },
       [&]() -> std::string {
@@ -970,6 +1148,19 @@ OrderedSolveRecoverableRun run_ordered_solve_recoverable(
   return run;
 }
 
+OrderedSolveRecoverableRun run_ordered_solve_recoverable(
+    int nranks, const sparse::CsrMatrix& a, std::span<const double> b,
+    bool precondition, const DistRcmOptions& rcm_options,
+    const solver::CgOptions& cg_options, const RecoveryOptions& recovery) {
+  OrderedSolveSpec spec;
+  spec.matrix = &a;
+  spec.b = b;
+  spec.precondition = precondition;
+  spec.rcm = rcm_options;
+  spec.cg = cg_options;
+  return run_ordered_solve_recoverable(nranks, spec, recovery);
+}
+
 DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
                         const DistRcmOptions& options,
                         const mps::MachineParams& machine) {
@@ -979,6 +1170,24 @@ DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
       [&](mps::Comm& world) {
         DistRcmStats stats;
         auto labels = dist_rcm(world, a, options, &stats);
+        if (world.rank() == 0) {
+          run.labels = std::move(labels);
+          run.stats = stats;
+        }
+      },
+      machine, resolve_threads(options.threads));
+  return run;
+}
+
+DistRcmRun run_dist_order(int nranks, const sparse::CsrMatrix& a,
+                          const DistRcmOptions& options,
+                          const mps::MachineParams& machine) {
+  DistRcmRun run;
+  run.report = mps::Runtime::run(
+      nranks,
+      [&](mps::Comm& world) {
+        DistRcmStats stats;
+        auto labels = dist_order(world, a, options, &stats);
         if (world.rank() == 0) {
           run.labels = std::move(labels);
           run.stats = stats;

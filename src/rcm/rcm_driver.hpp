@@ -24,12 +24,19 @@
 
 #include "mpsim/runtime.hpp"
 #include "rcm/dist_rcm.hpp"
+#include "rcm/ordering.hpp"
 #include "solver/cg.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::rcm {
 
 struct DistRcmOptions {
+  /// Which ordering algorithm to run, and with which pseudo-peripheral
+  /// iteration (rcm/ordering.hpp). dist_order dispatches on this;
+  /// dist_rcm, true to its name, always runs RCM but honors the
+  /// peripheral_mode. kAuto resolves deterministically from per-matrix
+  /// proxies before any collective launches.
+  OrderingSpec ordering{};
   /// Apply the load-balancing random relabeling before decomposing.
   bool load_balance = false;
   /// Seed of the load-balancing permutation.
@@ -82,6 +89,12 @@ int resolve_threads(int requested);
 struct DistRcmStats {
   int components = 0;
   int peripheral_bfs_sweeps = 0;
+  /// Total BFS levels labeled over all components (kRcm/kSloan arms; one
+  /// fused 5-crossing collective each) — the figure the bi-criteria
+  /// peripheral mode shrinks. 0 on the replicated kGps arm.
+  index_t ordering_levels = 0;
+  /// The algorithm that actually ran (kAuto resolved; never kAuto here).
+  OrderingAlgorithm algorithm = OrderingAlgorithm::kRcm;
 };
 
 /// The memoized shape of one component's ordering run — what incremental
@@ -199,13 +212,37 @@ RepairResult dist_rcm_repair(dist::ProcGrid2D& grid,
                              const RepairPlan& plan,
                              const DistRcmOptions& options = {});
 
-/// SPMD body: computes RCM labels on an already-running communicator.
+/// SPMD body — the portfolio's algorithm-agnostic ordering entry point.
+/// Dispatches on options.ordering.algorithm:
+///   kRcm   — the paper's distributed RCM (peripheral search + fused CM
+///            levels + reversal), honoring ordering.peripheral_mode;
+///   kSloan — level-synchronous Sloan over the SAME fused level kernel:
+///            per component the pseudo-diameter pair (s, e) is computed
+///            distributively, the static Sloan key replaces the degree as
+///            the SORTPERM ranking key, and no reversal is applied.
+///            Bit-identical to order::sloan_levels;
+///   kGps   — Gibbs-Poole-Stockmeyer, v1: each rank runs the replicated
+///            serial order::gps on the (balanced) pattern, charged as
+///            compute — an honest placeholder until GPS's level-merging
+///            phase is distributed;
+///   kAuto  — rcm::select_ordering resolves a concrete algorithm from
+///            cheap per-matrix proxies before any collective launches
+///            (deterministic, so every rank picks the same arm).
 /// `a` must be the same replicated symmetric self-loop-free pattern on all
 /// ranks. Returns the replicated label vector (labels[v] = new index of v
 /// in the ORIGINAL numbering). `recipe`, when non-null, receives the
-/// per-component level structure (in the WORK numbering — identical to
-/// the original numbering iff load_balance is off, which is what the
-/// incremental-repair consumer requires). Collective.
+/// per-component level structure — captured on the kRcm arm only (Sloan
+/// and GPS orderings are not repair-eligible in v1; the recipe stays
+/// empty, and the serving layer declines repairs against them). `stats`,
+/// when non-null, records the resolved algorithm. Collective.
+std::vector<index_t> dist_order(mps::Comm& world, const sparse::CsrMatrix& a,
+                                const DistRcmOptions& options = {},
+                                DistRcmStats* stats = nullptr,
+                                OrderingRecipe* recipe = nullptr);
+
+/// Thin wrapper over dist_order pinned to the kRcm arm (the pre-portfolio
+/// contract this function's name promises): options.ordering.algorithm is
+/// ignored, ordering.peripheral_mode is honored. Collective.
 std::vector<index_t> dist_rcm(mps::Comm& world, const sparse::CsrMatrix& a,
                               const DistRcmOptions& options = {},
                               DistRcmStats* stats = nullptr,
@@ -236,6 +273,13 @@ DistRcmRun run_dist_rcm(int nranks, const sparse::CsrMatrix& a,
                         const DistRcmOptions& options = {},
                         const mps::MachineParams& machine = {});
 
+/// run_dist_rcm's portfolio twin: launches `nranks` ranks and runs
+/// dist_order (dispatching on options.ordering). run.stats.algorithm
+/// records what kAuto resolved to.
+DistRcmRun run_dist_order(int nranks, const sparse::CsrMatrix& a,
+                          const DistRcmOptions& options = {},
+                          const mps::MachineParams& machine = {});
+
 /// The paper's Figure-1 pipeline as ONE distributed call: RCM ordering on
 /// the 2D grid, ONE streaming redistribution routing every relabeled entry
 /// straight to its 1D solver owner (the two-hop permute-then-re-own chain
@@ -265,14 +309,47 @@ struct OrderedSolveResult {
   std::vector<double> x;
 };
 
-/// SPMD body: `a` is the replicated SPD input (values required, diagonal
-/// included) and `b` the replicated rhs — the pre-distribution fixtures the
-/// simulator starts from, exactly like dist_rcm's input. Everything after
-/// the ordering is rank-local + collectives. `adjacency`, when non-null,
-/// must equal a.strip_diagonal() (run_ordered_solve strips once outside
-/// the ranks; null makes each rank strip its own transient copy).
-/// Collective; the world size must be a perfect square (the 2D grid
-/// precondition).
+/// Everything one ordered solve needs, in one place — the parameter object
+/// the single pipeline core consumes. The historical entry points
+/// (ordered_solve, ordered_solve_on, ordered_solve_with_labels, the run_*
+/// wrappers and the recoverable runner) are documented thin wrappers that
+/// populate one of these and delegate; behavior is pinned unchanged by the
+/// pre-collapse walls.
+struct OrderedSolveSpec {
+  /// Replicated SPD input (values required, diagonal included) — the
+  /// pre-distribution fixture the simulator starts from. Required.
+  const sparse::CsrMatrix* matrix = nullptr;
+  /// Replicated rhs; must have matrix->n() entries.
+  std::span<const double> b;
+  bool precondition = true;
+  DistRcmOptions rcm{};
+  solver::CgOptions cg{};
+  /// Optional pre-stripped adjacency equal to matrix->strip_diagonal()
+  /// (run_* wrappers strip once outside the ranks; null makes each rank
+  /// strip its own transient copy). Ignored when `labels` is set.
+  const sparse::CsrMatrix* adjacency = nullptr;
+  /// When non-null: the ordering-cache HIT path. Stage 1 is skipped
+  /// entirely and redistribution runs under these KNOWN labels (a
+  /// permutation of [0, n)); the body executes ZERO collectives in the
+  /// five ordering phases and the result's `labels` stays empty (the
+  /// caller already holds them).
+  const std::vector<index_t>* labels = nullptr;
+  /// When non-null: receives the kRcm arm's level structure (cold runs
+  /// only; requires the replicated-label arm and no load balancing to be
+  /// useful to the repair consumer).
+  OrderingRecipe* recipe = nullptr;
+};
+
+/// THE pipeline core: ordering (or label splice) -> one-shot redistribution
+/// -> distributed CG, on a caller-owned grid, under the per-rank resident
+/// budget DRCM_CHECK. Every other ordered-solve entry point is a thin
+/// wrapper over this. Collective on grid.world().
+OrderedSolveResult ordered_solve_spec(dist::ProcGrid2D& grid,
+                                      const OrderedSolveSpec& spec);
+
+/// Thin wrapper: ordered_solve_spec on a grid built from `world`, with the
+/// classic positional arguments. SPMD body; collective; the world size
+/// must be a perfect square (the 2D grid precondition).
 OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
                                  std::span<const double> b,
                                  bool precondition = true,
@@ -280,10 +357,10 @@ OrderedSolveResult ordered_solve(mps::Comm& world, const sparse::CsrMatrix& a,
                                  const solver::CgOptions& cg_options = {},
                                  const sparse::CsrMatrix* adjacency = nullptr);
 
-/// ordered_solve on a CALLER-OWNED grid: identical pipeline, but the
-/// ProcGrid2D (and with it the per-rank DistWorkspace staging every
-/// exchange) is constructed by the caller and survives the call. This is
-/// the serving-layer entry point — a persistent grid makes request N+1's
+/// Thin wrapper: ordered_solve_spec on a CALLER-OWNED grid — the ProcGrid2D
+/// (and with it the per-rank DistWorkspace staging every exchange) is
+/// constructed by the caller and survives the call. This is the
+/// serving-layer entry point — a persistent grid makes request N+1's
 /// collectives run against warmed buffer capacities, so its workspace
 /// realloc ledger stays flat. Honors DistRcmOptions::sharded_labels.
 /// Collective on grid.world().
@@ -296,9 +373,9 @@ OrderedSolveResult ordered_solve_on(dist::ProcGrid2D& grid,
                                     const sparse::CsrMatrix* adjacency = nullptr,
                                     OrderingRecipe* recipe = nullptr);
 
-/// The ordering-cache hit path: skip stage 1 entirely and run
-/// redistribute + solve under KNOWN labels (a permutation of [0, n),
-/// e.g. recalled from a previous solve of the same sparsity pattern).
+/// Thin wrapper: ordered_solve_spec with spec.labels set — the
+/// ordering-cache hit path (skip stage 1, redistribute + solve under KNOWN
+/// labels recalled from a previous solve of the same sparsity pattern).
 /// Executes ZERO collectives in the five ordering phases — the property
 /// the serving layer's crossing ledger asserts per hit. The result's
 /// `labels` stays empty: the caller already holds them, and the no-gather
@@ -355,17 +432,25 @@ struct OrderedSolveRecoverableRun {
 };
 
 /// The Figure-1 pipeline with stage-boundary checkpoints and bounded
-/// retries. Execution is split into three SPMD runs — ordering,
-/// redistribute (2D permute + 1D re-owning), solve — whose outputs
-/// (replicated labels; per-rank row blocks) the driver holds between runs.
-/// A failed attempt (rank death, injected allocation failure, corrupted
-/// payload tripping a structural check or poisoning the CG recurrence,
-/// watchdog timeout) is retried from the last checkpoint up to
-/// `max_attempts` times with modeled backoff; one-shot fault semantics
-/// guarantee progress, and a recovered run is bit-identical to a
-/// fault-free run. When a stage exhausts its attempts the last structured
-/// error is rethrown — either way the pipeline terminates in bounded time
-/// with a named outcome, never a hang or a raw abort.
+/// retries. Execution is split into three SPMD runs — ordering (via
+/// dist_order, so the whole portfolio is recoverable), redistribute (2D
+/// permute + 1D re-owning), solve — whose outputs (replicated labels;
+/// per-rank row blocks) the driver holds between runs. A failed attempt
+/// (rank death, injected allocation failure, corrupted payload tripping a
+/// structural check or poisoning the CG recurrence, watchdog timeout) is
+/// retried from the last checkpoint up to `max_attempts` times with
+/// modeled backoff; one-shot fault semantics guarantee progress, and a
+/// recovered run is bit-identical to a fault-free run. When a stage
+/// exhausts its attempts the last structured error is rethrown — either
+/// way the pipeline terminates in bounded time with a named outcome,
+/// never a hang or a raw abort. spec.labels and spec.recipe are not
+/// consumed here (the recoverable runner owns its own checkpoints).
+OrderedSolveRecoverableRun run_ordered_solve_recoverable(
+    int nranks, const OrderedSolveSpec& spec,
+    const RecoveryOptions& recovery = {});
+
+/// Thin wrapper: the classic positional signature, packed into an
+/// OrderedSolveSpec and delegated.
 OrderedSolveRecoverableRun run_ordered_solve_recoverable(
     int nranks, const sparse::CsrMatrix& a, std::span<const double> b,
     bool precondition = true, const DistRcmOptions& rcm_options = {},

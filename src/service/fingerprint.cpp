@@ -68,15 +68,28 @@ std::size_t PatternFingerprintHash::operator()(
 }
 
 PatternFingerprint salt_ordering_options(PatternFingerprint fp,
-                                         bool load_balance,
-                                         std::uint64_t seed) {
-  // Audit note (see header): seed only reaches the ordering through
-  // balance_input's random relabel, so it is salient iff load_balance.
-  // The balance bit gets its own constant term so a balanced entry can
-  // never alias the unbalanced one, whatever mix64(seed ^ ...) returns.
-  if (load_balance) {
+                                         const rcm::DistRcmOptions& options) {
+  // Salience audit (see header). kAuto must be resolved by the caller:
+  // salting the REQUEST algorithm instead of the one that ran would split
+  // one ordering across two slots (auto vs its resolution).
+  const auto algorithm = options.ordering.algorithm;
+  DRCM_CHECK(algorithm != rcm::OrderingAlgorithm::kAuto,
+             "resolve kAuto before salting the cache key");
+  fp.hash ^= mix64(0xa190a190ULL + static_cast<std::uint64_t>(algorithm));
+  if (algorithm != rcm::OrderingAlgorithm::kGps) {
+    // peripheral_mode reaches the labels through the kRcm/kSloan root
+    // search only; kGps never consumes it, so folding it there would split
+    // identical orderings across slots.
+    fp.hash ^= mix64(0x9e21f0e2a1ULL +
+                     static_cast<std::uint64_t>(options.ordering.peripheral_mode));
+  }
+  // Seed only reaches the ordering through balance_input's random relabel,
+  // so it is salient iff load_balance. The balance bit gets its own
+  // constant term so a balanced entry can never alias the unbalanced one,
+  // whatever mix64(seed ^ ...) returns.
+  if (options.load_balance) {
     fp.hash ^= mix64(0xba1a2ce5eedULL);
-    fp.hash ^= mix64(seed ^ 0x10adba1aceULL);
+    fp.hash ^= mix64(options.seed ^ 0x10adba1aceULL);
   }
   return fp;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "dist/proc_grid.hpp"
+#include "rcm/rcm_driver.hpp"
 #include "sparse/csr.hpp"
 
 namespace drcm::service {
@@ -100,19 +101,27 @@ RefinedFingerprint fingerprint_pattern_refined(mps::Comm& world,
 /// recompute it collectively (charged) and DRCM_CHECK agreement.
 RefinedFingerprint fingerprint_pattern_serial(const sparse::CsrMatrix& a);
 
-/// Folds the ordering-salient options into the key. Seed-salience audit
-/// (PR 9): DistRcmOptions::seed is consumed in exactly one place — the
-/// load-balancing random relabel in balance_input — and the peripheral
-/// finder, CM levels and SORTPERM are seed-free deterministic, so with
-/// load_balance=false two differently-seeded requests DO share one
-/// ordering and MUST share one cache slot (pinned by
-/// ServiceCache.UnbalancedSeedIsNotSalient). With load_balance=true the
-/// seed is salient and both the balance bit and the seed are folded in;
-/// the bit is salted through its own constant so a balanced entry cannot
-/// collide with the unbalanced one even for a seed whose mix happens to
-/// vanish. Purely local (no collective); deterministic, so every rank
-/// derives the same salted key from the same allreduced fingerprint.
+/// Folds the ordering-salient options into the key. Salience audit:
+///  * algorithm is ALWAYS salient — different algorithms produce different
+///    labelings of the same pattern, so their entries must never collide;
+///    kAuto must be resolved to a concrete algorithm BEFORE salting
+///    (DRCM_CHECKed), otherwise an auto entry and its resolved twin would
+///    occupy different slots for the same ordering.
+///  * peripheral_mode is salient for kRcm and kSloan (it changes the
+///    per-component root, hence the labels) but NOT for kGps, whose
+///    internal level-structure search never consumes the knob — two kGps
+///    requests differing only in peripheral_mode share one ordering and
+///    MUST share one slot (the same honesty rule as the seed below).
+///  * Seed-salience (PR 9): DistRcmOptions::seed is consumed in exactly
+///    one place — the load-balancing random relabel in balance_input — so
+///    with load_balance=false two differently-seeded requests share one
+///    slot (pinned by ServiceCache.UnbalancedSeedIsNotSalient). With
+///    load_balance=true both the balance bit and the seed are folded; the
+///    bit gets its own constant so a balanced entry cannot collide with
+///    the unbalanced one even for a seed whose mix happens to vanish.
+/// Purely local (no collective); deterministic, so every rank derives the
+/// same salted key from the same allreduced fingerprint.
 PatternFingerprint salt_ordering_options(PatternFingerprint fp,
-                                         bool load_balance, std::uint64_t seed);
+                                         const rcm::DistRcmOptions& options);
 
 }  // namespace drcm::service

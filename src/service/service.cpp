@@ -103,6 +103,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
   std::vector<sparse::CsrMatrix> adjacencies(nreq);
   std::vector<RefinedFingerprint> refined(nreq);
   std::vector<PatternFingerprint> salted(nreq);
+  // Per-request RESOLVED options: kAuto is resolved driver-side on the
+  // stripped adjacency (the same input dist_order would resolve on), so
+  // the cache key, the lane execution and the response all agree on the
+  // concrete algorithm — and an auto request shares the slot of an
+  // explicit request for its resolution.
+  std::vector<rcm::DistRcmOptions> resolved(nreq);
+  std::vector<char> auto_selected(nreq, 0);
+  std::vector<rcm::OrderingProxies> proxies(nreq);
   for (std::size_t i = 0; i < nreq; ++i) {
     const auto& rq = requests[i];
     DRCM_CHECK(rq.matrix != nullptr, "request needs a matrix");
@@ -110,8 +118,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
                "request rhs size mismatch");
     adjacencies[i] = rq.matrix->strip_diagonal();
     refined[i] = fingerprint_pattern_serial(*rq.matrix);
-    salted[i] = salt_ordering_options(refined[i].fp, rq.rcm.load_balance,
-                                      rq.rcm.seed);
+    resolved[i] = rq.rcm;
+    if (resolved[i].ordering.algorithm == rcm::OrderingAlgorithm::kAuto) {
+      const auto choice = rcm::select_ordering(adjacencies[i]);
+      resolved[i].ordering.algorithm = choice.algorithm;
+      auto_selected[i] = 1;
+      proxies[i] = choice.proxies;
+    }
+    salted[i] = salt_ordering_options(refined[i].fp, resolved[i]);
   }
 
   // Driver-side checkpoints, deposited by the ranks and read only after
@@ -179,7 +193,11 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
         mode[req] = Mode::kHit;
         continue;
       }
-      if (!options_.enable_repair || no_repair[req] || rq.rcm.load_balance) {
+      if (!options_.enable_repair || no_repair[req] || rq.rcm.load_balance ||
+          resolved[req].ordering.algorithm != rcm::OrderingAlgorithm::kRcm) {
+        // Repair is RCM-only in v1: Sloan and GPS runs capture no recipe,
+        // so there is nothing sound to splice — decline honestly and run
+        // the request cold.
         continue;
       }
       // Repair candidate: the repair-eligible entry of the same n with
@@ -191,6 +209,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
       std::uint64_t best_tick = 0;
       for (const auto& [fp, entry] : cache_) {
         if (!entry.repair_eligible || entry.rf.fp.n != refined[req].fp.n) {
+          continue;
+        }
+        // The cached labels must come from the SAME resolved ordering the
+        // request wants: splicing across algorithms or peripheral modes
+        // would break the repair's bit-identity-with-cold contract.
+        if (entry.spec.algorithm != resolved[req].ordering.algorithm ||
+            entry.spec.peripheral_mode !=
+                resolved[req].ordering.peripheral_mode) {
           continue;
         }
         int diff = 0;
@@ -240,6 +266,9 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
       responses[req] = OrderSolveResponse{};
       responses[req].report.ranks.resize(
           static_cast<std::size_t>(plan.lane_size));
+      responses[req].algorithm = resolved[req].ordering.algorithm;
+      responses[req].auto_selected = auto_selected[req] != 0;
+      responses[req].proxies = proxies[req];
       slabs[req].assign(static_cast<std::size_t>(plan.lane_size), {});
       pending_labels[req].clear();
       pending_recipes[req] = rcm::OrderingRecipe{};
@@ -262,6 +291,9 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
       for (const std::size_t req : lane_queue[static_cast<std::size_t>(color)]) {
         current_request[static_cast<std::size_t>(wr)] = static_cast<int>(req);
         const auto& rq = requests[req];
+        // The RESOLVED options (kAuto already concrete) are what the lane
+        // executes — so the salt, the entry and the run can never diverge.
+        const auto& ropt = resolved[req];
 
         // Per-request ledger isolation: park the attempt's running totals,
         // run the request on a zeroed recorder (peak_resident included, so
@@ -278,17 +310,19 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
         // rests on.
         const RefinedFingerprint rf =
             fingerprint_pattern_refined(lane, *rq.matrix, grid);
-        const PatternFingerprint fp = salt_ordering_options(
-            rf.fp, rq.rcm.load_balance, rq.rcm.seed);
+        const PatternFingerprint fp = salt_ordering_options(rf.fp, ropt);
         DRCM_CHECK(fp == salted[req] && rf.windows == refined[req].windows,
                    "lane fingerprint must match the driver's serial twin");
 
         // Recipe capture (rank 0 only — the vector is driver-side) is
         // what makes a cold entry repair-eligible; balanced orderings
-        // skip it (their work numbering is decoupled by the relabel).
+        // skip it (their work numbering is decoupled by the relabel), and
+        // so do non-RCM arms (dist_order captures recipes on kRcm only).
         rcm::OrderingRecipe* recipe_sink =
-            (lane.rank() == 0 && !rq.rcm.load_balance) ? &pending_recipes[req]
-                                                       : nullptr;
+            (lane.rank() == 0 && !rq.rcm.load_balance &&
+             ropt.ordering.algorithm == rcm::OrderingAlgorithm::kRcm)
+                ? &pending_recipes[req]
+                : nullptr;
 
         rcm::OrderedSolveResult result;
         rcm::RepairResult rep;
@@ -298,14 +332,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
           DRCM_CHECK(entry != nullptr, "scheduled hit lost its entry");
           result = rcm::ordered_solve_with_labels(grid, *rq.matrix,
                                                   entry->labels, rq.b,
-                                                  rq.precondition, rq.rcm,
+                                                  rq.precondition, ropt,
                                                   rq.cg);
           DRCM_CHECK(mps::ordering_crossings(lane.stats()) == 0,
                      "cache hit must skip every ordering collective");
         } else if (mode[req] == Mode::kRepair) {
           const CacheEntry* src = sources[req];
           rep = rcm::dist_rcm_repair(grid, adjacencies[req], src->labels,
-                                     src->recipe, plans[req], rq.rcm);
+                                     src->recipe, plans[req], ropt);
           if (rep.ok) {
             if (options_.verify_repair) {
               // Stats-isolated cross-check: the cold ordering must agree
@@ -314,14 +348,14 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
               // exists to win).
               const auto parked = lane.stats();
               lane.stats().reset();
-              const auto cold = rcm::dist_rcm(lane, adjacencies[req], rq.rcm);
+              const auto cold = rcm::dist_rcm(lane, adjacencies[req], ropt);
               lane.stats() = parked;
               DRCM_CHECK(cold == rep.labels,
                          "repair must be bit-identical to a cold recompute");
             }
             result = rcm::ordered_solve_with_labels(grid, *rq.matrix,
                                                     rep.labels, rq.b,
-                                                    rq.precondition, rq.rcm,
+                                                    rq.precondition, ropt,
                                                     rq.cg);
             result.labels = std::move(rep.labels);
             repaired = true;
@@ -330,12 +364,12 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
             // split/merge/reorder): honest cold fallback, recipe
             // captured so the fresh entry is itself repair-eligible.
             result = rcm::ordered_solve_on(grid, *rq.matrix, rq.b,
-                                           rq.precondition, rq.rcm, rq.cg,
+                                           rq.precondition, ropt, rq.cg,
                                            &adjacencies[req], recipe_sink);
           }
         } else {
           result = rcm::ordered_solve_on(grid, *rq.matrix, rq.b,
-                                         rq.precondition, rq.rcm, rq.cg,
+                                         rq.precondition, ropt, rq.cg,
                                          &adjacencies[req], recipe_sink);
         }
 
@@ -454,9 +488,11 @@ std::vector<OrderSolveResponse> ReorderingService::submit_batch(
           CacheEntry entry;
           entry.labels = std::move(pending_labels[req]);
           entry.rf = refined[req];
+          entry.spec = resolved[req].ordering;
           entry.recipe = std::move(pending_recipes[req]);
           entry.repair_eligible =
-              !requests[req].rcm.load_balance && !entry.recipe.empty();
+              !requests[req].rcm.load_balance && !entry.recipe.empty() &&
+              entry.spec.algorithm == rcm::OrderingAlgorithm::kRcm;
           for (const auto& rank_stats : resp.report.ranks) {
             entry.cost_wall =
                 std::max(entry.cost_wall, ordering_wall(rank_stats));

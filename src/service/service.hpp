@@ -90,6 +90,14 @@ struct OrderSolveResponse {
   /// This request waited out at least one wave because an identical
   /// fingerprint was already computing in the same batch (coalescing).
   bool coalesced = false;
+  /// The ordering algorithm that actually served the request (kAuto
+  /// resolved to a concrete arm; never kAuto here).
+  rcm::OrderingAlgorithm algorithm = rcm::OrderingAlgorithm::kRcm;
+  /// True when the request asked for kAuto and the service resolved it.
+  bool auto_selected = false;
+  /// The selector's evidence, recorded for every kAuto request so callers
+  /// can audit the decision (zeroed otherwise).
+  rcm::OrderingProxies proxies{};
   /// Refined-fingerprint row windows that differed from the repair
   /// source's (repair attempts only; 0 otherwise).
   int changed_windows = 0;
@@ -196,9 +204,15 @@ class ReorderingService {
     /// Level structure captured when the labels were computed (empty for
     /// entries that cannot seed repairs, e.g. balanced orderings).
     rcm::OrderingRecipe recipe;
+    /// The RESOLVED ordering spec that produced the labels (kAuto already
+    /// resolved). Repair candidacy demands an exact match with the
+    /// request's resolved spec: splicing a Sloan or bi-criteria entry into
+    /// an RCM repair would break bit-identity with cold.
+    rcm::OrderingSpec spec{};
     /// Computed with load_balance == false AND carrying a recipe: the
     /// recipe's work numbering matches the original numbering, so the
-    /// entry can seed dist_rcm_repair.
+    /// entry can seed dist_rcm_repair. Only kRcm entries qualify (Sloan
+    /// and GPS runs capture no recipe).
     bool repair_eligible = false;
     /// Max over lane ranks of the ordering-phase wall that produced the
     /// labels — the numerator of the cost/recency eviction score.

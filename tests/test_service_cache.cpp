@@ -344,6 +344,104 @@ TEST(ServiceCache, UnbalancedSeedIsNotSalient) {
   expect_bitwise_equal(warm.x, cold.x);
 }
 
+TEST(ServiceCache, AlgorithmSaltsTheKeyAndGpsIgnoresPeripheralMode) {
+  // Algorithm-salience audit (service/fingerprint.hpp), the portfolio twin
+  // of UnbalancedSeedIsNotSalient:
+  //  * the algorithm is ALWAYS salient — RCM, Sloan and GPS label the same
+  //    pattern differently, so their entries must occupy distinct slots;
+  //  * peripheral_mode is salient for kRcm (it moves the component roots,
+  //    hence the labels) …
+  //  * … but NOT for kGps, which never consumes the knob: two GPS requests
+  //    differing only in peripheral_mode compute the identical ordering
+  //    and must share ONE slot.
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(13, 13), 3), 0.02);
+  const auto b = wavy_rhs(m.n());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest rq;
+  rq.matrix = &m;
+  rq.b = b;
+
+  const auto as_rcm = service.submit(rq);
+  ASSERT_EQ(as_rcm.status, RequestStatus::kOk);
+  EXPECT_FALSE(as_rcm.cache_hit);
+  EXPECT_EQ(as_rcm.algorithm, rcm::OrderingAlgorithm::kRcm);
+  EXPECT_FALSE(as_rcm.auto_selected);
+
+  OrderSolveRequest sloan = rq;
+  sloan.rcm.ordering.algorithm = rcm::OrderingAlgorithm::kSloan;
+  const auto as_sloan = service.submit(sloan);
+  ASSERT_EQ(as_sloan.status, RequestStatus::kOk);
+  EXPECT_FALSE(as_sloan.cache_hit)
+      << "a different algorithm is a different labeling: it must miss";
+  EXPECT_NE(as_sloan.fingerprint.hash, as_rcm.fingerprint.hash);
+  EXPECT_EQ(as_sloan.algorithm, rcm::OrderingAlgorithm::kSloan);
+  EXPECT_TRUE(service.submit(sloan).cache_hit);
+
+  // peripheral_mode splits kRcm slots …
+  OrderSolveRequest bicriteria = rq;
+  bicriteria.rcm.ordering.peripheral_mode =
+      rcm::PeripheralMode::kBiCriteria;
+  EXPECT_FALSE(service.submit(bicriteria).cache_hit)
+      << "the peripheral mode moves the roots, so it salts RCM keys";
+  EXPECT_TRUE(service.submit(bicriteria).cache_hit);
+
+  // … but two GPS requests differing only in the mode share one slot.
+  OrderSolveRequest gps = rq;
+  gps.rcm.ordering.algorithm = rcm::OrderingAlgorithm::kGps;
+  const auto gps_cold = service.submit(gps);
+  ASSERT_EQ(gps_cold.status, RequestStatus::kOk);
+  EXPECT_FALSE(gps_cold.cache_hit);
+  OrderSolveRequest gps_mode = gps;
+  gps_mode.rcm.ordering.peripheral_mode = rcm::PeripheralMode::kBiCriteria;
+  const auto gps_warm = service.submit(gps_mode);
+  ASSERT_EQ(gps_warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(gps_warm.cache_hit)
+      << "GPS never consumes peripheral_mode: salting it would split "
+         "identical orderings across slots";
+  EXPECT_EQ(gps_warm.fingerprint, gps_cold.fingerprint);
+  expect_bitwise_equal(gps_warm.x, gps_cold.x);
+}
+
+TEST(ServiceCache, AutoSharesTheSlotOfItsResolution) {
+  // kAuto is resolved driver-side BEFORE salting, so an auto request and
+  // an explicit request for its resolution are the same cache key — the
+  // auto submission below must HIT the entry the explicit one inserted.
+  const auto m = gen::with_laplacian_values(
+      gen::relabel_random(gen::grid2d(12, 13), 11), 0.02);
+  const auto b = wavy_rhs(m.n());
+  const auto choice = rcm::select_ordering(m.strip_diagonal());
+
+  ServiceOptions options;
+  options.ranks = 4;
+  ReorderingService service(options);
+
+  OrderSolveRequest explicit_rq;
+  explicit_rq.matrix = &m;
+  explicit_rq.b = b;
+  explicit_rq.rcm.ordering.algorithm = choice.algorithm;
+  ASSERT_EQ(service.submit(explicit_rq).status, RequestStatus::kOk);
+
+  OrderSolveRequest auto_rq = explicit_rq;
+  auto_rq.rcm.ordering.algorithm = rcm::OrderingAlgorithm::kAuto;
+  const auto resp = service.submit(auto_rq);
+  ASSERT_EQ(resp.status, RequestStatus::kOk);
+  EXPECT_TRUE(resp.cache_hit)
+      << "auto must resolve before salting and share the explicit slot";
+  EXPECT_EQ(service.cache_size(), 1u);
+  // The response audits the decision: resolved algorithm plus the proxies
+  // it was derived from.
+  EXPECT_TRUE(resp.auto_selected);
+  EXPECT_EQ(resp.algorithm, choice.algorithm);
+  EXPECT_EQ(resp.proxies.n, m.strip_diagonal().n());
+  EXPECT_EQ(resp.proxies.bandwidth, choice.proxies.bandwidth);
+  EXPECT_EQ(resp.proxies.components, choice.proxies.components);
+}
+
 TEST(ServiceCache, UnsortedCsrCannotReachTheFingerprint) {
   // The fingerprint walks each row assuming strictly sorted columns; an
   // unsorted CSR would be silently mis-fingerprinted (entries outside the
